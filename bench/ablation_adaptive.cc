@@ -1,0 +1,79 @@
+// §6.2.2 ablation: static S3-FIFO vs adaptive S3-FIFO-D across all traces,
+// plus the adversarial pattern where adaptation is expected to help.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/sweep.h"
+#include "src/core/cache_factory.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/workload/scan_workload.h"
+
+namespace s3fifo {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation: S3-FIFO vs S3-FIFO-D (adaptive queue sizes)", "§6.2.2");
+  const double scale = BenchScale() * 0.25;
+
+  std::vector<double> delta;  // mr(s3fifo-d) - mr(s3fifo); negative = adaptive wins
+  int adaptive_wins = 0, static_wins = 0, ties = 0;
+  ForEachSweepCase(scale, [&](const SweepCase& c) {
+    CacheConfig config;
+    config.capacity = c.large_capacity;
+    auto s3 = CreateCache("s3fifo", config);
+    auto s3d = CreateCache("s3fifo-d", config);
+    const double mr_s = Simulate(c.trace, *s3).MissRatio();
+    const double mr_d = Simulate(c.trace, *s3d).MissRatio();
+    delta.push_back(mr_d - mr_s);
+    if (mr_d + 1e-4 < mr_s) {
+      ++adaptive_wins;
+    } else if (mr_s + 1e-4 < mr_d) {
+      ++static_wins;
+    } else {
+      ++ties;
+    }
+  });
+  std::printf("across traces (large cache): adaptive wins %d, static wins %d, ties %d\n",
+              adaptive_wins, static_wins, ties);
+  std::printf("%s\n", FormatPercentileRow("mr(D)-mr(S)", Percentiles(delta)).c_str());
+
+  // The adversarial two-hit pattern (with warm M), where adaptation helps.
+  std::vector<Request> out;
+  for (uint64_t w = 0; w < 400; ++w) {
+    for (int rep = 0; rep < 3; ++rep) {
+      Request r;
+      r.id = (1ULL << 51) + w;
+      out.push_back(r);
+    }
+  }
+  Trace twohit = GenerateTwoHitPattern(static_cast<uint64_t>(20000 * BenchScale()), 30);
+  uint64_t hot = 0;
+  for (size_t i = 0; i < twohit.size(); ++i) {
+    out.push_back(twohit[i]);
+    Request r;
+    r.id = (1ULL << 50) + (hot++ % 60);
+    out.push_back(r);
+  }
+  Trace adversarial(std::move(out), "adversarial");
+  CacheConfig config;
+  config.capacity = 200;
+  auto s3 = CreateCache("s3fifo", config);
+  config.params = "adapt_ghost_ratio=0.5";
+  auto s3d = CreateCache("s3fifo-d", config);
+  std::printf("\nadversarial two-hit pattern: s3fifo mr=%.4f  s3fifo-d mr=%.4f\n",
+              Simulate(adversarial, *s3).MissRatio(), Simulate(adversarial, *s3d).MissRatio());
+
+  std::printf("\npaper shape (§6.2.2): static S3-FIFO is at least as good as S3-FIFO-D\n"
+              "on most traces; the adaptive variant only pays off on the rare\n"
+              "adversarial tail (~2%% of traces), where it clearly reduces the miss\n"
+              "ratio.\n");
+}
+
+}  // namespace
+}  // namespace s3fifo
+
+int main() {
+  s3fifo::Run();
+  return 0;
+}

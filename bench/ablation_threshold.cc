@@ -1,0 +1,62 @@
+// Ablation: the S->M move threshold. Algorithm 1 line 18 moves on freq > 1
+// (two accesses after insertion); the §4.1 prose reads "accessed more than
+// once", which several open-source implementations interpret as one access
+// (freq >= 1). This sweep quantifies the difference.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "bench/sweep.h"
+#include "src/core/cache_factory.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+
+namespace s3fifo {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation: S->M move threshold (Algorithm 1 line 18)", "§4.1 / Algorithm 1");
+  const double scale = BenchScale() * 0.25;
+
+  std::map<int, std::vector<double>> red_large, red_small;
+  ForEachSweepCase(scale, [&](const SweepCase& c) {
+    for (const bool large : {true, false}) {
+      CacheConfig config;
+      config.capacity = large ? c.large_capacity : c.small_capacity;
+      auto fifo = CreateCache("fifo", config);
+      const double mr_fifo = Simulate(c.trace, *fifo).MissRatio();
+      for (int threshold : {1, 2, 3}) {
+        char params[48];
+        std::snprintf(params, sizeof(params), "move_to_main_threshold=%d", threshold);
+        CacheConfig c2 = config;
+        c2.params = params;
+        auto cache = CreateCache("s3fifo", c2);
+        (large ? red_large : red_small)[threshold].push_back(
+            MissRatioReduction(Simulate(c.trace, *cache).MissRatio(), mr_fifo));
+      }
+    }
+  });
+
+  for (const bool large : {true, false}) {
+    std::printf("\n--- %s cache ---\n", large ? "large" : "small");
+    for (int threshold : {1, 2, 3}) {
+      char label[48];
+      std::snprintf(label, sizeof(label), "threshold=%d", threshold);
+      std::printf("%s\n",
+                  FormatPercentileRow(label,
+                                      Percentiles((large ? red_large : red_small)[threshold]))
+                      .c_str());
+    }
+  }
+  std::printf("\nexpectation: thresholds 1 and 2 are close on most traces (objects hot\n"
+              "enough to be promoted usually collect 2+ hits in S anyway); threshold 3\n"
+              "over-filters and starts losing at the tail.\n");
+}
+
+}  // namespace
+}  // namespace s3fifo
+
+int main() {
+  s3fifo::Run();
+  return 0;
+}

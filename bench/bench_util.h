@@ -1,0 +1,43 @@
+// Shared helpers for the figure/table benchmark binaries.
+//
+// Every bench honours S3FIFO_BENCH_SCALE (a multiplier on trace lengths /
+// counts; default 1.0 = laptop scale, larger = closer to paper scale).
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace s3fifo {
+
+inline double BenchScale() {
+  const char* env = std::getenv("S3FIFO_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+// The comparison set used by the miss-ratio figures (name, factory name).
+inline const std::vector<std::string>& ComparisonPolicies() {
+  static const std::vector<std::string>* policies = new std::vector<std::string>{
+      "s3fifo", "tinylfu", "tinylfu-0.1", "lirs", "2q",   "arc",        "slru",
+      "lru",    "clock",   "lecar",       "lhd",  "blru", "fifo-merge",
+  };
+  return *policies;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("scale: %.2f (set S3FIFO_BENCH_SCALE to change)\n", BenchScale());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace s3fifo
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,100 @@
+// Fig. 8: throughput scaling with thread count for the concurrent cache
+// prototypes (strict LRU, Cachelib-style optimized LRU, CLOCK, TinyLFU,
+// S3-FIFO), on a Zipf(1.0) workload at a large (low miss ratio) and small
+// (high miss ratio) cache size.
+//
+// NOTE: true scaling needs as many physical cores as threads. On a machine
+// with fewer cores the harness still runs (threads time-share), measuring
+// per-op overhead and lock contention rather than parallel speedup; the
+// hardware core count is printed so results can be interpreted.
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/concurrent/concurrent_clock.h"
+#include "src/concurrent/concurrent_lru.h"
+#include "src/concurrent/concurrent_s3fifo.h"
+#include "src/concurrent/concurrent_s3fifo_ring.h"
+#include "src/concurrent/concurrent_tinylfu.h"
+#include "src/concurrent/replay.h"
+
+namespace s3fifo {
+namespace {
+
+std::unique_ptr<ConcurrentCache> MakeCache(const std::string& kind,
+                                           const ConcurrentCacheConfig& config) {
+  if (kind == "lru-strict") {
+    return std::make_unique<ConcurrentLruStrict>(config);
+  }
+  if (kind == "lru-optimized") {
+    return std::make_unique<ConcurrentLruOptimized>(config);
+  }
+  if (kind == "clock") {
+    return std::make_unique<ConcurrentClock>(config);
+  }
+  if (kind == "tinylfu") {
+    return std::make_unique<ConcurrentTinyLfu>(config);
+  }
+  if (kind == "s3fifo-ring") {
+    return std::make_unique<ConcurrentS3FifoRing>(config);
+  }
+  return std::make_unique<ConcurrentS3Fifo>(config);
+}
+
+void Run() {
+  PrintHeader("Fig. 8: throughput scaling with CPU cores", "Fig. 8a (large) / 8b (small)");
+  std::printf("hardware threads on this machine: %u\n", std::thread::hardware_concurrency());
+
+  const double scale = BenchScale();
+  const uint64_t num_objects = 1 << 18;
+  const uint64_t per_thread = static_cast<uint64_t>(400000 * scale);
+
+  for (const bool large : {true, false}) {
+    ConcurrentCacheConfig config;
+    config.capacity_objects = large ? (num_objects / 2) : (num_objects / 64);
+    config.value_size = 64;
+    std::printf("\n--- %s cache (%lu objects, Zipf 1.0 over %lu objects) ---\n",
+                large ? "large" : "small", (unsigned long)config.capacity_objects,
+                (unsigned long)num_objects);
+    std::printf("%-14s %8s", "cache", "hitr");
+    for (unsigned t : {1u, 2u, 4u, 8u, 16u}) {
+      std::printf("  T=%-2u Mops", t);
+    }
+    std::printf("\n");
+    for (const char* kind :
+         {"lru-strict", "lru-optimized", "clock", "tinylfu", "s3fifo", "s3fifo-ring"}) {
+      std::printf("%-14s", kind);
+      double hit_ratio = 0;
+      std::string row;
+      for (unsigned threads : {1u, 2u, 4u, 8u, 16u}) {
+        auto cache = MakeCache(kind, config);
+        ReplayOptions options;
+        options.num_threads = threads;
+        options.requests_per_thread = per_thread;
+        options.num_objects = num_objects;
+        options.zipf_alpha = 1.0;
+        const ReplayResult r = ReplayClosedLoop(*cache, options);
+        hit_ratio = r.hit_ratio;
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "  %9.2f", r.throughput_mops);
+        row += buf;
+      }
+      std::printf(" %8.3f%s\n", hit_ratio, row.c_str());
+    }
+  }
+  std::printf("\npaper shape (Fig. 8): on a 16-core box, s3fifo reaches >6x the\n"
+              "throughput of optimized LRU at 16 threads; optimized LRU stops scaling\n"
+              "past ~2 cores; tinylfu trails LRU; strict LRU is flat. On a 1-core box\n"
+              "no cache can scale (threads time-share); the meaningful signals are\n"
+              "that s3fifo/clock degrade least as threads (and lock handoffs) grow,\n"
+              "and that tinylfu pays the largest per-op cost.\n");
+}
+
+}  // namespace
+}  // namespace s3fifo
+
+int main() {
+  s3fifo::Run();
+  return 0;
+}

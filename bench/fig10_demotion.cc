@@ -1,0 +1,74 @@
+// Fig. 10 + Table 2: quick-demotion speed and precision, and the miss ratio
+// as a function of the probationary-queue size, for ARC, TinyLFU, and
+// S3-FIFO on the Twitter-like and MSR-like traces at large (10%) and small
+// (1%) cache sizes. Speed is normalised to the LRU eviction age (§6.1).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/demotion.h"
+#include "src/core/cache_factory.h"
+#include "src/sim/simulator.h"
+#include "src/trace/next_access.h"
+#include "src/workload/dataset_profiles.h"
+
+namespace s3fifo {
+namespace {
+
+const double kQueueSizes[] = {0.40, 0.30, 0.20, 0.10, 0.05, 0.02, 0.01};
+
+void Run() {
+  PrintHeader("Fig. 10 + Table 2: quick-demotion speed and precision", "Fig. 10a-d, Table 2");
+  const double scale = BenchScale();
+
+  for (const char* dataset : {"twitter", "msr"}) {
+    Trace t = GenerateDatasetTrace(DatasetByName(dataset), 0, scale);
+    AnnotateNextAccess(t);
+    const uint64_t footprint = t.Stats().num_objects;
+    for (const double size_frac : {0.10, 0.01}) {
+      CacheConfig config;
+      config.capacity = std::max<uint64_t>(static_cast<uint64_t>(footprint * size_frac), 100);
+      const double lru_age = LruEvictionAge(t, config);
+      {
+        auto lru = CreateCache("lru", config);
+        auto arc = CreateCache("arc", config);
+        const DemotionMetrics arc_m = MeasureDemotion(t, *arc, lru_age);
+        std::printf("\n%s-like, cache=%.0f%% footprint (%lu objects), LRU evict age %.0f, "
+                    "LRU missr %.4f\n",
+                    dataset, size_frac * 100, (unsigned long)config.capacity, lru_age,
+                    Simulate(t, *lru).MissRatio());
+        std::printf("%-14s %7s %10s %10s %10s\n", "algorithm", "S-size", "speed", "precision",
+                    "miss-ratio");
+        std::printf("%-14s %7s %10.2f %10.3f %10.4f\n", "arc", "adapt", arc_m.normalized_speed,
+                    arc_m.precision, arc_m.miss_ratio);
+      }
+      for (const char* algo : {"tinylfu", "s3fifo"}) {
+        for (double s : kQueueSizes) {
+          CacheConfig c2 = config;
+          char params[64];
+          if (std::string(algo) == "tinylfu") {
+            std::snprintf(params, sizeof(params), "window_ratio=%.2f", s);
+          } else {
+            std::snprintf(params, sizeof(params), "small_ratio=%.2f", s);
+          }
+          c2.params = params;
+          auto cache = CreateCache(algo, c2);
+          const DemotionMetrics m = MeasureDemotion(t, *cache, lru_age);
+          std::printf("%-14s %6.0f%% %10.2f %10.3f %10.4f\n", algo, s * 100,
+                      m.normalized_speed, m.precision, m.miss_ratio);
+        }
+      }
+    }
+  }
+  std::printf("\npaper shape (Fig. 10 / Table 2): shrinking S monotonically increases\n"
+              "demotion speed for both tinylfu and s3fifo; s3fifo's precision rises to\n"
+              "a peak then falls as S grows; at matched speed s3fifo's precision is at\n"
+              "or above tinylfu's, and higher precision tracks lower miss ratios.\n");
+}
+
+}  // namespace
+}  // namespace s3fifo
+
+int main() {
+  s3fifo::Run();
+  return 0;
+}

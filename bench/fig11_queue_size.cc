@@ -1,0 +1,64 @@
+// Fig. 11: S3-FIFO's miss-ratio-reduction percentiles across traces as a
+// function of the small-queue size (1% .. 40% of the cache), at large and
+// small cache sizes.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "bench/sweep.h"
+#include "src/core/cache_factory.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+
+namespace s3fifo {
+namespace {
+
+const double kSmallRatios[] = {0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.40};
+
+void Run() {
+  PrintHeader("Fig. 11: sensitivity to the small-queue size", "Fig. 11 (left/right)");
+  const double scale = BenchScale() * 0.25;
+
+  std::map<double, std::vector<double>> red_large, red_small;
+
+  ForEachSweepCase(scale, [&](const SweepCase& c) {
+    for (const bool large : {true, false}) {
+      CacheConfig config;
+      config.capacity = large ? c.large_capacity : c.small_capacity;
+      auto fifo = CreateCache("fifo", config);
+      const double mr_fifo = Simulate(c.trace, *fifo).MissRatio();
+      for (double ratio : kSmallRatios) {
+        char params[48];
+        std::snprintf(params, sizeof(params), "small_ratio=%.2f", ratio);
+        CacheConfig c2 = config;
+        c2.params = params;
+        auto cache = CreateCache("s3fifo", c2);
+        (large ? red_large : red_small)[ratio].push_back(
+            MissRatioReduction(Simulate(c.trace, *cache).MissRatio(), mr_fifo));
+      }
+    }
+  });
+
+  for (const bool large : {true, false}) {
+    std::printf("\n--- %s cache ---\n", large ? "large" : "small");
+    for (double ratio : kSmallRatios) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "S=%.0f%%", ratio * 100);
+      std::printf("%s\n",
+                  FormatPercentileRow(label, Percentiles((large ? red_large : red_small)[ratio]))
+                      .c_str());
+    }
+  }
+  std::printf("\npaper shape (Fig. 11): smaller S gives the largest reductions at the\n"
+              "top percentiles (P90 peaks near S=1-2%%) but drags the bottom percentile\n"
+              "down (more traces worse than FIFO); the curve is flat between 5%% and\n"
+              "20%% for most traces — 10%% is a robust default (§6.2.1).\n");
+}
+
+}  // namespace
+}  // namespace s3fifo
+
+int main() {
+  s3fifo::Run();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Micro-benchmarks (google-benchmark): per-request cost of each simulated
+// policy, plus the core substrate operations (Zipf sampling, hashing, ghost
+// structures, sketch, MPMC ring). Supports the §4.3 overhead analysis.
+#include <benchmark/benchmark.h>
+
+#include "src/concurrent/mpmc_queue.h"
+#include "src/core/cache_factory.h"
+#include "src/util/count_min_sketch.h"
+#include "src/util/ghost_queue.h"
+#include "src/util/ghost_table.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+#include "src/util/zipf.h"
+
+namespace s3fifo {
+namespace {
+
+void BM_Mix64(benchmark::State& state) {
+  uint64_t x = 1;
+  for (auto _ : state) {
+    x = Mix64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Mix64);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution zipf(1 << 20, 1.0);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_GhostQueue(benchmark::State& state) {
+  GhostQueue ghost(10000);
+  Rng rng(2);
+  for (auto _ : state) {
+    const uint64_t id = rng.NextBounded(50000);
+    ghost.Insert(id);
+    benchmark::DoNotOptimize(ghost.Contains(id ^ 1));
+  }
+}
+BENCHMARK(BM_GhostQueue);
+
+void BM_GhostTable(benchmark::State& state) {
+  GhostTable ghost(10000);
+  Rng rng(2);
+  for (auto _ : state) {
+    const uint64_t id = rng.NextBounded(50000);
+    ghost.Insert(id);
+    benchmark::DoNotOptimize(ghost.Contains(id ^ 1));
+  }
+}
+BENCHMARK(BM_GhostTable);
+
+void BM_CountMinSketch(benchmark::State& state) {
+  CountMinSketch sketch(1 << 16);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Increment(rng.NextBounded(1 << 18)));
+  }
+}
+BENCHMARK(BM_CountMinSketch);
+
+void BM_MpmcQueue(benchmark::State& state) {
+  MpmcQueue<uint64_t> q(1024);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    q.TryPush(v);
+    q.TryPop(&v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_MpmcQueue);
+
+// Per-request cost of each policy on a Zipf(1.0) stream, cache = 10% of the
+// universe (≈90% hit ratio: dominated by the hit path, as in production).
+void BM_PolicyGet(benchmark::State& state, const std::string& policy) {
+  constexpr uint64_t kObjects = 1 << 16;
+  CacheConfig config;
+  config.capacity = kObjects / 10;
+  auto cache = CreateCache(policy, config);
+  ZipfDistribution zipf(kObjects, 1.0);
+  Rng rng(7);
+  Request req;
+  for (auto _ : state) {
+    req.id = zipf.Sample(rng);
+    benchmark::DoNotOptimize(cache->Get(req));
+  }
+}
+BENCHMARK_CAPTURE(BM_PolicyGet, fifo, "fifo");
+BENCHMARK_CAPTURE(BM_PolicyGet, lru, "lru");
+BENCHMARK_CAPTURE(BM_PolicyGet, clock, "clock");
+BENCHMARK_CAPTURE(BM_PolicyGet, sieve, "sieve");
+BENCHMARK_CAPTURE(BM_PolicyGet, s3fifo, "s3fifo");
+BENCHMARK_CAPTURE(BM_PolicyGet, s3fifo_d, "s3fifo-d");
+BENCHMARK_CAPTURE(BM_PolicyGet, tinylfu, "tinylfu");
+BENCHMARK_CAPTURE(BM_PolicyGet, arc, "arc");
+BENCHMARK_CAPTURE(BM_PolicyGet, lirs, "lirs");
+BENCHMARK_CAPTURE(BM_PolicyGet, twoq, "2q");
+BENCHMARK_CAPTURE(BM_PolicyGet, slru, "slru");
+BENCHMARK_CAPTURE(BM_PolicyGet, lecar, "lecar");
+BENCHMARK_CAPTURE(BM_PolicyGet, lhd, "lhd");
+BENCHMARK_CAPTURE(BM_PolicyGet, fifo_merge, "fifo-merge");
+
+}  // namespace
+}  // namespace s3fifo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// Command-line cache simulator (the libCacheSim-style entry point):
+//
+//   cachesim_cli --trace FILE --policy NAME --size N [options]
+//   cachesim_cli --dataset NAME --policy NAME [--size-frac F]
+//
+// Options:
+//   --trace FILE        binary (.bin) or CSV (.csv) trace
+//   --dataset NAME      synthetic dataset profile instead of a file
+//   --policy NAME       eviction policy (default s3fifo); "all" sweeps all
+//   --size N            cache capacity in objects
+//   --size-frac F       capacity as a fraction of the trace footprint (0.1)
+//   --params STR        policy parameters, "k=v,k=v"
+//   --bytes             byte-capacity mode (uses object sizes)
+//   --warmup N          requests excluded from metrics
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/cache_factory.h"
+#include "src/sim/simulator.h"
+#include "src/trace/next_access.h"
+#include "src/trace/trace_io.h"
+#include "src/workload/dataset_profiles.h"
+
+namespace {
+
+using namespace s3fifo;
+
+struct Options {
+  std::string trace_path;
+  std::string dataset;
+  std::string policy = "s3fifo";
+  std::string params;
+  uint64_t size = 0;
+  double size_frac = 0.1;
+  bool bytes = false;
+  uint64_t warmup = 0;
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--trace FILE | --dataset NAME) [--policy NAME|all] "
+               "[--size N | --size-frac F] [--params K=V,..] [--bytes] [--warmup N]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options Parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      o.trace_path = next();
+    } else if (arg == "--dataset") {
+      o.dataset = next();
+    } else if (arg == "--policy") {
+      o.policy = next();
+    } else if (arg == "--params") {
+      o.params = next();
+    } else if (arg == "--size") {
+      o.size = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--size-frac") {
+      o.size_frac = std::atof(next());
+    } else if (arg == "--bytes") {
+      o.bytes = true;
+    } else if (arg == "--warmup") {
+      o.warmup = std::strtoull(next(), nullptr, 10);
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  if (o.trace_path.empty() == o.dataset.empty()) {
+    Usage(argv[0]);  // exactly one source required
+  }
+  return o;
+}
+
+void RunOne(const Trace& trace, const Options& o, const std::string& policy,
+            uint64_t capacity) {
+  CacheConfig config;
+  config.capacity = capacity;
+  config.count_based = !o.bytes;
+  config.params = o.params;
+  auto cache = CreateCache(policy, config);
+  SimOptions sim_options;
+  sim_options.warmup_requests = o.warmup;
+  const SimResult r = Simulate(trace, *cache, sim_options);
+  std::printf("%-14s capacity=%-12lu miss_ratio=%.4f byte_miss_ratio=%.4f "
+              "requests=%lu hits=%lu\n",
+              policy.c_str(), (unsigned long)capacity, r.MissRatio(), r.ByteMissRatio(),
+              (unsigned long)r.requests, (unsigned long)r.hits);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = Parse(argc, argv);
+  try {
+    Trace trace;
+    if (!o.trace_path.empty()) {
+      const bool csv =
+          o.trace_path.size() > 4 && o.trace_path.substr(o.trace_path.size() - 4) == ".csv";
+      trace = csv ? ReadCsvTrace(o.trace_path) : ReadBinaryTrace(o.trace_path);
+    } else {
+      trace = GenerateDatasetTrace(DatasetByName(o.dataset), 0, 1.0);
+    }
+    AnnotateNextAccess(trace);
+
+    const TraceStats& stats = trace.Stats();
+    const uint64_t footprint = o.bytes ? stats.footprint_bytes : stats.num_objects;
+    const uint64_t capacity =
+        o.size > 0 ? o.size
+                   : std::max<uint64_t>(static_cast<uint64_t>(footprint * o.size_frac), 2);
+    std::printf("trace: %lu requests, %lu objects, footprint %lu %s\n",
+                (unsigned long)stats.num_requests, (unsigned long)stats.num_objects,
+                (unsigned long)footprint, o.bytes ? "bytes" : "objects");
+
+    if (o.policy == "all") {
+      for (const std::string& name : AllCacheNames()) {
+        RunOne(trace, o, name, capacity);
+      }
+    } else {
+      RunOne(trace, o, o.policy, capacity);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quick-demotion speed & precision (paper §6.1, Fig. 10, Table 2).
+//
+// Speed: normalized as (LRU eviction age) / (mean time objects spend in the
+// probationary stage), both in logical time (request count). The LRU
+// eviction age baseline is the mean age since last access at eviction —
+// i.e. how long LRU would have kept the object around.
+//
+// Precision: a demotion (object leaves the probationary stage without being
+// promoted) is *correct* if the object's next reuse is farther away than
+// cache_size / miss_ratio requests — the same criterion as prior work [126]
+// (the object would not have survived to its reuse anyway).
+//
+// Supported policies: s3fifo (S), tinylfu (window), arc (T1) — they expose a
+// DemotionListener. The trace must be annotated (AnnotateNextAccess).
+#ifndef SRC_ANALYSIS_DEMOTION_H_
+#define SRC_ANALYSIS_DEMOTION_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/cache.h"
+#include "src/core/demotion.h"
+#include "src/trace/trace.h"
+
+namespace s3fifo {
+
+struct DemotionMetrics {
+  uint64_t demotions = 0;   // left the stage without promotion
+  uint64_t promotions = 0;  // moved to the main region
+  double mean_time_in_stage = 0.0;
+  double normalized_speed = 0.0;  // lru_eviction_age / mean_time_in_stage
+  double precision = 0.0;         // fraction of demotions that were correct
+  double miss_ratio = 0.0;
+};
+
+// Attaches a demotion listener if the concrete policy supports one.
+// Returns false for unsupported policies.
+bool TrySetDemotionListener(Cache& cache, DemotionListener listener);
+
+// Mean age-since-last-access of LRU evictions on this trace — the speed
+// baseline.
+double LruEvictionAge(const Trace& trace, const CacheConfig& config);
+
+// Runs `cache` over the annotated trace and computes the §6.1 metrics.
+// Throws std::invalid_argument if the trace is not annotated or the policy
+// exposes no demotion events.
+DemotionMetrics MeasureDemotion(const Trace& trace, Cache& cache, double lru_eviction_age);
+
+}  // namespace s3fifo
+
+#endif  // SRC_ANALYSIS_DEMOTION_H_

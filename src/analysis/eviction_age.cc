@@ -1,0 +1,45 @@
+#include "src/analysis/eviction_age.h"
+
+#include <algorithm>
+
+#include "src/sim/simulator.h"
+
+namespace s3fifo {
+
+EvictionProfile CollectEvictionProfile(const Trace& trace, Cache& cache,
+                                       uint32_t max_freq_bucket) {
+  std::vector<uint64_t> freq_counts(max_freq_bucket + 1, 0);
+  uint64_t evictions = 0;
+  double insert_age_sum = 0.0;
+  double access_age_sum = 0.0;
+
+  cache.set_eviction_listener([&](const EvictionEvent& ev) {
+    if (ev.explicit_delete) {
+      return;
+    }
+    ++evictions;
+    const uint32_t bucket = std::min(ev.access_count, max_freq_bucket);
+    ++freq_counts[bucket];
+    insert_age_sum += static_cast<double>(ev.evict_time - ev.insert_time);
+    access_age_sum += static_cast<double>(ev.evict_time - ev.last_access_time);
+  });
+
+  const SimResult sim = Simulate(trace, cache);
+  cache.set_eviction_listener(nullptr);
+
+  EvictionProfile profile;
+  profile.evictions = evictions;
+  profile.freq_at_eviction.assign(max_freq_bucket + 1, 0.0);
+  if (evictions > 0) {
+    for (uint32_t i = 0; i <= max_freq_bucket; ++i) {
+      profile.freq_at_eviction[i] =
+          static_cast<double>(freq_counts[i]) / static_cast<double>(evictions);
+    }
+    profile.mean_insert_age = insert_age_sum / static_cast<double>(evictions);
+    profile.mean_last_access_age = access_age_sum / static_cast<double>(evictions);
+  }
+  profile.miss_ratio = sim.MissRatio();
+  return profile;
+}
+
+}  // namespace s3fifo

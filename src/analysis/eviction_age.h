@@ -1,0 +1,35 @@
+// Eviction-time analyses built on Cache's eviction listener:
+//  * frequency-at-eviction distribution (paper Fig. 4) — how many requests
+//    an object served after insertion before being evicted;
+//  * eviction age statistics (time from insertion, and from last access, to
+//    eviction) — the LRU eviction age is the baseline of the quick-demotion
+//    speed metric (§6.1).
+#ifndef SRC_ANALYSIS_EVICTION_AGE_H_
+#define SRC_ANALYSIS_EVICTION_AGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/trace/trace.h"
+
+namespace s3fifo {
+
+struct EvictionProfile {
+  uint64_t evictions = 0;
+  // freq_at_eviction[k] = fraction of evictions whose object had exactly k
+  // post-insertion requests; the last bucket aggregates ">= max".
+  std::vector<double> freq_at_eviction;
+  double mean_insert_age = 0.0;       // evict_time - insert_time
+  double mean_last_access_age = 0.0;  // evict_time - last_access_time
+  double miss_ratio = 0.0;
+};
+
+// Runs the trace through the cache, collecting the eviction profile.
+// `max_freq_bucket` controls the histogram width (Fig. 4 uses 0..8+).
+EvictionProfile CollectEvictionProfile(const Trace& trace, Cache& cache,
+                                       uint32_t max_freq_bucket = 8);
+
+}  // namespace s3fifo
+
+#endif  // SRC_ANALYSIS_EVICTION_AGE_H_

@@ -1,0 +1,23 @@
+#include "src/analysis/mrc.h"
+
+#include "src/core/cache_factory.h"
+#include "src/sim/simulator.h"
+
+namespace s3fifo {
+
+std::vector<MrcPoint> ComputeMrc(const Trace& trace, const std::string& policy,
+                                 const std::vector<uint64_t>& sizes,
+                                 const CacheConfig& base_config) {
+  std::vector<MrcPoint> curve;
+  curve.reserve(sizes.size());
+  for (uint64_t size : sizes) {
+    CacheConfig config = base_config;
+    config.capacity = size;
+    auto cache = CreateCache(policy, config);
+    const SimResult r = Simulate(trace, *cache);
+    curve.push_back({size, r.MissRatio()});
+  }
+  return curve;
+}
+
+}  // namespace s3fifo

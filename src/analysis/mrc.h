@@ -1,0 +1,28 @@
+// Miss-ratio curves: miss ratio as a function of cache size for a given
+// policy, either exact (one simulation per size) or approximated with
+// SHARDS spatial sampling (paper §6.2.3: "downsized simulations using
+// spatial sampling can be used").
+#ifndef SRC_ANALYSIS_MRC_H_
+#define SRC_ANALYSIS_MRC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/trace/trace.h"
+
+namespace s3fifo {
+
+struct MrcPoint {
+  uint64_t cache_size = 0;
+  double miss_ratio = 0.0;
+};
+
+// Exact curve: simulates the policy once per size.
+std::vector<MrcPoint> ComputeMrc(const Trace& trace, const std::string& policy,
+                                 const std::vector<uint64_t>& sizes,
+                                 const CacheConfig& base_config = {1, true, "", 42});
+
+}  // namespace s3fifo
+
+#endif  // SRC_ANALYSIS_MRC_H_

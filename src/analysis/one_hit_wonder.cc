@@ -1,0 +1,83 @@
+#include "src/analysis/one_hit_wonder.h"
+
+#include <unordered_map>
+
+#include "src/util/rng.h"
+
+namespace s3fifo {
+
+double OneHitWonderRatio(const Trace& trace, size_t begin, size_t end) {
+  std::unordered_map<uint64_t, uint32_t> counts;
+  end = std::min(end, trace.size());
+  for (size_t i = begin; i < end; ++i) {
+    const Request& r = trace[i];
+    if (r.op != OpType::kDelete) {
+      ++counts[r.id];
+    }
+  }
+  if (counts.empty()) {
+    return 0.0;
+  }
+  uint64_t one_hit = 0;
+  for (const auto& [id, c] : counts) {
+    if (c == 1) {
+      ++one_hit;
+    }
+  }
+  return static_cast<double>(one_hit) / static_cast<double>(counts.size());
+}
+
+double SubSequenceOneHitWonderRatio(const Trace& trace, double object_fraction,
+                                    uint32_t samples, uint64_t seed) {
+  if (trace.empty()) {
+    return 0.0;
+  }
+  if (object_fraction >= 1.0) {
+    return trace.Stats().one_hit_wonder_ratio;
+  }
+  const uint64_t total_objects = trace.Stats().num_objects;
+  const uint64_t target =
+      std::max<uint64_t>(static_cast<uint64_t>(object_fraction * total_objects), 1);
+
+  Rng rng(seed);
+  double sum = 0.0;
+  uint32_t valid = 0;
+  std::unordered_map<uint64_t, uint32_t> counts;
+  for (uint32_t s = 0; s < samples; ++s) {
+    counts.clear();
+    const size_t start = rng.NextBounded(trace.size());
+    uint64_t one_hit = 0;
+    for (size_t i = start; i < trace.size() && counts.size() < target; ++i) {
+      const Request& r = trace[i];
+      if (r.op == OpType::kDelete) {
+        continue;
+      }
+      uint32_t& c = counts[r.id];
+      ++c;
+      if (c == 1) {
+        ++one_hit;
+      } else if (c == 2) {
+        --one_hit;
+      }
+    }
+    if (counts.empty()) {
+      continue;
+    }
+    sum += static_cast<double>(one_hit) / static_cast<double>(counts.size());
+    ++valid;
+  }
+  return valid == 0 ? 0.0 : sum / valid;
+}
+
+std::vector<double> OneHitWonderCurve(const Trace& trace,
+                                      const std::vector<double>& object_fractions,
+                                      uint32_t samples, uint64_t seed) {
+  std::vector<double> out;
+  out.reserve(object_fractions.size());
+  for (double f : object_fractions) {
+    out.push_back(SubSequenceOneHitWonderRatio(trace, f, samples, seed));
+  }
+  return out;
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,29 @@
+// One-hit-wonder analysis (paper §3.1, Figs. 1-3): the fraction of objects
+// requested exactly once, both for the full trace and for random
+// sub-sequences containing a given fraction of the trace's unique objects.
+#ifndef SRC_ANALYSIS_ONE_HIT_WONDER_H_
+#define SRC_ANALYSIS_ONE_HIT_WONDER_H_
+
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace s3fifo {
+
+// One-hit-wonder ratio of requests [begin, end) of the trace.
+double OneHitWonderRatio(const Trace& trace, size_t begin, size_t end);
+
+// Mean one-hit-wonder ratio over `samples` random sub-sequences, each grown
+// from a random start until it contains `object_fraction` of the trace's
+// unique objects (the paper's Monte-Carlo methodology, repeated 100 times).
+double SubSequenceOneHitWonderRatio(const Trace& trace, double object_fraction,
+                                    uint32_t samples = 20, uint64_t seed = 1);
+
+// Convenience: ratios at several fractions (e.g. {1.0, 0.5, 0.1, 0.01}).
+std::vector<double> OneHitWonderCurve(const Trace& trace,
+                                      const std::vector<double>& object_fractions,
+                                      uint32_t samples = 20, uint64_t seed = 1);
+
+}  // namespace s3fifo
+
+#endif  // SRC_ANALYSIS_ONE_HIT_WONDER_H_

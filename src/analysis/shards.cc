@@ -1,0 +1,42 @@
+#include "src/analysis/shards.h"
+
+#include <algorithm>
+
+#include "src/core/cache_factory.h"
+#include "src/sim/simulator.h"
+#include "src/util/hash.h"
+
+namespace s3fifo {
+namespace {
+
+constexpr uint64_t kModulus = 1 << 24;
+
+}  // namespace
+
+Trace ShardsSample(const Trace& trace, double rate) {
+  rate = std::clamp(rate, 1e-6, 1.0);
+  const uint64_t threshold = static_cast<uint64_t>(rate * kModulus);
+  std::vector<Request> sampled;
+  sampled.reserve(static_cast<size_t>(trace.size() * rate * 1.2) + 16);
+  for (const Request& r : trace.requests()) {
+    if ((HashId(r.id ^ 0x5bd1e9955bd1e995ULL) & (kModulus - 1)) < threshold) {
+      sampled.push_back(r);
+    }
+  }
+  Trace out(std::move(sampled), trace.name() + "/shards");
+  return out;
+}
+
+double ShardsMissRatio(const Trace& trace, const std::string& policy, uint64_t cache_size,
+                       double rate, const CacheConfig& base_config) {
+  Trace sampled = ShardsSample(trace, rate);
+  if (sampled.empty()) {
+    return 0.0;
+  }
+  CacheConfig config = base_config;
+  config.capacity = std::max<uint64_t>(static_cast<uint64_t>(cache_size * rate), 2);
+  auto cache = CreateCache(policy, config);
+  return Simulate(sampled, *cache).MissRatio();
+}
+
+}  // namespace s3fifo

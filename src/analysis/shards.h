@@ -1,0 +1,26 @@
+// SHARDS spatial sampling (Waldspurger et al., FAST'15; referenced by the
+// paper in §6.2.3): simulate on a hash-sampled subset of objects with a
+// proportionally downsized cache. Rate R keeps ids with hash(id) mod P < R*P
+// — every request to a sampled object is kept, preserving per-object reuse
+// behaviour.
+#ifndef SRC_ANALYSIS_SHARDS_H_
+#define SRC_ANALYSIS_SHARDS_H_
+
+#include <string>
+
+#include "src/core/cache.h"
+#include "src/trace/trace.h"
+
+namespace s3fifo {
+
+// Returns the sampled sub-trace (deterministic in the id hash).
+Trace ShardsSample(const Trace& trace, double rate);
+
+// Estimates the full-size miss ratio of `policy` at `cache_size` by
+// simulating the sampled trace with a cache of size cache_size * rate.
+double ShardsMissRatio(const Trace& trace, const std::string& policy, uint64_t cache_size,
+                       double rate, const CacheConfig& base_config = {1, true, "", 42});
+
+}  // namespace s3fifo
+
+#endif  // SRC_ANALYSIS_SHARDS_H_

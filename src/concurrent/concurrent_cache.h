@@ -1,0 +1,32 @@
+// Interface of the in-memory concurrent caches used by the throughput /
+// scalability benchmark (paper §5.3, Fig. 8). Get() is an on-demand-fill
+// read: a miss admits the object (generating a payload), like the Cachelib
+// trace-replay setup the paper uses.
+#ifndef SRC_CONCURRENT_CONCURRENT_CACHE_H_
+#define SRC_CONCURRENT_CONCURRENT_CACHE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace s3fifo {
+
+struct ConcurrentCacheConfig {
+  uint64_t capacity_objects = 1 << 16;
+  uint32_t value_size = 64;  // bytes materialised per object
+  unsigned hash_shards = 64;
+};
+
+class ConcurrentCache {
+ public:
+  virtual ~ConcurrentCache() = default;
+
+  // Returns true on hit. Thread-safe.
+  virtual bool Get(uint64_t id) = 0;
+  virtual std::string Name() const = 0;
+  // Approximate resident object count (for tests).
+  virtual uint64_t ApproxSize() const = 0;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_CONCURRENT_CONCURRENT_CACHE_H_

@@ -1,0 +1,87 @@
+#include "src/concurrent/concurrent_clock.h"
+
+#include <cstring>
+#include <vector>
+
+namespace s3fifo {
+namespace {
+
+std::unique_ptr<char[]> MakeValue(uint64_t id, uint32_t size) {
+  auto value = std::make_unique<char[]>(size);
+  std::memset(value.get(), static_cast<int>(id & 0xFF), size);
+  return value;
+}
+
+uint64_t ReadValue(const char* value) {
+  uint64_t v = 0;
+  std::memcpy(&v, value, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+ConcurrentClock::ConcurrentClock(const ConcurrentCacheConfig& config)
+    : config_(config),
+      index_(config.hash_shards, config.capacity_objects / config.hash_shards + 1) {}
+
+ConcurrentClock::~ConcurrentClock() {
+  std::lock_guard<std::mutex> lock(list_mu_);
+  while (Entry* e = list_.PopBack()) {
+    delete e;
+  }
+}
+
+bool ConcurrentClock::Get(uint64_t id) {
+  const bool hit = index_.WithValue(id, [&](Entry** slot) {
+    if (slot == nullptr) {
+      return false;
+    }
+    Entry* e = *slot;
+    // The whole hit path: one relaxed store.
+    e->ref.store(1, std::memory_order_relaxed);
+    (void)ReadValue(e->value.get());
+    return true;
+  });
+  if (hit) {
+    return true;
+  }
+
+  Entry* e = new Entry;
+  e->id = id;
+  e->value = MakeValue(id, config_.value_size);
+  if (!index_.InsertIfAbsent(id, e)) {
+    delete e;
+    return false;
+  }
+
+  std::vector<Entry*> victims;
+  {
+    std::lock_guard<std::mutex> lock(list_mu_);
+    list_.PushFront(e);
+    uint64_t resident = resident_.fetch_add(1, std::memory_order_relaxed) + 1;
+    while (resident > config_.capacity_objects && !list_.empty()) {
+      Entry* hand = list_.Back();
+      if (hand == nullptr || hand == e) {
+        break;
+      }
+      if (hand->ref.exchange(0, std::memory_order_relaxed) != 0) {
+        list_.MoveToFront(hand);  // second chance
+        continue;
+      }
+      list_.Remove(hand);
+      victims.push_back(hand);
+      resident = resident_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    }
+  }
+  for (Entry* victim : victims) {
+    index_.EraseIf(victim->id, [victim](Entry* v) { return v == victim; });
+    delete victim;
+  }
+  return false;
+}
+
+uint64_t ConcurrentClock::ApproxSize() const {
+  return resident_.load(std::memory_order_relaxed);
+}
+
+}  // namespace s3fifo

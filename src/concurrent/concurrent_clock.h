@@ -1,0 +1,43 @@
+// Concurrent CLOCK (the MemC3 / RocksDB HyperClockCache approach, paper
+// §2.2/§7): hits only set an atomic reference bit — no lock, no queue
+// mutation; misses advance the clock hand under a single eviction mutex.
+#ifndef SRC_CONCURRENT_CONCURRENT_CLOCK_H_
+#define SRC_CONCURRENT_CONCURRENT_CLOCK_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "src/concurrent/concurrent_cache.h"
+#include "src/concurrent/striped_hash_map.h"
+#include "src/util/intrusive_list.h"
+
+namespace s3fifo {
+
+class ConcurrentClock : public ConcurrentCache {
+ public:
+  explicit ConcurrentClock(const ConcurrentCacheConfig& config);
+  ~ConcurrentClock() override;
+
+  bool Get(uint64_t id) override;
+  std::string Name() const override { return "clock"; }
+  uint64_t ApproxSize() const override;
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    std::atomic<uint8_t> ref{0};
+    std::unique_ptr<char[]> value;
+    ListHook hook;
+  };
+
+  const ConcurrentCacheConfig config_;
+  StripedHashMap<Entry*> index_;
+  std::mutex list_mu_;
+  IntrusiveList<Entry, &Entry::hook> list_;  // FIFO order; back = oldest
+  std::atomic<uint64_t> resident_{0};
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_CONCURRENT_CONCURRENT_CLOCK_H_

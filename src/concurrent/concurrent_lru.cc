@@ -1,0 +1,133 @@
+#include "src/concurrent/concurrent_lru.h"
+
+#include <cstring>
+
+namespace s3fifo {
+namespace {
+
+std::unique_ptr<char[]> MakeValue(uint64_t id, uint32_t size) {
+  auto value = std::make_unique<char[]>(size);
+  std::memset(value.get(), static_cast<int>(id & 0xFF), size);
+  return value;
+}
+
+// Touch the payload so the compiler cannot elide the "use" of a hit.
+uint64_t ReadValue(const char* value) {
+  uint64_t v = 0;
+  std::memcpy(&v, value, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+ConcurrentLruStrict::ConcurrentLruStrict(const ConcurrentCacheConfig& config)
+    : config_(config) {
+  table_.reserve(config.capacity_objects * 2);
+}
+
+ConcurrentLruStrict::~ConcurrentLruStrict() = default;
+
+bool ConcurrentLruStrict::Get(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    list_.MoveToFront(&it->second);
+    (void)ReadValue(it->second.value.get());
+    return true;
+  }
+  while (table_.size() >= config_.capacity_objects && !list_.empty()) {
+    Entry* victim = list_.PopBack();
+    table_.erase(victim->id);
+  }
+  Entry& e = table_[id];
+  e.id = id;
+  e.value = MakeValue(id, config_.value_size);
+  list_.PushFront(&e);
+  return false;
+}
+
+uint64_t ConcurrentLruStrict::ApproxSize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+ConcurrentLruOptimized::ConcurrentLruOptimized(const ConcurrentCacheConfig& config,
+                                               uint64_t refresh_ops)
+    : config_(config),
+      refresh_ops_(refresh_ops),
+      index_(config.hash_shards, config.capacity_objects / config.hash_shards + 1) {}
+
+ConcurrentLruOptimized::~ConcurrentLruOptimized() {
+  std::lock_guard<std::mutex> lock(list_mu_);
+  while (Entry* e = list_.PopBack()) {
+    delete e;
+  }
+}
+
+bool ConcurrentLruOptimized::Get(uint64_t id) {
+  const uint64_t now = op_counter_.fetch_add(1, std::memory_order_relaxed);
+
+  const bool hit = index_.WithValue(id, [&](Entry** slot) {
+    if (slot == nullptr) {
+      return false;
+    }
+    Entry* e = *slot;
+    (void)ReadValue(e->value.get());
+    // Delayed promotion: refresh at most once per refresh_ops_ accesses, and
+    // only if the list lock is immediately available (try-lock promotion).
+    const uint64_t last = e->last_promote.load(std::memory_order_relaxed);
+    if (now - last >= refresh_ops_) {
+      if (list_mu_.try_lock()) {
+        if (e->hook.linked()) {  // not concurrently evicted
+          list_.MoveToFront(e);
+          e->last_promote.store(now, std::memory_order_relaxed);
+        }
+        list_mu_.unlock();
+      }
+    }
+    return true;
+  });
+  if (hit) {
+    return true;
+  }
+
+  // Miss: publish to the index first (so a racing inserter of the same id
+  // loses cleanly while its entry is still private), then link into the list
+  // and shed victims.
+  Entry* e = new Entry;
+  e->id = id;
+  e->last_promote.store(now, std::memory_order_relaxed);
+  e->value = MakeValue(id, config_.value_size);
+  if (!index_.InsertIfAbsent(id, e)) {
+    delete e;  // another thread admitted this id concurrently
+    return false;
+  }
+
+  std::vector<Entry*> victims;
+  {
+    std::lock_guard<std::mutex> lock(list_mu_);
+    list_.PushFront(e);
+    uint64_t resident = resident_.fetch_add(1, std::memory_order_relaxed) + 1;
+    while (resident > config_.capacity_objects && !list_.empty()) {
+      Entry* victim = list_.PopBack();
+      if (victim == e) {  // pathological capacity=1 case
+        list_.PushBack(victim);
+        break;
+      }
+      victims.push_back(victim);
+      resident = resident_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    }
+  }
+  for (Entry* victim : victims) {
+    // EraseIf: never remove a same-id successor raced in by another thread.
+    index_.EraseIf(victim->id, [victim](Entry* v) { return v == victim; });
+    delete victim;
+  }
+  return false;
+}
+
+uint64_t ConcurrentLruOptimized::ApproxSize() const {
+  return resident_.load(std::memory_order_relaxed);
+}
+
+}  // namespace s3fifo

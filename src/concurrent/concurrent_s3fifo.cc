@@ -1,0 +1,158 @@
+#include "src/concurrent/concurrent_s3fifo.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace s3fifo {
+namespace {
+
+std::unique_ptr<char[]> MakeValue(uint64_t id, uint32_t size) {
+  auto value = std::make_unique<char[]>(size);
+  std::memset(value.get(), static_cast<int>(id & 0xFF), size);
+  return value;
+}
+
+uint64_t ReadValue(const char* value) {
+  uint64_t v = 0;
+  std::memcpy(&v, value, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+ConcurrentS3Fifo::ConcurrentS3Fifo(const ConcurrentCacheConfig& config, double small_ratio,
+                                   uint32_t move_threshold, uint32_t max_freq)
+    : config_(config),
+      small_target_(std::max<uint64_t>(
+          static_cast<uint64_t>(config.capacity_objects * small_ratio), 1)),
+      move_threshold_(move_threshold),
+      max_freq_(max_freq),
+      index_(config.hash_shards, config.capacity_objects / config.hash_shards + 1),
+      ghost_(std::max<uint64_t>(config.capacity_objects - small_target_, 1)) {}
+
+ConcurrentS3Fifo::~ConcurrentS3Fifo() {
+  std::lock_guard<std::mutex> lock(evict_mu_);
+  while (Entry* e = small_.PopBack()) {
+    delete e;
+  }
+  while (Entry* e = main_.PopBack()) {
+    delete e;
+  }
+}
+
+bool ConcurrentS3Fifo::Get(uint64_t id) {
+  const bool hit = index_.WithValue(id, [&](Entry** slot) {
+    if (slot == nullptr) {
+      return false;
+    }
+    Entry* e = *slot;
+    // Lock-free hit path: capped increment; popular objects (freq already at
+    // the cap) need no store at all (§4.3.1).
+    uint8_t f = e->freq.load(std::memory_order_relaxed);
+    while (f < max_freq_ &&
+           !e->freq.compare_exchange_weak(f, f + 1, std::memory_order_relaxed)) {
+    }
+    (void)ReadValue(e->value.get());
+    return true;
+  });
+  if (hit) {
+    return true;
+  }
+
+  Entry* e = new Entry;
+  e->id = id;
+  e->value = MakeValue(id, config_.value_size);
+  if (!index_.InsertIfAbsent(id, e)) {
+    delete e;
+    return false;
+  }
+
+  std::vector<Entry*> victims;
+  {
+    std::lock_guard<std::mutex> lock(evict_mu_);
+    if (resident_.load(std::memory_order_relaxed) >= config_.capacity_objects) {
+      MakeRoom(victims);
+    }
+    if (ghost_.Contains(id)) {
+      ghost_.Remove(id);
+      e->in_small = false;
+      main_.PushFront(e);
+      ++main_count_;
+    } else {
+      e->in_small = true;
+      small_.PushFront(e);
+      ++small_count_;
+    }
+    resident_.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (Entry* victim : victims) {
+    index_.EraseIf(victim->id, [victim](Entry* v) { return v == victim; });
+    delete victim;
+  }
+  return false;
+}
+
+void ConcurrentS3Fifo::MakeRoom(std::vector<Entry*>& victims) {
+  const size_t before = victims.size();
+  while (victims.size() == before &&
+         resident_.load(std::memory_order_relaxed) >= config_.capacity_objects) {
+    if ((small_count_ > small_target_ && !small_.empty()) || main_.empty()) {
+      EvictFromSmall(victims);
+    } else {
+      EvictFromMain(victims);
+    }
+    if (small_.empty() && main_.empty()) {
+      return;
+    }
+  }
+}
+
+void ConcurrentS3Fifo::EvictFromSmall(std::vector<Entry*>& victims) {
+  Entry* t = small_.Back();
+  if (t == nullptr) {
+    return;
+  }
+  if (t->freq.load(std::memory_order_relaxed) >= move_threshold_) {
+    small_.Remove(t);
+    --small_count_;
+    t->in_small = false;
+    t->freq.store(0, std::memory_order_relaxed);
+    main_.PushFront(t);
+    ++main_count_;
+    while (main_count_ > config_.capacity_objects - small_target_) {
+      EvictFromMain(victims);
+      if (main_.empty()) {
+        break;
+      }
+    }
+  } else {
+    small_.Remove(t);
+    --small_count_;
+    ghost_.Insert(t->id);
+    resident_.fetch_sub(1, std::memory_order_relaxed);
+    victims.push_back(t);
+  }
+}
+
+void ConcurrentS3Fifo::EvictFromMain(std::vector<Entry*>& victims) {
+  while (Entry* t = main_.Back()) {
+    uint8_t f = t->freq.load(std::memory_order_relaxed);
+    if (f > 0) {
+      t->freq.store(f - 1, std::memory_order_relaxed);
+      main_.MoveToFront(t);
+    } else {
+      main_.Remove(t);
+      --main_count_;
+      resident_.fetch_sub(1, std::memory_order_relaxed);
+      victims.push_back(t);
+      return;
+    }
+  }
+}
+
+uint64_t ConcurrentS3Fifo::ApproxSize() const {
+  return resident_.load(std::memory_order_relaxed);
+}
+
+}  // namespace s3fifo

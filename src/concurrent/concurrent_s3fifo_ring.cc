@@ -1,0 +1,168 @@
+#include "src/concurrent/concurrent_s3fifo_ring.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace s3fifo {
+namespace {
+
+std::unique_ptr<char[]> MakeValue(uint64_t id, uint32_t size) {
+  auto value = std::make_unique<char[]>(size);
+  std::memset(value.get(), static_cast<int>(id & 0xFF), size);
+  return value;
+}
+
+uint64_t ReadValue(const char* value) {
+  uint64_t v = 0;
+  std::memcpy(&v, value, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+ConcurrentS3FifoRing::ConcurrentS3FifoRing(const ConcurrentCacheConfig& config,
+                                           double small_ratio, uint32_t move_threshold,
+                                           uint32_t max_freq)
+    : config_(config),
+      small_target_(std::max<uint64_t>(
+          static_cast<uint64_t>(config.capacity_objects * small_ratio), 1)),
+      move_threshold_(move_threshold),
+      max_freq_(max_freq),
+      index_(config.hash_shards, config.capacity_objects / config.hash_shards + 1),
+      // Rings sized to the full capacity: transient over-occupancy during
+      // racing inserts stays bounded by the thread count.
+      small_(config.capacity_objects + 64),
+      main_(config.capacity_objects + 64),
+      ghost_(std::max<uint64_t>(config.capacity_objects - small_target_, 1)) {}
+
+ConcurrentS3FifoRing::~ConcurrentS3FifoRing() {
+  Entry* e = nullptr;
+  while (small_.TryPop(&e)) {
+    delete e;
+  }
+  while (main_.TryPop(&e)) {
+    delete e;
+  }
+}
+
+bool ConcurrentS3FifoRing::Get(uint64_t id) {
+  const bool hit = index_.WithValue(id, [&](Entry** slot) {
+    if (slot == nullptr) {
+      return false;
+    }
+    Entry* e = *slot;
+    uint8_t f = e->freq.load(std::memory_order_relaxed);
+    while (f < max_freq_ &&
+           !e->freq.compare_exchange_weak(f, f + 1, std::memory_order_relaxed)) {
+    }
+    (void)ReadValue(e->value.get());
+    return true;
+  });
+  if (hit) {
+    return true;
+  }
+
+  Entry* e = new Entry;
+  e->id = id;
+  e->value = MakeValue(id, config_.value_size);
+  if (!index_.InsertIfAbsent(id, e)) {
+    delete e;
+    return false;
+  }
+
+  while (resident_.load(std::memory_order_relaxed) >= config_.capacity_objects) {
+    EvictOne();
+  }
+
+  bool ghost_hit = false;
+  {
+    std::lock_guard<std::mutex> lock(ghost_mu_);
+    if (ghost_.Contains(id)) {
+      ghost_.Remove(id);
+      ghost_hit = true;
+    }
+  }
+  resident_.fetch_add(1, std::memory_order_relaxed);
+  if (ghost_hit) {
+    PushMain(e);
+  } else {
+    while (!small_.TryPush(e)) {
+      EvictFromSmallOnce();  // ring full: make room (bumps the tail pointer)
+    }
+    small_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return false;
+}
+
+void ConcurrentS3FifoRing::EvictOne() {
+  if (small_count_.load(std::memory_order_relaxed) > small_target_ ||
+      main_count_.load(std::memory_order_relaxed) == 0) {
+    EvictFromSmallOnce();
+  } else {
+    EvictFromMainOnce();
+  }
+}
+
+void ConcurrentS3FifoRing::Discard(Entry* e) {
+  index_.EraseIf(e->id, [e](Entry* v) { return v == e; });
+  resident_.fetch_sub(1, std::memory_order_relaxed);
+  delete e;
+}
+
+void ConcurrentS3FifoRing::EvictFromSmallOnce() {
+  Entry* t = nullptr;
+  if (!small_.TryPop(&t)) {
+    EvictFromMainOnce();  // S drained by a racing evictor
+    return;
+  }
+  small_count_.fetch_sub(1, std::memory_order_relaxed);
+  if (t->freq.load(std::memory_order_relaxed) >= move_threshold_) {
+    t->freq.store(0, std::memory_order_relaxed);
+    PushMain(t);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(ghost_mu_);
+      ghost_.Insert(t->id);
+    }
+    Discard(t);
+  }
+}
+
+void ConcurrentS3FifoRing::PushMain(Entry* e) {
+  while (main_count_.load(std::memory_order_relaxed) >
+         config_.capacity_objects - small_target_) {
+    EvictFromMainOnce();
+  }
+  while (!main_.TryPush(e)) {
+    EvictFromMainOnce();
+  }
+  main_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ConcurrentS3FifoRing::EvictFromMainOnce() {
+  // FIFO-reinsertion over the ring; bounded by the total frequency mass.
+  for (int spins = 0; spins < 1 << 20; ++spins) {
+    Entry* t = nullptr;
+    if (!main_.TryPop(&t)) {
+      return;
+    }
+    main_count_.fetch_sub(1, std::memory_order_relaxed);
+    uint8_t f = t->freq.load(std::memory_order_relaxed);
+    if (f > 0) {
+      t->freq.store(f - 1, std::memory_order_relaxed);
+      if (main_.TryPush(t)) {
+        main_count_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // Racing pushes filled the ring: fall back to evicting this entry.
+    }
+    Discard(t);
+    return;
+  }
+}
+
+uint64_t ConcurrentS3FifoRing::ApproxSize() const {
+  return resident_.load(std::memory_order_relaxed);
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,206 @@
+#include "src/concurrent/concurrent_tinylfu.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/hash.h"
+
+namespace s3fifo {
+namespace {
+
+constexpr uint64_t kRowSeeds[4] = {0x9e3779b97f4a7c15ULL, 0xc2b2ae3d27d4eb4fULL,
+                                   0x165667b19e3779f9ULL, 0xd6e8feb86659fd93ULL};
+
+std::unique_ptr<char[]> MakeValue(uint64_t id, uint32_t size) {
+  auto value = std::make_unique<char[]>(size);
+  std::memset(value.get(), static_cast<int>(id & 0xFF), size);
+  return value;
+}
+
+uint64_t ReadValue(const char* value) {
+  uint64_t v = 0;
+  std::memcpy(&v, value, sizeof(v));
+  return v;
+}
+
+uint64_t NextPow2(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+ConcurrentTinyLfu::ConcurrentTinyLfu(const ConcurrentCacheConfig& config, double window_ratio)
+    : config_(config),
+      sketch_(NextPow2(std::max<uint64_t>(config.capacity_objects * 4, 64)) * 4),
+      index_(config.hash_shards, config.capacity_objects / config.hash_shards + 1) {
+  window_capacity_ = std::max<uint64_t>(
+      static_cast<uint64_t>(config.capacity_objects * window_ratio), 1);
+  const uint64_t main_capacity =
+      std::max<uint64_t>(config.capacity_objects - window_capacity_, 2);
+  probation_capacity_ = std::max<uint64_t>(main_capacity / 5, 1);
+  protected_capacity_ = std::max<uint64_t>(main_capacity - probation_capacity_, 1);
+  sketch_mask_ = sketch_.size() / 4 - 1;
+  sample_period_ = std::max<uint64_t>(config.capacity_objects * 10, 64);
+}
+
+ConcurrentTinyLfu::~ConcurrentTinyLfu() {
+  std::lock_guard<std::mutex> lock(list_mu_);
+  for (Queue* q : {&window_, &probation_, &protected_}) {
+    while (Entry* e = q->PopBack()) {
+      delete e;
+    }
+  }
+}
+
+void ConcurrentTinyLfu::SketchIncrement(uint64_t id) {
+  for (int row = 0; row < 4; ++row) {
+    auto& counter = sketch_[static_cast<uint64_t>(row) * (sketch_mask_ + 1) +
+                            (Mix64(id ^ kRowSeeds[row]) & sketch_mask_)];
+    uint32_t v = counter.load(std::memory_order_relaxed);
+    if (v < 0xFFFFFFFFu) {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  const uint64_t n = accesses_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n % sample_period_ == 0) {
+    // Aging: halve all counters. Relaxed halving races with increments but
+    // the estimate only needs to be approximate.
+    for (auto& counter : sketch_) {
+      counter.store(counter.load(std::memory_order_relaxed) / 2, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint32_t ConcurrentTinyLfu::SketchEstimate(uint64_t id) const {
+  uint32_t m = 0xFFFFFFFFu;
+  for (int row = 0; row < 4; ++row) {
+    m = std::min(m, sketch_[static_cast<uint64_t>(row) * (sketch_mask_ + 1) +
+                            (Mix64(id ^ kRowSeeds[row]) & sketch_mask_)]
+                        .load(std::memory_order_relaxed));
+  }
+  return m;
+}
+
+bool ConcurrentTinyLfu::Get(uint64_t id) {
+  SketchIncrement(id);
+
+  // Hits need the list lock for SLRU promotions — the cost the paper calls
+  // out. Resolve presence and promote atomically under the shard+list locks.
+  const bool hit = index_.WithValue(id, [&](Entry** slot) {
+    if (slot == nullptr) {
+      return false;
+    }
+    Entry* e = *slot;
+    (void)ReadValue(e->value.get());
+    std::lock_guard<std::mutex> lock(list_mu_);
+    if (!e->hook.linked()) {
+      return true;  // being evicted concurrently; still a hit for the caller
+    }
+    switch (e->where) {
+      case Where::kWindow:
+        window_.MoveToFront(e);
+        break;
+      case Where::kProbation:
+        probation_.Remove(e);
+        --probation_count_;
+        e->where = Where::kProtected;
+        protected_.PushFront(e);
+        ++protected_count_;
+        while (protected_count_ > protected_capacity_) {
+          Entry* tail = protected_.PopBack();
+          if (tail == nullptr) {
+            break;
+          }
+          --protected_count_;
+          tail->where = Where::kProbation;
+          probation_.PushFront(tail);
+          ++probation_count_;
+        }
+        break;
+      case Where::kProtected:
+        protected_.MoveToFront(e);
+        break;
+    }
+    return true;
+  });
+  if (hit) {
+    return true;
+  }
+
+  Entry* e = new Entry;
+  e->id = id;
+  e->value = MakeValue(id, config_.value_size);
+  if (!index_.InsertIfAbsent(id, e)) {
+    delete e;
+    return false;
+  }
+
+  std::vector<Entry*> victims;
+  {
+    std::lock_guard<std::mutex> lock(list_mu_);
+    e->where = Where::kWindow;
+    window_.PushFront(e);
+    ++window_count_;
+    resident_.fetch_add(1, std::memory_order_relaxed);
+    HandleOverflow(victims);
+  }
+  for (Entry* victim : victims) {
+    index_.EraseIf(victim->id, [victim](Entry* v) { return v == victim; });
+    delete victim;
+  }
+  return false;
+}
+
+void ConcurrentTinyLfu::HandleOverflow(std::vector<Entry*>& victims) {
+  while (window_count_ > window_capacity_) {
+    Entry* candidate = window_.Back();
+    if (candidate == nullptr) {
+      return;
+    }
+    window_.Remove(candidate);
+    --window_count_;
+    if (probation_count_ + protected_count_ <
+        probation_capacity_ + protected_capacity_) {
+      candidate->where = Where::kProbation;
+      probation_.PushFront(candidate);
+      ++probation_count_;
+      continue;
+    }
+    Entry* victim = probation_.Back();
+    if (victim == nullptr) {
+      victim = protected_.Back();
+    }
+    if (victim == nullptr) {
+      resident_.fetch_sub(1, std::memory_order_relaxed);
+      victims.push_back(candidate);
+      continue;
+    }
+    if (SketchEstimate(candidate->id) > SketchEstimate(victim->id)) {
+      if (victim->where == Where::kProbation) {
+        probation_.Remove(victim);
+        --probation_count_;
+      } else {
+        protected_.Remove(victim);
+        --protected_count_;
+      }
+      resident_.fetch_sub(1, std::memory_order_relaxed);
+      victims.push_back(victim);
+      candidate->where = Where::kProbation;
+      probation_.PushFront(candidate);
+      ++probation_count_;
+    } else {
+      resident_.fetch_sub(1, std::memory_order_relaxed);
+      victims.push_back(candidate);
+    }
+  }
+}
+
+uint64_t ConcurrentTinyLfu::ApproxSize() const {
+  return resident_.load(std::memory_order_relaxed);
+}
+
+}  // namespace s3fifo

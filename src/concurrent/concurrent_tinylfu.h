@@ -1,0 +1,63 @@
+// Concurrent W-TinyLFU, modelled on the Cachelib implementation the paper
+// benchmarks against (§5.3): every access updates the count-min sketch, and
+// hits must take the list lock to run the window/probation/protected
+// promotions — which is why its throughput trails even optimized LRU.
+#ifndef SRC_CONCURRENT_CONCURRENT_TINYLFU_H_
+#define SRC_CONCURRENT_CONCURRENT_TINYLFU_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/concurrent/concurrent_cache.h"
+#include "src/concurrent/striped_hash_map.h"
+#include "src/util/intrusive_list.h"
+
+namespace s3fifo {
+
+class ConcurrentTinyLfu : public ConcurrentCache {
+ public:
+  explicit ConcurrentTinyLfu(const ConcurrentCacheConfig& config, double window_ratio = 0.01);
+  ~ConcurrentTinyLfu() override;
+
+  bool Get(uint64_t id) override;
+  std::string Name() const override { return "tinylfu"; }
+  uint64_t ApproxSize() const override;
+
+ private:
+  enum class Where : uint8_t { kWindow, kProbation, kProtected };
+
+  struct Entry {
+    uint64_t id = 0;
+    Where where = Where::kWindow;  // guarded by list_mu_
+    std::unique_ptr<char[]> value;
+    ListHook hook;
+  };
+  using Queue = IntrusiveList<Entry, &Entry::hook>;
+
+  void SketchIncrement(uint64_t id);
+  uint32_t SketchEstimate(uint64_t id) const;
+  void HandleOverflow(std::vector<Entry*>& victims);  // under list_mu_
+
+  const ConcurrentCacheConfig config_;
+  uint64_t window_capacity_;
+  uint64_t probation_capacity_;
+  uint64_t protected_capacity_;
+
+  // Plain atomic-counter count-min sketch (4 rows).
+  std::vector<std::atomic<uint32_t>> sketch_;
+  uint64_t sketch_mask_;
+  std::atomic<uint64_t> accesses_{0};
+  uint64_t sample_period_;
+
+  StripedHashMap<Entry*> index_;
+  std::mutex list_mu_;
+  Queue window_, probation_, protected_;
+  uint64_t window_count_ = 0, probation_count_ = 0, protected_count_ = 0;
+  std::atomic<uint64_t> resident_{0};
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_CONCURRENT_CONCURRENT_TINYLFU_H_

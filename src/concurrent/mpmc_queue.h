@@ -1,0 +1,94 @@
+// Bounded multi-producer multi-consumer FIFO ring (Vyukov's algorithm):
+// per-cell sequence numbers, two atomic cursors, no locks. This is the
+// ring-buffer building block §4.2 describes for fully lock-free S3-FIFO
+// queues ("eviction requires bumping the tail pointer in the ring buffer").
+#ifndef SRC_CONCURRENT_MPMC_QUEUE_H_
+#define SRC_CONCURRENT_MPMC_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace s3fifo {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  // Capacity is rounded up to a power of two.
+  explicit MpmcQueue(uint64_t capacity) {
+    uint64_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (uint64_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+    mask_ = cap - 1;
+  }
+
+  // Non-blocking; returns false when full.
+  bool TryPush(const T& value) {
+    uint64_t pos = head_.load(std::memory_order_relaxed);
+    while (true) {
+      Cell& cell = cells_[pos & mask_];
+      const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const int64_t diff = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          cell.value = value;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Non-blocking; returns false when empty.
+  bool TryPop(T* out) {
+    uint64_t pos = tail_.load(std::memory_order_relaxed);
+    while (true) {
+      Cell& cell = cells_[pos & mask_];
+      const uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const int64_t diff = static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          *out = cell.value;
+          cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  uint64_t ApproxSize() const {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    const uint64_t t = tail_.load(std::memory_order_relaxed);
+    return h >= t ? h - t : 0;
+  }
+
+  uint64_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> seq{0};
+    T value{};
+  };
+
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  std::unique_ptr<Cell[]> cells_;
+  uint64_t mask_ = 0;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_CONCURRENT_MPMC_QUEUE_H_

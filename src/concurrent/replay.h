@@ -1,0 +1,33 @@
+// Closed-loop trace replay against a ConcurrentCache — the prototype
+// benchmark methodology of §5.3: each thread issues back-to-back requests
+// drawn from a Zipf distribution; misses are filled on demand with
+// pre-generated data; throughput is aggregated over all threads.
+#ifndef SRC_CONCURRENT_REPLAY_H_
+#define SRC_CONCURRENT_REPLAY_H_
+
+#include <cstdint>
+
+#include "src/concurrent/concurrent_cache.h"
+
+namespace s3fifo {
+
+struct ReplayOptions {
+  unsigned num_threads = 1;
+  uint64_t requests_per_thread = 1000000;
+  uint64_t num_objects = 1 << 20;  // Zipf universe
+  double zipf_alpha = 1.0;
+  uint64_t seed = 7;
+};
+
+struct ReplayResult {
+  double throughput_mops = 0.0;  // million requests / second, all threads
+  double hit_ratio = 0.0;
+  double elapsed_seconds = 0.0;
+  uint64_t total_requests = 0;
+};
+
+ReplayResult ReplayClosedLoop(ConcurrentCache& cache, const ReplayOptions& options);
+
+}  // namespace s3fifo
+
+#endif  // SRC_CONCURRENT_REPLAY_H_

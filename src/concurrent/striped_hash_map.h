@@ -1,0 +1,121 @@
+// Lock-striped hash map: N independently locked shards, the standard
+// concurrent-cache index structure (Cachelib, memcached). Values must be
+// cheap to copy or be pointers.
+#ifndef SRC_CONCURRENT_STRIPED_HASH_MAP_H_
+#define SRC_CONCURRENT_STRIPED_HASH_MAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/hash.h"
+
+namespace s3fifo {
+
+template <typename V>
+class StripedHashMap {
+ public:
+  explicit StripedHashMap(unsigned num_shards = 64, uint64_t reserve_per_shard = 0) {
+    unsigned shards = 1;
+    while (shards < num_shards) {
+      shards <<= 1;
+    }
+    shards_.reserve(shards);
+    for (unsigned i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+      if (reserve_per_shard > 0) {
+        shards_.back()->map.reserve(reserve_per_shard);
+      }
+    }
+  }
+
+  // Returns true and copies the value if present.
+  bool Find(uint64_t key, V* out) const {
+    const Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      return false;
+    }
+    *out = it->second;
+    return true;
+  }
+
+  bool Contains(uint64_t key) const {
+    const Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.map.count(key) != 0;
+  }
+
+  // Inserts or overwrites. Returns true if the key was new.
+  bool Insert(uint64_t key, const V& value) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.map.insert_or_assign(key, value).second;
+  }
+
+  // Inserts only if absent. Returns true if this call inserted.
+  bool InsertIfAbsent(uint64_t key, const V& value) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.map.emplace(key, value).second;
+  }
+
+  bool Erase(uint64_t key) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.map.erase(key) != 0;
+  }
+
+  // Erases only if pred(value) holds — lets an evictor remove exactly the
+  // entry it owns, never a same-key successor inserted concurrently.
+  template <typename Pred>
+  bool EraseIf(uint64_t key, Pred&& pred) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end() || !pred(it->second)) {
+      return false;
+    }
+    s.map.erase(it);
+    return true;
+  }
+
+  // Runs fn(value*) under the shard lock; value* is nullptr if absent.
+  // fn's return value is passed through.
+  template <typename Fn>
+  auto WithValue(uint64_t key, Fn&& fn) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    return fn(it == s.map.end() ? nullptr : &it->second);
+  }
+
+  size_t Size() const {
+    size_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      total += s->map.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, V> map;
+  };
+
+  Shard& ShardFor(uint64_t key) { return *shards_[HashId(key) & (shards_.size() - 1)]; }
+  const Shard& ShardFor(uint64_t key) const {
+    return *shards_[HashId(key) & (shards_.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_CONCURRENT_STRIPED_HASH_MAP_H_

@@ -1,0 +1,23 @@
+#include "src/core/cache.h"
+
+#include <stdexcept>
+
+namespace s3fifo {
+
+Cache::Cache(const CacheConfig& config)
+    : capacity_(config.capacity), count_based_(config.count_based) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("CacheConfig.capacity must be > 0");
+  }
+}
+
+bool Cache::Get(const Request& req) {
+  ++clock_;
+  if (req.op == OpType::kDelete) {
+    Remove(req.id);
+    return false;
+  }
+  return Access(req);
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,104 @@
+// The eviction-policy interface all algorithms implement, mirroring the
+// plugin architecture of libCacheSim (§5.1.2).
+//
+// A policy processes one request at a time through Get(); the base class owns
+// capacity accounting (in objects for slab-style simulation, or in bytes),
+// the logical clock, and an optional eviction listener used by the analysis
+// layer (frequency-at-eviction, eviction age, demotion studies).
+#ifndef SRC_CORE_CACHE_H_
+#define SRC_CORE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/trace/request.h"
+
+namespace s3fifo {
+
+struct CacheConfig {
+  // Capacity in objects (count_based) or bytes (!count_based). Must be > 0.
+  uint64_t capacity = 0;
+  // Count-based simulation ignores object sizes — the paper's default, since
+  // slab allocators evict within a size class (§5.1.2).
+  bool count_based = true;
+  // Policy-specific parameters, "key=value,key=value".
+  std::string params;
+  uint64_t seed = 42;
+};
+
+// Emitted whenever a policy removes a resident object from the cache
+// (not for ghost-queue expiry, and not for moves between internal queues).
+struct EvictionEvent {
+  uint64_t id = 0;
+  uint64_t size = 1;
+  // Number of requests served for the object after (and excluding) the
+  // insertion request. 0 => one-hit wonder at eviction (§3.1, Fig. 4).
+  uint32_t access_count = 0;
+  uint64_t insert_time = 0;
+  uint64_t last_access_time = 0;
+  uint64_t evict_time = 0;
+  bool explicit_delete = false;  // removed by a kDelete request
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+  virtual ~Cache() = default;
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  // Processes one request. Returns true on a cache hit. kDelete requests
+  // remove the object and always return false.
+  bool Get(const Request& req);
+
+  // True if the object currently resides in the cache (would be a hit).
+  virtual bool Contains(uint64_t id) const = 0;
+  // Removes the object if resident (used for kDelete ops).
+  virtual void Remove(uint64_t id) = 0;
+  virtual std::string Name() const = 0;
+
+  // Policies needing Request::next_access (Belady) override this; the
+  // simulator checks it against Trace::annotated().
+  virtual bool RequiresNextAccess() const { return false; }
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t occupied() const { return occupied_; }
+  // Logical clock: number of requests processed so far.
+  uint64_t clock() const { return clock_; }
+
+  using EvictionListener = std::function<void(const EvictionEvent&)>;
+  void set_eviction_listener(EvictionListener listener) {
+    eviction_listener_ = std::move(listener);
+  }
+
+ protected:
+  // The policy's access path: lookup, metadata update, insert + evictions on
+  // miss. Returns true on hit. kGet and kSet both route here (a kSet miss
+  // admits the object, a kSet hit updates it in place).
+  virtual bool Access(const Request& req) = 0;
+
+  uint64_t SizeOf(const Request& req) const { return count_based_ ? 1 : req.size; }
+  bool count_based() const { return count_based_; }
+
+  void AddOccupied(uint64_t amount) { occupied_ += amount; }
+  void SubOccupied(uint64_t amount) { occupied_ -= amount; }
+
+  void NotifyEviction(const EvictionEvent& event) {
+    if (eviction_listener_) {
+      eviction_listener_(event);
+    }
+  }
+
+ private:
+  uint64_t capacity_;
+  bool count_based_;
+  uint64_t occupied_ = 0;
+  uint64_t clock_ = 0;
+  EvictionListener eviction_listener_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_CORE_CACHE_H_

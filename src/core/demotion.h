@@ -1,0 +1,28 @@
+// Quick-demotion instrumentation (paper §6.1, Fig. 10).
+//
+// Policies with a probationary stage (S3-FIFO's small queue, TinyLFU's
+// window, ARC's T1) report when an object leaves that stage: either promoted
+// into the main region or demoted out of the cache. The analysis layer turns
+// these events into the paper's demotion *speed* (LRU eviction age / time in
+// stage) and *precision* (fraction of demoted objects whose next reuse is
+// farther than cache_size / miss_ratio).
+#ifndef SRC_CORE_DEMOTION_H_
+#define SRC_CORE_DEMOTION_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace s3fifo {
+
+struct DemotionEvent {
+  uint64_t id = 0;
+  uint64_t enter_time = 0;  // logical clock at entry into the probationary stage
+  uint64_t leave_time = 0;  // logical clock at departure
+  bool promoted = false;    // true: moved to the main region; false: demoted out
+};
+
+using DemotionListener = std::function<void(const DemotionEvent&)>;
+
+}  // namespace s3fifo
+
+#endif  // SRC_CORE_DEMOTION_H_

@@ -1,0 +1,78 @@
+#include "src/flash/admission.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace s3fifo {
+
+FlashieldAdmission::FlashieldAdmission(uint64_t reuse_horizon, uint64_t seed)
+    : reuse_horizon_(reuse_horizon), rng_(seed) {}
+
+double FlashieldAdmission::Score(const AdmissionCandidate& c) const {
+  const double reads = std::log1p(static_cast<double>(c.dram_reads));
+  const double residency =
+      static_cast<double>(c.dram_residency) / static_cast<double>(reuse_horizon_ + 1);
+  const double z = w0_ + w1_ * reads + w2_ * residency;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+void FlashieldAdmission::Train(double reads_feature, double residency_feature, double label) {
+  const double z = w0_ + w1_ * reads_feature + w2_ * residency_feature;
+  const double p = 1.0 / (1.0 + std::exp(-z));
+  const double grad = p - label;
+  w0_ -= learning_rate_ * grad;
+  w1_ -= learning_rate_ * grad * reads_feature;
+  w2_ -= learning_rate_ * grad * residency_feature;
+}
+
+bool FlashieldAdmission::Admit(const AdmissionCandidate& c) {
+  const double reads = std::log1p(static_cast<double>(c.dram_reads));
+  const double residency =
+      static_cast<double>(c.dram_residency) / static_cast<double>(reuse_horizon_ + 1);
+  // Self-supervised label from the DRAM observation window — Flashield's
+  // "flashiness": an object that accumulated reads in DRAM is predicted to
+  // see reads on flash. With a tiny DRAM no object accumulates reads, all
+  // labels collapse to 0, and the model cannot discriminate — reproducing
+  // the paper's DRAM-size dependence (§5.4).
+  Train(reads, residency, c.dram_reads > 0 ? 1.0 : 0.0);
+  const bool admit = Score(c) >= 0.5;
+  if (!admit) {
+    // Remember the rejection; OnRejectedReuse supplies the error signal.
+    // Capped to avoid unbounded growth.
+    if (rejected_.size() < 4 * (reuse_horizon_ + 64)) {
+      rejected_[c.id] = {reads, residency};
+    }
+  }
+  return admit;
+}
+
+void FlashieldAdmission::OnRejectedReuse(uint64_t id, uint64_t delay) {
+  auto it = rejected_.find(id);
+  if (it == rejected_.end()) {
+    return;
+  }
+  if (delay <= reuse_horizon_) {
+    // The rejected object was flashy: penalise the rejection.
+    Train(it->second.reads, it->second.residency, 1.0);
+  }
+  rejected_.erase(it);
+}
+
+std::unique_ptr<AdmissionPolicy> CreateAdmissionPolicy(const std::string& name,
+                                                       uint64_t reuse_horizon, uint64_t seed) {
+  if (name == "none" || name == "fifo" || name == "all") {
+    return std::make_unique<AdmitAll>();
+  }
+  if (name == "probabilistic") {
+    return std::make_unique<ProbabilisticAdmission>(0.2, seed);
+  }
+  if (name == "flashield") {
+    return std::make_unique<FlashieldAdmission>(reuse_horizon, seed);
+  }
+  if (name == "s3fifo") {
+    return std::make_unique<S3FifoAdmission>(1);
+  }
+  throw std::invalid_argument("unknown admission policy: " + name);
+}
+
+}  // namespace s3fifo

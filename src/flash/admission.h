@@ -1,0 +1,108 @@
+// Flash admission policies (paper §5.4, Fig. 9): decide which objects
+// evicted from the DRAM tier are worth writing to flash.
+//
+//  * AdmitAll          — "FIFO": no admission control, write everything.
+//  * ProbabilisticAdmission — admit with fixed probability (20% in Fig. 9).
+//  * FlashieldAdmission — stand-in for Flashield's learned admission
+//    (Eisenman et al., NSDI'19): an online logistic model over the features
+//    Flashield uses — reads accumulated while in DRAM and DRAM residency
+//    time — trained by observing whether rejected/evicted objects are
+//    re-requested soon ("flashiness"). Reproduces Flashield's DRAM-size
+//    dependence: with a tiny DRAM, objects accumulate no reads, the features
+//    are uninformative, and precision collapses (the paper's §5.4 point).
+//  * S3FifoAdmission   — the paper's proposal: DRAM is the small FIFO queue;
+//    objects requested at least `threshold` times while in DRAM are admitted.
+#ifndef SRC_FLASH_ADMISSION_H_
+#define SRC_FLASH_ADMISSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/util/rng.h"
+
+namespace s3fifo {
+
+// Everything the policy may inspect about a DRAM-evicted object.
+struct AdmissionCandidate {
+  uint64_t id = 0;
+  uint32_t size = 1;
+  uint32_t dram_reads = 0;       // hits while resident in DRAM
+  uint64_t dram_residency = 0;   // logical time spent in DRAM
+  uint64_t now = 0;              // logical clock at eviction
+};
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+  virtual bool Admit(const AdmissionCandidate& candidate) = 0;
+  // Feedback: the object was requested again `delay` requests after a
+  // rejection (used by learned policies).
+  virtual void OnRejectedReuse(uint64_t id, uint64_t delay) { (void)id, (void)delay; }
+  virtual std::string Name() const = 0;
+};
+
+class AdmitAll : public AdmissionPolicy {
+ public:
+  bool Admit(const AdmissionCandidate&) override { return true; }
+  std::string Name() const override { return "fifo(no-admission)"; }
+};
+
+class ProbabilisticAdmission : public AdmissionPolicy {
+ public:
+  explicit ProbabilisticAdmission(double probability, uint64_t seed = 11)
+      : probability_(probability), rng_(seed) {}
+  bool Admit(const AdmissionCandidate&) override { return rng_.NextBool(probability_); }
+  std::string Name() const override { return "probabilistic"; }
+
+ private:
+  double probability_;
+  Rng rng_;
+};
+
+class S3FifoAdmission : public AdmissionPolicy {
+ public:
+  explicit S3FifoAdmission(uint32_t threshold = 1) : threshold_(threshold) {}
+  bool Admit(const AdmissionCandidate& c) override { return c.dram_reads >= threshold_; }
+  std::string Name() const override { return "s3fifo"; }
+
+ private:
+  uint32_t threshold_;
+};
+
+class FlashieldAdmission : public AdmissionPolicy {
+ public:
+  // reuse_horizon: a rejected object re-requested within this many requests
+  // counts as a training error (it was "flashy" after all).
+  explicit FlashieldAdmission(uint64_t reuse_horizon, uint64_t seed = 13);
+
+  bool Admit(const AdmissionCandidate& candidate) override;
+  void OnRejectedReuse(uint64_t id, uint64_t delay) override;
+  std::string Name() const override { return "flashield"; }
+
+ private:
+  double Score(const AdmissionCandidate& c) const;
+  void Train(double reads_feature, double residency_feature, double label);
+
+  uint64_t reuse_horizon_;
+  // Logistic model: sigmoid(w0 + w1*log(1+reads) + w2*residency_norm).
+  double w0_ = 0.0;
+  double w1_ = 0.0;
+  double w2_ = 0.0;
+  double learning_rate_ = 0.05;
+  Rng rng_;
+  // Features of recent rejections, for negative/positive feedback.
+  struct Sample {
+    double reads;
+    double residency;
+  };
+  std::unordered_map<uint64_t, Sample> rejected_;
+};
+
+std::unique_ptr<AdmissionPolicy> CreateAdmissionPolicy(const std::string& name,
+                                                       uint64_t reuse_horizon, uint64_t seed);
+
+}  // namespace s3fifo
+
+#endif  // SRC_FLASH_ADMISSION_H_

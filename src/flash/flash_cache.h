@@ -1,0 +1,113 @@
+// Two-tier DRAM + flash cache simulator (paper §5.4, Fig. 9).
+//
+// The flash tier is a FIFO queue (the eviction algorithm production flash
+// caches use, §2.1); the DRAM tier buffers new objects and the admission
+// policy decides which DRAM-evicted objects are written to flash. Metrics:
+// request/byte miss ratio and flash write bytes (normalised to the trace's
+// unique bytes by the caller).
+//
+// Two DRAM disciplines:
+//  * kLru        — DRAM is an LRU front cache (the setup for no-admission,
+//                  probabilistic, and Flashield schemes);
+//  * kSmallFifo  — the paper's S3-FIFO scheme: DRAM is the small FIFO queue
+//                  with a ghost queue of DRAM-evicted ids; a request for a
+//                  ghost id is written straight to flash (S->G->M path).
+#ifndef SRC_FLASH_FLASH_CACHE_H_
+#define SRC_FLASH_FLASH_CACHE_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/flash/admission.h"
+#include "src/trace/trace.h"
+#include "src/util/ghost_queue.h"
+#include "src/util/intrusive_list.h"
+
+namespace s3fifo {
+
+enum class DramDiscipline { kLru, kSmallFifo };
+
+struct FlashCacheConfig {
+  uint64_t flash_capacity_bytes = 0;
+  uint64_t dram_capacity_bytes = 0;
+  DramDiscipline dram_discipline = DramDiscipline::kLru;
+  // Ghost entries for kSmallFifo (0 = auto: flash capacity / 4KB).
+  uint64_t ghost_entries = 0;
+  uint64_t seed = 42;
+};
+
+struct FlashCacheStats {
+  uint64_t requests = 0;
+  uint64_t dram_hits = 0;
+  uint64_t flash_hits = 0;
+  uint64_t misses = 0;
+  uint64_t bytes_requested = 0;
+  uint64_t bytes_missed = 0;
+  uint64_t flash_write_bytes = 0;
+  uint64_t flash_writes = 0;
+
+  double MissRatio() const {
+    return requests == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(requests);
+  }
+  double ByteMissRatio() const {
+    return bytes_requested == 0
+               ? 0.0
+               : static_cast<double>(bytes_missed) / static_cast<double>(bytes_requested);
+  }
+};
+
+class FlashCacheSim {
+ public:
+  FlashCacheSim(const FlashCacheConfig& config, std::unique_ptr<AdmissionPolicy> admission);
+
+  // Processes one request; returns true on a hit in either tier.
+  bool Get(const Request& req);
+  const FlashCacheStats& stats() const { return stats_; }
+  const std::string AdmissionName() const { return admission_->Name(); }
+  uint64_t dram_occupied() const { return dram_occ_; }
+  uint64_t flash_occupied() const { return flash_occ_; }
+
+ private:
+  struct DramEntry {
+    uint64_t id = 0;
+    uint32_t size = 1;
+    uint32_t reads = 0;
+    uint64_t insert_time = 0;
+    ListHook hook;
+  };
+  struct FlashEntry {
+    uint64_t id = 0;
+    uint32_t size = 1;
+    ListHook hook;
+  };
+
+  void InsertDram(uint64_t id, uint32_t size);
+  void InsertFlash(uint64_t id, uint32_t size);
+  void EvictDramTail();
+  void RecordRejection(uint64_t id);
+
+  FlashCacheConfig config_;
+  std::unique_ptr<AdmissionPolicy> admission_;
+  uint64_t clock_ = 0;
+
+  std::unordered_map<uint64_t, DramEntry> dram_;
+  IntrusiveList<DramEntry, &DramEntry::hook> dram_queue_;
+  uint64_t dram_occ_ = 0;
+
+  std::unordered_map<uint64_t, FlashEntry> flash_;
+  IntrusiveList<FlashEntry, &FlashEntry::hook> flash_queue_;
+  uint64_t flash_occ_ = 0;
+
+  GhostQueue ghost_;  // used by kSmallFifo
+  std::unordered_map<uint64_t, uint64_t> rejected_at_;  // id -> clock of rejection
+
+  FlashCacheStats stats_;
+};
+
+// Convenience: run a full trace, returning the stats.
+FlashCacheStats SimulateFlashCache(const Trace& trace, const FlashCacheConfig& config,
+                                   std::unique_ptr<AdmissionPolicy> admission);
+
+}  // namespace s3fifo
+
+#endif  // SRC_FLASH_FLASH_CACHE_H_

@@ -1,0 +1,94 @@
+#include "src/policies/blru.h"
+
+#include <algorithm>
+
+#include "src/util/params.h"
+
+namespace s3fifo {
+namespace {
+
+uint64_t FilterPeriod(const CacheConfig& config) {
+  const Params params(config.params);
+  const double ratio = params.GetDouble("filter_ratio", 1.0);
+  const uint64_t entries =
+      config.count_based ? config.capacity : std::max<uint64_t>(config.capacity / 4096, 16);
+  return std::max<uint64_t>(static_cast<uint64_t>(entries * ratio), 16);
+}
+
+}  // namespace
+
+BLruCache::BLruCache(const CacheConfig& config)
+    : Cache(config),
+      filter_(FilterPeriod(config), Params(config.params).GetDouble("fp_rate", 0.001)) {}
+
+bool BLruCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+
+void BLruCache::Remove(uint64_t id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    RemoveEntry(&it->second, /*explicit_delete=*/true);
+  }
+}
+
+void BLruCache::RemoveEntry(Entry* entry, bool explicit_delete) {
+  EvictionEvent ev;
+  ev.id = entry->id;
+  ev.size = entry->size;
+  ev.access_count = entry->hits;
+  ev.insert_time = entry->insert_time;
+  ev.last_access_time = entry->last_access_time;
+  ev.evict_time = clock();
+  ev.explicit_delete = explicit_delete;
+  queue_.Remove(entry);
+  SubOccupied(entry->size);
+  table_.erase(entry->id);
+  NotifyEviction(ev);
+}
+
+void BLruCache::EvictOne() {
+  if (Entry* victim = queue_.Back()) {
+    RemoveEntry(victim, /*explicit_delete=*/false);
+  }
+}
+
+bool BLruCache::Access(const Request& req) {
+  const uint64_t need = SizeOf(req);
+  auto it = table_.find(req.id);
+  if (it != table_.end()) {
+    Entry& e = it->second;
+    ++e.hits;
+    e.last_access_time = clock();
+    queue_.MoveToFront(&e);
+    if (!count_based() && e.size != need) {
+      SubOccupied(e.size);
+      e.size = need;
+      AddOccupied(e.size);
+      while (occupied() > capacity() && !queue_.empty()) {
+        EvictOne();
+      }
+    }
+    return true;
+  }
+  // Admission: only ids seen before (still remembered by the filter) are
+  // cached; first-timers are merely recorded.
+  if (!filter_.Contains(req.id)) {
+    filter_.Insert(req.id);
+    return false;
+  }
+  if (need > capacity()) {
+    return false;
+  }
+  while (occupied() + need > capacity()) {
+    EvictOne();
+  }
+  Entry& e = table_[req.id];
+  e.id = req.id;
+  e.size = need;
+  e.insert_time = clock();
+  e.last_access_time = clock();
+  queue_.PushFront(&e);
+  AddOccupied(need);
+  return false;
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,49 @@
+// B-LRU: Bloom-filter-admission LRU (paper §5.2). The first request to an
+// object only records it in a rotating Bloom filter; the object is cached
+// only when requested again while still remembered. Rejects all one-hit
+// wonders — at the cost of every object's second request missing, which is
+// why the paper finds it worse than LRU on most traces.
+//
+// Params: filter_ratio=1.0 (filter rotation period as a multiple of the
+// cache's object capacity), fp_rate=0.001.
+#ifndef SRC_POLICIES_BLRU_H_
+#define SRC_POLICIES_BLRU_H_
+
+#include <unordered_map>
+
+#include "src/core/cache.h"
+#include "src/util/bloom_filter.h"
+#include "src/util/intrusive_list.h"
+
+namespace s3fifo {
+
+class BLruCache : public Cache {
+ public:
+  explicit BLruCache(const CacheConfig& config);
+
+  bool Contains(uint64_t id) const override;
+  void Remove(uint64_t id) override;
+  std::string Name() const override { return "blru"; }
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    uint64_t size = 1;
+    uint32_t hits = 0;
+    uint64_t insert_time = 0;
+    uint64_t last_access_time = 0;
+    ListHook hook;
+  };
+
+  bool Access(const Request& req) override;
+  void EvictOne();
+  void RemoveEntry(Entry* entry, bool explicit_delete);
+
+  RotatingBloomFilter filter_;
+  std::unordered_map<uint64_t, Entry> table_;
+  IntrusiveList<Entry, &Entry::hook> queue_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_POLICIES_BLRU_H_

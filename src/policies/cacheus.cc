@@ -1,0 +1,56 @@
+#include "src/policies/cacheus.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace s3fifo {
+
+CacheusCache::CacheusCache(const CacheConfig& config)
+    : LeCarCache(config), adapt_rng_(config.seed ^ 0x5bd1e995) {
+  const uint64_t entries =
+      config.count_based ? config.capacity : std::max<uint64_t>(config.capacity / 4096, 16);
+  window_ = std::max<uint64_t>(entries, 64);
+  // CACHEUS starts from a learning rate tied to the cache size.
+  learning_rate_ = std::sqrt(2.0 * std::log(2.0) / static_cast<double>(window_));
+  prev_learning_rate_ = learning_rate_;
+}
+
+bool CacheusCache::Access(const Request& req) {
+  const bool hit = LeCarCache::Access(req);
+  ++requests_in_window_;
+  if (hit) {
+    ++hits_in_window_;
+  }
+  if (requests_in_window_ >= window_) {
+    MaybeAdaptLearningRate();
+    requests_in_window_ = 0;
+    hits_in_window_ = 0;
+  }
+  return hit;
+}
+
+void CacheusCache::MaybeAdaptLearningRate() {
+  const double hit_rate =
+      static_cast<double>(hits_in_window_) / static_cast<double>(requests_in_window_);
+  const double delta_hr = hit_rate - prev_hit_rate_;
+  const double delta_lr = learning_rate_ - prev_learning_rate_;
+  prev_learning_rate_ = learning_rate_;
+
+  if (delta_lr != 0.0 && delta_hr != 0.0) {
+    // Sign-of-gradient step: keep moving the learning rate in the direction
+    // that improved the hit rate.
+    lr_direction_ = (delta_hr / delta_lr) > 0 ? 1.0 : -1.0;
+    learning_rate_ += lr_direction_ * std::abs(learning_rate_ * delta_hr / hit_rate);
+    stagnant_windows_ = 0;
+  } else if (hit_rate <= prev_hit_rate_) {
+    if (++stagnant_windows_ >= 10) {
+      // Plateaued at a poor rate: random restart (CACHEUS §4.3).
+      learning_rate_ = adapt_rng_.NextDouble();
+      stagnant_windows_ = 0;
+    }
+  }
+  learning_rate_ = std::clamp(learning_rate_, 1e-3, 1.0);
+  prev_hit_rate_ = hit_rate;
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,87 @@
+#include "src/policies/clock.h"
+
+#include <algorithm>
+
+#include "src/util/params.h"
+
+namespace s3fifo {
+
+ClockCache::ClockCache(const CacheConfig& config) : Cache(config) {
+  const Params params(config.params);
+  const uint64_t bits = std::clamp<uint64_t>(params.GetU64("bits", 1), 1, 8);
+  max_ref_ = (1u << bits) - 1;
+}
+
+bool ClockCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+
+void ClockCache::Remove(uint64_t id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    RemoveEntry(&it->second, /*explicit_delete=*/true);
+  }
+}
+
+void ClockCache::RemoveEntry(Entry* entry, bool explicit_delete) {
+  EvictionEvent ev;
+  ev.id = entry->id;
+  ev.size = entry->size;
+  ev.access_count = entry->hits;
+  ev.insert_time = entry->insert_time;
+  ev.last_access_time = entry->last_access_time;
+  ev.evict_time = clock();
+  ev.explicit_delete = explicit_delete;
+  queue_.Remove(entry);
+  SubOccupied(entry->size);
+  table_.erase(entry->id);
+  NotifyEviction(ev);
+}
+
+void ClockCache::EvictOne() {
+  // Reinsert referenced victims (decrementing), evict the first unreferenced
+  // one. Terminates: every reinsertion decrements a counter.
+  while (Entry* victim = queue_.Back()) {
+    if (victim->ref > 0) {
+      --victim->ref;
+      queue_.MoveToFront(victim);
+    } else {
+      RemoveEntry(victim, /*explicit_delete=*/false);
+      return;
+    }
+  }
+}
+
+bool ClockCache::Access(const Request& req) {
+  const uint64_t need = SizeOf(req);
+  auto it = table_.find(req.id);
+  if (it != table_.end()) {
+    Entry& e = it->second;
+    ++e.hits;
+    e.ref = std::min(e.ref + 1, max_ref_);
+    e.last_access_time = clock();
+    if (!count_based() && e.size != need) {
+      SubOccupied(e.size);
+      e.size = need;
+      AddOccupied(e.size);
+      while (occupied() > capacity() && !queue_.empty()) {
+        EvictOne();
+      }
+    }
+    return true;
+  }
+  if (need > capacity()) {
+    return false;
+  }
+  while (occupied() + need > capacity()) {
+    EvictOne();
+  }
+  Entry& e = table_[req.id];
+  e.id = req.id;
+  e.size = need;
+  e.insert_time = clock();
+  e.last_access_time = clock();
+  queue_.PushFront(&e);
+  AddOccupied(need);
+  return false;
+}
+
+}  // namespace s3fifo

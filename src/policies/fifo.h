@@ -1,0 +1,43 @@
+// FIFO eviction: objects leave in insertion order; cache hits update no
+// ordering state. The baseline of every figure in the paper.
+#ifndef SRC_POLICIES_FIFO_H_
+#define SRC_POLICIES_FIFO_H_
+
+#include <unordered_map>
+
+#include "src/core/cache.h"
+#include "src/util/intrusive_list.h"
+
+namespace s3fifo {
+
+class FifoCache : public Cache {
+ public:
+  explicit FifoCache(const CacheConfig& config);
+
+  bool Contains(uint64_t id) const override;
+  void Remove(uint64_t id) override;
+  std::string Name() const override { return "fifo"; }
+
+ protected:
+  bool Access(const Request& req) override;
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    uint64_t size = 1;
+    uint32_t hits = 0;
+    uint64_t insert_time = 0;
+    uint64_t last_access_time = 0;
+    ListHook hook;
+  };
+
+  void EvictOne();
+  void RemoveEntry(Entry* entry, bool explicit_delete);
+
+  std::unordered_map<uint64_t, Entry> table_;
+  IntrusiveList<Entry, &Entry::hook> queue_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_POLICIES_FIFO_H_

@@ -1,0 +1,140 @@
+#include "src/policies/fifo_merge.h"
+
+#include <algorithm>
+
+#include "src/util/params.h"
+
+namespace s3fifo {
+
+FifoMergeCache::FifoMergeCache(const CacheConfig& config) : Cache(config) {
+  const Params params(config.params);
+  segment_objects_ = params.GetU64("segment_objects", 0);
+  if (segment_objects_ == 0) {
+    const uint64_t entries =
+        config.count_based ? capacity() : std::max<uint64_t>(capacity() / 4096, 64);
+    segment_objects_ = std::max<uint64_t>(entries / 64, 8);
+  }
+  merge_factor_ =
+      static_cast<uint32_t>(std::clamp<uint64_t>(params.GetU64("merge_factor", 4), 2, 16));
+}
+
+bool FifoMergeCache::Contains(uint64_t id) const {
+  auto it = table_.find(id);
+  return it != table_.end() && !it->second->dead;
+}
+
+void FifoMergeCache::FireEviction(const Entry& e, bool explicit_delete) {
+  EvictionEvent ev;
+  ev.id = e.id;
+  ev.size = e.size;
+  ev.access_count = e.hits;
+  ev.insert_time = e.insert_time;
+  ev.last_access_time = e.last_access_time;
+  ev.evict_time = clock();
+  ev.explicit_delete = explicit_delete;
+  NotifyEviction(ev);
+}
+
+void FifoMergeCache::Remove(uint64_t id) {
+  auto it = table_.find(id);
+  if (it == table_.end() || it->second->dead) {
+    return;
+  }
+  Entry* e = it->second;
+  // Log-structured store: the slot is tombstoned; space is reclaimed when
+  // the segment is merged (paper §4.2 makes the same point about deletions
+  // in ring buffers).
+  e->dead = true;
+  SubOccupied(e->size);
+  FireEviction(*e, /*explicit_delete=*/true);
+  table_.erase(it);
+}
+
+void FifoMergeCache::AppendToActive(std::unique_ptr<Entry> entry) {
+  if (segments_.empty() || segments_.back().size() >= segment_objects_) {
+    segments_.emplace_back();
+    segments_.back().reserve(segment_objects_);
+  }
+  table_[entry->id] = entry.get();
+  segments_.back().push_back(std::move(entry));
+}
+
+void FifoMergeCache::MergeEvict() {
+  if (segments_.empty()) {
+    return;
+  }
+  const uint32_t merge_n =
+      static_cast<uint32_t>(std::min<size_t>(merge_factor_, segments_.size()));
+  // Gather live entries from the oldest merge_n segments.
+  std::vector<std::unique_ptr<Entry>> live;
+  for (uint32_t s = 0; s < merge_n; ++s) {
+    for (auto& e : segments_.front()) {
+      if (!e->dead) {
+        live.push_back(std::move(e));
+      }
+    }
+    segments_.pop_front();
+  }
+  // Retain the top 1/merge_factor by frequency (recency as tie break).
+  std::sort(live.begin(), live.end(), [](const auto& a, const auto& b) {
+    if (a->freq != b->freq) {
+      return a->freq > b->freq;
+    }
+    return a->last_access_time > b->last_access_time;
+  });
+  size_t keep = std::min<size_t>(live.size() / merge_factor_, segment_objects_);
+  if (merge_n < merge_factor_) {
+    keep = 0;  // cannot retain anything when there is nothing to merge into
+  }
+  Segment retained;
+  retained.reserve(keep);
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (i < keep) {
+      live[i]->freq = 0;  // frequency decays across merges
+      retained.push_back(std::move(live[i]));
+    } else {
+      SubOccupied(live[i]->size);
+      FireEviction(*live[i], /*explicit_delete=*/false);
+      table_.erase(live[i]->id);
+    }
+  }
+  if (!retained.empty()) {
+    segments_.push_front(std::move(retained));
+  }
+}
+
+bool FifoMergeCache::Access(const Request& req) {
+  const uint64_t need = SizeOf(req);
+  auto it = table_.find(req.id);
+  if (it != table_.end() && !it->second->dead) {
+    Entry& e = *it->second;
+    ++e.freq;
+    ++e.hits;
+    e.last_access_time = clock();
+    if (!count_based() && e.size != need) {
+      SubOccupied(e.size);
+      e.size = need;
+      AddOccupied(e.size);
+      while (occupied() > capacity() && !segments_.empty()) {
+        MergeEvict();
+      }
+    }
+    return true;
+  }
+  if (need > capacity()) {
+    return false;
+  }
+  while (occupied() + need > capacity()) {
+    MergeEvict();
+  }
+  auto e = std::make_unique<Entry>();
+  e->id = req.id;
+  e->size = need;
+  e->insert_time = clock();
+  e->last_access_time = clock();
+  AddOccupied(need);
+  AppendToActive(std::move(e));
+  return false;
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,56 @@
+// FIFO-Merge (Segcache, Yang, Yue & Vinayak, NSDI'21): objects are appended
+// to fixed-size segments in FIFO order. When space is needed, the
+// `merge_factor` oldest segments are merged into one retained segment: the
+// most frequently referenced ~1/merge_factor of their live objects survive
+// (frequencies then reset), the rest are evicted. No ghost queue, no
+// per-hit queue mutation — and, as the paper notes (§5.2/§5.3), no quick
+// demotion and no scan resistance.
+//
+// Params: segment_objects=0 (0 = capacity/64, min 8), merge_factor=4.
+#ifndef SRC_POLICIES_FIFO_MERGE_H_
+#define SRC_POLICIES_FIFO_MERGE_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cache.h"
+
+namespace s3fifo {
+
+class FifoMergeCache : public Cache {
+ public:
+  explicit FifoMergeCache(const CacheConfig& config);
+
+  bool Contains(uint64_t id) const override;
+  void Remove(uint64_t id) override;
+  std::string Name() const override { return "fifo-merge"; }
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    uint64_t size = 1;
+    uint32_t freq = 0;  // references since (re)insertion into a segment
+    uint32_t hits = 0;
+    bool dead = false;  // tombstoned by Remove()
+    uint64_t insert_time = 0;
+    uint64_t last_access_time = 0;
+  };
+  using Segment = std::vector<std::unique_ptr<Entry>>;
+
+  bool Access(const Request& req) override;
+  // Merges the oldest merge_factor segments, freeing space.
+  void MergeEvict();
+  void FireEviction(const Entry& e, bool explicit_delete);
+  void AppendToActive(std::unique_ptr<Entry> entry);
+
+  uint64_t segment_objects_;
+  uint32_t merge_factor_;
+  std::deque<Segment> segments_;  // front = oldest
+  std::unordered_map<uint64_t, Entry*> table_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_POLICIES_FIFO_MERGE_H_

@@ -1,0 +1,98 @@
+#include "src/policies/hyperbolic.h"
+
+#include <algorithm>
+
+#include "src/util/params.h"
+
+namespace s3fifo {
+
+HyperbolicCache::HyperbolicCache(const CacheConfig& config) : Cache(config), rng_(config.seed) {
+  const Params params(config.params);
+  assoc_ = static_cast<uint32_t>(std::clamp<uint64_t>(params.GetU64("assoc", 32), 2, 256));
+}
+
+double HyperbolicCache::Priority(const Entry& e) const {
+  const double age = static_cast<double>(clock() - e.insert_time) + 1.0;
+  return static_cast<double>(e.refs) / (age * static_cast<double>(e.size));
+}
+
+bool HyperbolicCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+
+void HyperbolicCache::Remove(uint64_t id) { RemoveById(id, /*explicit_delete=*/true); }
+
+void HyperbolicCache::RemoveById(uint64_t id, bool explicit_delete) {
+  auto it = table_.find(id);
+  if (it == table_.end()) {
+    return;
+  }
+  Entry& e = it->second;
+  EvictionEvent ev;
+  ev.id = id;
+  ev.size = e.size;
+  ev.access_count = e.hits;
+  ev.insert_time = e.insert_time;
+  ev.last_access_time = e.last_access_time;
+  ev.evict_time = clock();
+  ev.explicit_delete = explicit_delete;
+  const size_t slot = e.slot;
+  ids_[slot] = ids_.back();
+  table_[ids_[slot]].slot = slot;
+  ids_.pop_back();
+  SubOccupied(e.size);
+  table_.erase(id);
+  NotifyEviction(ev);
+}
+
+void HyperbolicCache::EvictOne() {
+  if (ids_.empty()) {
+    return;
+  }
+  uint64_t victim = ids_[rng_.NextBounded(ids_.size())];
+  double victim_priority = Priority(table_.at(victim));
+  for (uint32_t i = 1; i < assoc_ && i < ids_.size(); ++i) {
+    const uint64_t cand = ids_[rng_.NextBounded(ids_.size())];
+    const double p = Priority(table_.at(cand));
+    if (p < victim_priority) {
+      victim = cand;
+      victim_priority = p;
+    }
+  }
+  RemoveById(victim, /*explicit_delete=*/false);
+}
+
+bool HyperbolicCache::Access(const Request& req) {
+  const uint64_t need = SizeOf(req);
+  auto it = table_.find(req.id);
+  if (it != table_.end()) {
+    Entry& e = it->second;
+    ++e.refs;
+    ++e.hits;
+    e.last_access_time = clock();
+    if (!count_based() && e.size != need) {
+      SubOccupied(e.size);
+      e.size = need;
+      AddOccupied(e.size);
+      while (occupied() > capacity() && !ids_.empty()) {
+        EvictOne();
+      }
+    }
+    return true;
+  }
+  if (need > capacity()) {
+    return false;
+  }
+  while (occupied() + need > capacity()) {
+    EvictOne();
+  }
+  Entry e;
+  e.size = need;
+  e.insert_time = clock();
+  e.last_access_time = clock();
+  e.slot = ids_.size();
+  ids_.push_back(req.id);
+  table_.emplace(req.id, e);
+  AddOccupied(need);
+  return false;
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,48 @@
+// Hyperbolic caching (Blankstein, Sen & Freedman, ATC'17): sampled eviction
+// by lowest priority = total_references / time_in_cache (per byte in byte
+// mode). An additional recency-free baseline in the comparison suite.
+//
+// Params: assoc=32.
+#ifndef SRC_POLICIES_HYPERBOLIC_H_
+#define SRC_POLICIES_HYPERBOLIC_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/util/rng.h"
+
+namespace s3fifo {
+
+class HyperbolicCache : public Cache {
+ public:
+  explicit HyperbolicCache(const CacheConfig& config);
+
+  bool Contains(uint64_t id) const override;
+  void Remove(uint64_t id) override;
+  std::string Name() const override { return "hyperbolic"; }
+
+ private:
+  struct Entry {
+    uint64_t size = 1;
+    uint32_t refs = 1;
+    uint32_t hits = 0;
+    uint64_t insert_time = 0;
+    uint64_t last_access_time = 0;
+    size_t slot = 0;
+  };
+
+  bool Access(const Request& req) override;
+  void EvictOne();
+  void RemoveById(uint64_t id, bool explicit_delete);
+  double Priority(const Entry& e) const;
+
+  uint32_t assoc_;
+  Rng rng_;
+  std::unordered_map<uint64_t, Entry> table_;
+  std::vector<uint64_t> ids_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_POLICIES_HYPERBOLIC_H_

@@ -1,0 +1,74 @@
+#include "src/policies/lfu.h"
+
+namespace s3fifo {
+
+LfuCache::LfuCache(const CacheConfig& config) : Cache(config) {}
+
+bool LfuCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+
+void LfuCache::Remove(uint64_t id) { RemoveById(id, /*explicit_delete=*/true); }
+
+void LfuCache::RemoveById(uint64_t id, bool explicit_delete) {
+  auto it = table_.find(id);
+  if (it == table_.end()) {
+    return;
+  }
+  const Entry& e = it->second;
+  EvictionEvent ev;
+  ev.id = id;
+  ev.size = e.size;
+  ev.access_count = e.hits;
+  ev.insert_time = e.insert_time;
+  ev.last_access_time = e.last_access_time;
+  ev.evict_time = clock();
+  ev.explicit_delete = explicit_delete;
+  order_.erase(KeyOf(id, e));
+  SubOccupied(e.size);
+  table_.erase(it);
+  NotifyEviction(ev);
+}
+
+void LfuCache::EvictOne() {
+  if (order_.empty()) {
+    return;
+  }
+  const uint64_t victim = std::get<2>(*order_.begin());
+  RemoveById(victim, /*explicit_delete=*/false);
+}
+
+bool LfuCache::Access(const Request& req) {
+  const uint64_t need = SizeOf(req);
+  auto it = table_.find(req.id);
+  if (it != table_.end()) {
+    Entry& e = it->second;
+    order_.erase(KeyOf(req.id, e));
+    ++e.hits;
+    e.last_access_time = clock();
+    if (!count_based() && e.size != need) {
+      SubOccupied(e.size);
+      e.size = need;
+      AddOccupied(e.size);
+    }
+    order_.insert(KeyOf(req.id, e));
+    while (occupied() > capacity() && !order_.empty()) {
+      EvictOne();
+    }
+    return true;
+  }
+  if (need > capacity()) {
+    return false;
+  }
+  while (occupied() + need > capacity()) {
+    EvictOne();
+  }
+  Entry e;
+  e.size = need;
+  e.insert_time = clock();
+  e.last_access_time = clock();
+  table_.emplace(req.id, e);
+  order_.insert(KeyOf(req.id, e));
+  AddOccupied(need);
+  return false;
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,46 @@
+// Perfect LFU (no aging): evicts the least-frequently-used object, breaking
+// ties by least recent access. O(log n) per miss via an ordered victim set.
+#ifndef SRC_POLICIES_LFU_H_
+#define SRC_POLICIES_LFU_H_
+
+#include <set>
+#include <unordered_map>
+
+#include "src/core/cache.h"
+
+namespace s3fifo {
+
+class LfuCache : public Cache {
+ public:
+  explicit LfuCache(const CacheConfig& config);
+
+  bool Contains(uint64_t id) const override;
+  void Remove(uint64_t id) override;
+  std::string Name() const override { return "lfu"; }
+
+ protected:
+  bool Access(const Request& req) override;
+
+ private:
+  struct Entry {
+    uint64_t size = 1;
+    uint32_t hits = 0;
+    uint64_t insert_time = 0;
+    uint64_t last_access_time = 0;
+  };
+  // (frequency, last_access, id): begin() is the eviction victim.
+  using VictimKey = std::tuple<uint32_t, uint64_t, uint64_t>;
+
+  void EvictOne();
+  void RemoveById(uint64_t id, bool explicit_delete);
+  VictimKey KeyOf(uint64_t id, const Entry& e) const {
+    return {e.hits, e.last_access_time, id};
+  }
+
+  std::unordered_map<uint64_t, Entry> table_;
+  std::set<VictimKey> order_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_POLICIES_LFU_H_

@@ -1,0 +1,150 @@
+#include "src/policies/lhd.h"
+
+#include <algorithm>
+
+#include "src/util/params.h"
+
+namespace s3fifo {
+
+LhdCache::LhdCache(const CacheConfig& config) : Cache(config), rng_(config.seed) {
+  const Params params(config.params);
+  assoc_ = static_cast<uint32_t>(std::clamp<uint64_t>(params.GetU64("assoc", 32), 2, 256));
+  num_classes_ =
+      static_cast<uint32_t>(std::clamp<uint64_t>(params.GetU64("age_classes", 128), 8, 1024));
+  ewma_ = std::clamp(params.GetDouble("ewma", 0.9), 0.0, 0.999);
+
+  const uint64_t entries =
+      config.count_based ? config.capacity : std::max<uint64_t>(config.capacity / 4096, 64);
+  // Age classes linearly cover ~8x the nominal object lifetime (capacity
+  // requests); ages beyond that saturate in the last class.
+  uint64_t span = std::max<uint64_t>(8 * entries / num_classes_, 1);
+  age_shift_ = 0;
+  while ((1ULL << age_shift_) < span) {
+    ++age_shift_;
+  }
+  reconfigure_period_ =
+      std::max<uint64_t>(params.GetU64("reconfigure_factor", 16) * entries, 1024);
+
+  hit_events_.assign(num_classes_, 0.0);
+  evict_events_.assign(num_classes_, 0.0);
+  // Optimistic initial densities favour young objects, mimicking LHD's
+  // "explore" phase before statistics accumulate.
+  density_.assign(num_classes_, 0.0);
+  for (uint32_t i = 0; i < num_classes_; ++i) {
+    density_[i] = 1.0 / static_cast<double>(i + 1);
+  }
+}
+
+uint32_t LhdCache::AgeClassOf(uint64_t age) const {
+  const uint64_t c = age >> age_shift_;
+  return static_cast<uint32_t>(std::min<uint64_t>(c, num_classes_ - 1));
+}
+
+double LhdCache::HitDensity(const Entry& e) const {
+  return density_[AgeClassOf(clock() - e.last_access_time)] / static_cast<double>(e.size);
+}
+
+void LhdCache::Reconfigure() {
+  // hitDensity(a) = P(hit at age >= a) / E[remaining lifetime | age >= a],
+  // computed as a suffix scan over the event counts (one bucket == one unit
+  // of coarsened time).
+  double cum_hits = 0.0;
+  double cum_events = 0.0;
+  double cum_lifetime = 0.0;
+  for (uint32_t b = num_classes_; b-- > 0;) {
+    cum_hits += hit_events_[b];
+    cum_events += hit_events_[b] + evict_events_[b];
+    cum_lifetime += cum_events;  // every event at age >= b lives through bucket b
+    density_[b] = cum_lifetime > 0.0 ? cum_hits / cum_lifetime : 0.0;
+  }
+  for (uint32_t b = 0; b < num_classes_; ++b) {
+    hit_events_[b] *= ewma_;
+    evict_events_[b] *= ewma_;
+  }
+}
+
+bool LhdCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+
+void LhdCache::Remove(uint64_t id) { RemoveById(id, /*explicit_delete=*/true); }
+
+void LhdCache::RemoveById(uint64_t id, bool explicit_delete) {
+  auto it = table_.find(id);
+  if (it == table_.end()) {
+    return;
+  }
+  Entry& e = it->second;
+  evict_events_[AgeClassOf(clock() - e.last_access_time)] += 1.0;
+  EvictionEvent ev;
+  ev.id = id;
+  ev.size = e.size;
+  ev.access_count = e.hits;
+  ev.insert_time = e.insert_time;
+  ev.last_access_time = e.last_access_time;
+  ev.evict_time = clock();
+  ev.explicit_delete = explicit_delete;
+  const size_t slot = e.slot;
+  ids_[slot] = ids_.back();
+  table_[ids_[slot]].slot = slot;
+  ids_.pop_back();
+  SubOccupied(e.size);
+  table_.erase(id);
+  NotifyEviction(ev);
+}
+
+void LhdCache::EvictOne() {
+  if (ids_.empty()) {
+    return;
+  }
+  uint64_t victim = ids_[rng_.NextBounded(ids_.size())];
+  double victim_density = HitDensity(table_.at(victim));
+  for (uint32_t i = 1; i < assoc_ && i < ids_.size(); ++i) {
+    const uint64_t cand = ids_[rng_.NextBounded(ids_.size())];
+    const double d = HitDensity(table_.at(cand));
+    if (d < victim_density) {
+      victim = cand;
+      victim_density = d;
+    }
+  }
+  RemoveById(victim, /*explicit_delete=*/false);
+}
+
+bool LhdCache::Access(const Request& req) {
+  if (++accesses_since_reconfigure_ >= reconfigure_period_) {
+    Reconfigure();
+    accesses_since_reconfigure_ = 0;
+  }
+  const uint64_t need = SizeOf(req);
+  auto it = table_.find(req.id);
+  if (it != table_.end()) {
+    Entry& e = it->second;
+    hit_events_[AgeClassOf(clock() - e.last_access_time)] += 1.0;
+    ++e.hits;
+    e.last_access_time = clock();
+    if (!count_based() && e.size != need) {
+      SubOccupied(e.size);
+      e.size = need;
+      AddOccupied(e.size);
+      while (occupied() > capacity() && !ids_.empty()) {
+        EvictOne();
+      }
+    }
+    return true;
+  }
+  if (need > capacity()) {
+    return false;
+  }
+  while (occupied() + need > capacity()) {
+    EvictOne();
+  }
+  Entry e;
+  e.size = need;
+  e.insert_time = clock();
+  e.last_access_time = clock();
+  e.slot = ids_.size();
+  ids_.push_back(req.id);
+  table_.emplace(req.id, e);
+  AddOccupied(need);
+  return false;
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,63 @@
+// LHD (Beckmann, Chen & Cidon, NSDI'18): Least Hit Density, implemented in
+// the paper's sampled form. Each object's "hit density" — expected hits per
+// unit of cache space-time if kept — is estimated from coarsened-age event
+// statistics (hits and evictions per age class, decayed across reconfigure
+// intervals); eviction samples `assoc` random residents and removes the one
+// with the lowest hit density at its current age.
+//
+// Params: assoc=32, age_classes=128, reconfigure_factor=16 (reconfigure
+// every reconfigure_factor * capacity accesses), ewma=0.9.
+#ifndef SRC_POLICIES_LHD_H_
+#define SRC_POLICIES_LHD_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/util/rng.h"
+
+namespace s3fifo {
+
+class LhdCache : public Cache {
+ public:
+  explicit LhdCache(const CacheConfig& config);
+
+  bool Contains(uint64_t id) const override;
+  void Remove(uint64_t id) override;
+  std::string Name() const override { return "lhd"; }
+
+ private:
+  struct Entry {
+    uint64_t size = 1;
+    uint32_t hits = 0;
+    uint64_t insert_time = 0;
+    uint64_t last_access_time = 0;
+    size_t slot = 0;
+  };
+
+  bool Access(const Request& req) override;
+  void EvictOne();
+  void RemoveById(uint64_t id, bool explicit_delete);
+  uint32_t AgeClassOf(uint64_t age) const;
+  double HitDensity(const Entry& e) const;
+  void Reconfigure();
+
+  uint32_t assoc_;
+  uint32_t num_classes_;
+  uint32_t age_shift_;
+  uint64_t reconfigure_period_;
+  uint64_t accesses_since_reconfigure_ = 0;
+  double ewma_;
+
+  std::vector<double> hit_events_;
+  std::vector<double> evict_events_;
+  std::vector<double> density_;
+
+  Rng rng_;
+  std::unordered_map<uint64_t, Entry> table_;
+  std::vector<uint64_t> ids_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_POLICIES_LHD_H_

@@ -1,0 +1,223 @@
+#include "src/policies/lirs.h"
+
+#include <algorithm>
+
+#include "src/util/params.h"
+
+namespace s3fifo {
+
+LirsCache::LirsCache(const CacheConfig& config) : Cache(config) {
+  const Params params(config.params);
+  const double hir_ratio = params.GetDouble("hir_ratio", 0.01);
+  hir_capacity_ = std::max<uint64_t>(static_cast<uint64_t>(capacity() * hir_ratio), 1);
+  if (hir_capacity_ >= capacity()) {
+    hir_capacity_ = capacity() > 1 ? capacity() - 1 : 1;
+  }
+  lir_capacity_ = capacity() - hir_capacity_;
+  if (lir_capacity_ == 0) {
+    lir_capacity_ = 1;
+  }
+  const double nr_ratio = params.GetDouble("nonresident_ratio", 3.0);
+  max_nonresident_ = std::max<uint64_t>(static_cast<uint64_t>(capacity() * nr_ratio), 8);
+}
+
+bool LirsCache::Contains(uint64_t id) const {
+  auto it = table_.find(id);
+  return it != table_.end() && IsResident(it->second);
+}
+
+void LirsCache::FireEviction(const Entry& e, bool explicit_delete) {
+  EvictionEvent ev;
+  ev.id = e.id;
+  ev.size = e.size;
+  ev.access_count = e.hits;
+  ev.insert_time = e.insert_time;
+  ev.last_access_time = e.last_access_time;
+  ev.evict_time = clock();
+  ev.explicit_delete = explicit_delete;
+  NotifyEviction(ev);
+}
+
+void LirsCache::EraseEntry(Entry* entry) {
+  if (entry->stack_hook.linked()) {
+    stack_.Remove(entry);
+  }
+  if (entry->queue_hook.linked()) {
+    queue_.Remove(entry);
+  }
+  if (entry->state == State::kHirNonResident) {
+    --nonresident_count_;
+  }
+  table_.erase(entry->id);
+}
+
+void LirsCache::PruneStack() {
+  // Invariant after pruning: the stack bottom (if any) is a LIR block.
+  while (Entry* bottom = stack_.Back()) {
+    if (bottom->state == State::kLir) {
+      return;
+    }
+    if (bottom->state == State::kHirResident) {
+      stack_.Remove(bottom);  // stays resident in Q, just loses stack history
+    } else {
+      stack_.Remove(bottom);
+      --nonresident_count_;
+      table_.erase(bottom->id);
+    }
+  }
+}
+
+void LirsCache::DemoteLirBottom() {
+  Entry* bottom = stack_.Back();
+  if (bottom == nullptr) {
+    return;
+  }
+  // By the pruning invariant the bottom is LIR.
+  stack_.Remove(bottom);
+  bottom->state = State::kHirResident;
+  lir_occ_ -= bottom->size;
+  hir_occ_ += bottom->size;
+  queue_.PushBack(bottom);
+  PruneStack();
+}
+
+void LirsCache::EvictFromQueue() {
+  if (queue_.empty()) {
+    DemoteLirBottom();
+  }
+  Entry* victim = queue_.PopFront();
+  if (victim == nullptr) {
+    return;
+  }
+  hir_occ_ -= victim->size;
+  SubOccupied(victim->size);
+  FireEviction(*victim, /*explicit_delete=*/false);
+  if (victim->stack_hook.linked()) {
+    victim->state = State::kHirNonResident;
+    ++nonresident_count_;
+    EnforceNonResidentBound();
+  } else {
+    table_.erase(victim->id);
+  }
+}
+
+void LirsCache::EnforceNonResidentBound() {
+  // Drop the deepest non-resident entries when the stack carries too much
+  // history. Walking from the bottom is amortised O(1): each entry is
+  // removed at most once.
+  while (nonresident_count_ > max_nonresident_) {
+    Entry* e = stack_.Back();
+    while (e != nullptr && e->state != State::kHirNonResident) {
+      e = stack_.Newer(e);
+    }
+    if (e == nullptr) {
+      return;
+    }
+    stack_.Remove(e);
+    --nonresident_count_;
+    table_.erase(e->id);
+  }
+}
+
+void LirsCache::Remove(uint64_t id) {
+  auto it = table_.find(id);
+  if (it == table_.end()) {
+    return;
+  }
+  Entry& e = it->second;
+  if (IsResident(e)) {
+    if (e.state == State::kLir) {
+      lir_occ_ -= e.size;
+    } else {
+      hir_occ_ -= e.size;
+    }
+    SubOccupied(e.size);
+    FireEviction(e, /*explicit_delete=*/true);
+  }
+  EraseEntry(&e);
+  PruneStack();
+}
+
+bool LirsCache::Access(const Request& req) {
+  const uint64_t need = SizeOf(req);
+  auto it = table_.find(req.id);
+
+  if (it != table_.end() && IsResident(it->second)) {
+    Entry& e = it->second;
+    ++e.hits;
+    e.last_access_time = clock();
+    if (e.state == State::kLir) {
+      stack_.MoveToFront(&e);
+      PruneStack();
+    } else if (e.stack_hook.linked()) {
+      // Resident HIR with stack history: its inter-reference recency is
+      // lower than some LIR block — promote.
+      stack_.MoveToFront(&e);
+      queue_.Remove(&e);
+      e.state = State::kLir;
+      hir_occ_ -= e.size;
+      lir_occ_ += e.size;
+      while (lir_occ_ > lir_capacity_ && stack_.size() > 1) {
+        DemoteLirBottom();
+      }
+      PruneStack();
+    } else {
+      // Resident HIR without stack history: refresh both structures.
+      stack_.PushFront(&e);
+      queue_.MoveToBack(&e);
+    }
+    return true;
+  }
+
+  if (need > capacity()) {
+    return false;
+  }
+
+  while (occupied() + need > capacity()) {
+    EvictFromQueue();
+  }
+  // Eviction can prune non-resident stack entries — including req.id's own
+  // ghost entry — so the pre-eviction iterator must be re-resolved.
+  it = table_.find(req.id);
+
+  const bool was_nonresident = it != table_.end();
+  Entry& e = was_nonresident ? it->second : table_[req.id];
+  if (!was_nonresident) {
+    e.id = req.id;
+    e.insert_time = clock();
+  } else {
+    --nonresident_count_;
+    e.insert_time = clock();
+    e.hits = 0;
+  }
+  e.size = need;
+  e.last_access_time = clock();
+
+  if (was_nonresident) {
+    // Non-resident HIR in the stack: low inter-reference recency — enters as
+    // LIR (the scan-resistance core of LIRS).
+    e.state = State::kLir;
+    stack_.MoveToFront(&e);
+    lir_occ_ += e.size;
+    AddOccupied(e.size);
+    while (lir_occ_ > lir_capacity_ && stack_.size() > 1) {
+      DemoteLirBottom();
+    }
+    PruneStack();
+  } else if (lir_occ_ + need <= lir_capacity_) {
+    // Cold cache: fill the LIR partition first.
+    e.state = State::kLir;
+    stack_.PushFront(&e);
+    lir_occ_ += e.size;
+    AddOccupied(e.size);
+  } else {
+    e.state = State::kHirResident;
+    stack_.PushFront(&e);
+    queue_.PushBack(&e);
+    hir_occ_ += e.size;
+    AddOccupied(e.size);
+  }
+  return false;
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,72 @@
+// LIRS (Jiang & Zhang, SIGMETRICS'02): Low Inter-reference Recency Set.
+//
+// Residents are split into LIR (low inter-reference recency, ~99% of the
+// cache) and HIR blocks (~1%, the quick-demotion queue the paper credits as
+// "the secret source of LIRS's high efficiency", §5.2). Structure:
+//   * stack S — recency stack holding LIR, resident-HIR, and a bounded
+//     number of non-resident-HIR entries; pruned so its bottom is LIR;
+//   * queue Q — FIFO of resident HIR blocks (the eviction source).
+//
+// Params: hir_ratio=0.01 (HIR share), nonresident_ratio=3.0 (cap on
+// non-resident stack entries as a multiple of the cache size — bounds S).
+#ifndef SRC_POLICIES_LIRS_H_
+#define SRC_POLICIES_LIRS_H_
+
+#include <unordered_map>
+
+#include "src/core/cache.h"
+#include "src/util/intrusive_list.h"
+
+namespace s3fifo {
+
+class LirsCache : public Cache {
+ public:
+  explicit LirsCache(const CacheConfig& config);
+
+  bool Contains(uint64_t id) const override;
+  void Remove(uint64_t id) override;
+  std::string Name() const override { return "lirs"; }
+
+ private:
+  enum class State : uint8_t { kLir, kHirResident, kHirNonResident };
+
+  struct Entry {
+    uint64_t id = 0;
+    uint64_t size = 1;
+    uint32_t hits = 0;
+    State state = State::kHirResident;
+    uint64_t insert_time = 0;
+    uint64_t last_access_time = 0;
+    ListHook stack_hook;  // membership in S
+    ListHook queue_hook;  // membership in Q
+  };
+  using Stack = IntrusiveList<Entry, &Entry::stack_hook>;
+  using Queue = IntrusiveList<Entry, &Entry::queue_hook>;
+
+  bool Access(const Request& req) override;
+  bool IsResident(const Entry& e) const { return e.state != State::kHirNonResident; }
+  // Removes HIR entries from the stack bottom until a LIR entry is at the
+  // bottom (the LIRS "stack pruning" operation).
+  void PruneStack();
+  // Evicts the front of Q (the oldest resident HIR block).
+  void EvictFromQueue();
+  // Demotes the LIR block at the stack bottom to resident-HIR (tail of Q).
+  void DemoteLirBottom();
+  void FireEviction(const Entry& e, bool explicit_delete);
+  void EraseEntry(Entry* entry);
+  void EnforceNonResidentBound();
+
+  uint64_t lir_capacity_;   // units reserved for LIR blocks
+  uint64_t hir_capacity_;   // units for resident HIR blocks
+  uint64_t max_nonresident_;
+  uint64_t lir_occ_ = 0;
+  uint64_t hir_occ_ = 0;
+  uint64_t nonresident_count_ = 0;
+  std::unordered_map<uint64_t, Entry> table_;
+  Stack stack_;
+  Queue queue_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_POLICIES_LIRS_H_

@@ -1,0 +1,160 @@
+#include "src/policies/lrb_lite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/params.h"
+
+namespace s3fifo {
+
+LrbLiteCache::LrbLiteCache(const CacheConfig& config) : Cache(config), rng_(config.seed) {
+  const Params params(config.params);
+  assoc_ = static_cast<uint32_t>(std::clamp<uint64_t>(params.GetU64("assoc", 32), 2, 256));
+  const double factor = params.GetDouble("boundary_factor", 4.0);
+  const uint64_t entries =
+      config.count_based ? capacity() : std::max<uint64_t>(capacity() / 4096, 64);
+  boundary_ = factor * static_cast<double>(entries);
+  learning_rate_ = params.GetDouble("learning_rate", 0.01);
+}
+
+LrbLiteCache::Features LrbLiteCache::FeaturesOf(const Entry& e) const {
+  // All features log-compressed and scaled to O(1) so plain SGD is stable.
+  constexpr double kScale = 0.1;
+  Features f{};
+  f[0] = kScale * std::log1p(static_cast<double>(clock() - e.insert_time));  // lifetime
+  f[1] = kScale * std::log1p(static_cast<double>(e.hits));                   // frequency
+  for (int i = 0; i < kNumDeltas; ++i) {
+    // Missing deltas default to the boundary ("no evidence of reuse").
+    f[2 + i] = kScale * std::log1p(e.deltas[i] > 0 ? static_cast<double>(e.deltas[i])
+                                                   : boundary_);
+  }
+  f[6] = kScale * std::log1p(static_cast<double>(e.size));
+  return f;
+}
+
+double LrbLiteCache::Predict(const Features& f) const {
+  double z = bias_;
+  for (int i = 0; i < kNumFeatures; ++i) {
+    z += weights_[i] * f[i];
+  }
+  return z;
+}
+
+void LrbLiteCache::Train(const Features& f, double log_distance) {
+  // SGD on squared error of the log-distance; feature values are O(10), so
+  // clip the gradient to keep the online model stable.
+  const double error = std::clamp(Predict(f) - log_distance, -10.0, 10.0);
+  bias_ -= learning_rate_ * error;
+  for (int i = 0; i < kNumFeatures; ++i) {
+    weights_[i] -= learning_rate_ * error * f[i];
+  }
+  ++training_samples_;
+}
+
+bool LrbLiteCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+
+void LrbLiteCache::Remove(uint64_t id) {
+  RemoveById(id, /*explicit_delete=*/true, /*censored_label=*/false);
+}
+
+void LrbLiteCache::RemoveById(uint64_t id, bool explicit_delete, bool censored_label) {
+  auto it = table_.find(id);
+  if (it == table_.end()) {
+    return;
+  }
+  Entry& e = it->second;
+  if (censored_label && e.hits == 0) {
+    // Evicted unreferenced: the true next access lies beyond what the cache
+    // observed — a censored sample at (past) the Belady boundary.
+    Train(e.snapshot, std::log1p(2.0 * boundary_));
+  }
+  EvictionEvent ev;
+  ev.id = id;
+  ev.size = e.size;
+  ev.access_count = e.hits;
+  ev.insert_time = e.insert_time;
+  ev.last_access_time = e.last_access_time;
+  ev.evict_time = clock();
+  ev.explicit_delete = explicit_delete;
+  const size_t slot = e.slot;
+  ids_[slot] = ids_.back();
+  table_[ids_[slot]].slot = slot;
+  ids_.pop_back();
+  SubOccupied(e.size);
+  table_.erase(id);
+  NotifyEviction(ev);
+}
+
+void LrbLiteCache::EvictOne() {
+  if (ids_.empty()) {
+    return;
+  }
+  // Rank by the predicted *remaining* time to next access: the distance
+  // predicted from the last-access snapshot minus the time already elapsed.
+  // For objects past their prediction the elapsed silence itself is the
+  // estimate (mean-residual-life floor, appropriate for the heavy-tailed
+  // reuse distributions of cache workloads) — so a briefly-late hot object
+  // still ranks far better than never-reused cold data.
+  auto score = [&](const Entry& e) {
+    const double elapsed = static_cast<double>(clock() - e.last_access_time);
+    const double remaining = std::expm1(Predict(e.snapshot)) - elapsed;
+    return std::max(remaining, elapsed);
+  };
+  uint64_t victim = ids_[rng_.NextBounded(ids_.size())];
+  double victim_score = score(table_.at(victim));
+  for (uint32_t i = 1; i < assoc_ && i < ids_.size(); ++i) {
+    const uint64_t cand = ids_[rng_.NextBounded(ids_.size())];
+    const double s = score(table_.at(cand));
+    if (s > victim_score) {
+      victim = cand;
+      victim_score = s;
+    }
+  }
+  RemoveById(victim, /*explicit_delete=*/false, /*censored_label=*/true);
+}
+
+bool LrbLiteCache::Access(const Request& req) {
+  const uint64_t need = SizeOf(req);
+  auto it = table_.find(req.id);
+  if (it != table_.end()) {
+    Entry& e = it->second;
+    // The realised distance labels the snapshot taken at the last access.
+    const uint64_t distance = clock() - e.last_access_time;
+    Train(e.snapshot, std::log1p(static_cast<double>(distance)));
+    // Shift the delta history.
+    for (int i = kNumDeltas - 1; i > 0; --i) {
+      e.deltas[i] = e.deltas[i - 1];
+    }
+    e.deltas[0] = distance;
+    ++e.hits;
+    e.last_access_time = clock();
+    if (!count_based() && e.size != need) {
+      SubOccupied(e.size);
+      e.size = need;
+      AddOccupied(e.size);
+      while (occupied() > capacity() && !ids_.empty()) {
+        EvictOne();
+      }
+    }
+    e.snapshot = FeaturesOf(e);
+    return true;
+  }
+  if (need > capacity()) {
+    return false;
+  }
+  while (occupied() + need > capacity()) {
+    EvictOne();
+  }
+  Entry e;
+  e.size = need;
+  e.insert_time = clock();
+  e.last_access_time = clock();
+  e.slot = ids_.size();
+  ids_.push_back(req.id);
+  auto [inserted_it, ok] = table_.emplace(req.id, std::move(e));
+  inserted_it->second.snapshot = FeaturesOf(inserted_it->second);
+  AddOccupied(need);
+  return false;
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,72 @@
+#include "src/policies/lru.h"
+
+namespace s3fifo {
+
+LruCache::LruCache(const CacheConfig& config) : Cache(config) {}
+
+bool LruCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+
+void LruCache::Remove(uint64_t id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    RemoveEntry(&it->second, /*explicit_delete=*/true);
+  }
+}
+
+void LruCache::RemoveEntry(Entry* entry, bool explicit_delete) {
+  EvictionEvent ev;
+  ev.id = entry->id;
+  ev.size = entry->size;
+  ev.access_count = entry->hits;
+  ev.insert_time = entry->insert_time;
+  ev.last_access_time = entry->last_access_time;
+  ev.evict_time = clock();
+  ev.explicit_delete = explicit_delete;
+  queue_.Remove(entry);
+  SubOccupied(entry->size);
+  table_.erase(entry->id);
+  NotifyEviction(ev);
+}
+
+void LruCache::EvictOne() {
+  Entry* victim = queue_.Back();
+  if (victim != nullptr) {
+    RemoveEntry(victim, /*explicit_delete=*/false);
+  }
+}
+
+bool LruCache::Access(const Request& req) {
+  const uint64_t need = SizeOf(req);
+  auto it = table_.find(req.id);
+  if (it != table_.end()) {
+    Entry& e = it->second;
+    ++e.hits;
+    e.last_access_time = clock();
+    queue_.MoveToFront(&e);
+    if (!count_based() && e.size != need) {
+      SubOccupied(e.size);
+      e.size = need;
+      AddOccupied(e.size);
+      while (occupied() > capacity() && !queue_.empty()) {
+        EvictOne();
+      }
+    }
+    return true;
+  }
+  if (need > capacity()) {
+    return false;
+  }
+  while (occupied() + need > capacity()) {
+    EvictOne();
+  }
+  Entry& e = table_[req.id];
+  e.id = req.id;
+  e.size = need;
+  e.insert_time = clock();
+  e.last_access_time = clock();
+  queue_.PushFront(&e);
+  AddOccupied(need);
+  return false;
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,113 @@
+#include "src/policies/lruk.h"
+
+#include <algorithm>
+
+#include "src/util/params.h"
+
+namespace s3fifo {
+
+LruKCache::LruKCache(const CacheConfig& config) : Cache(config) {
+  const Params params(config.params);
+  k_ = static_cast<uint32_t>(std::clamp<uint64_t>(params.GetU64("k", 2), 1, 8));
+  const double history_ratio = params.GetDouble("history_ratio", 1.0);
+  const uint64_t entries =
+      config.count_based ? capacity() : std::max<uint64_t>(capacity() / 4096, 16);
+  history_capacity_ = std::max<uint64_t>(static_cast<uint64_t>(entries * history_ratio), 1);
+}
+
+bool LruKCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+
+void LruKCache::PushHistory(std::deque<uint64_t>& history, uint64_t now) const {
+  history.push_back(now);
+  while (history.size() > k_) {
+    history.pop_front();
+  }
+}
+
+void LruKCache::RememberHistory(uint64_t id, const std::deque<uint64_t>& history) {
+  if (!retained_.count(id)) {
+    retained_fifo_.push_back(id);
+  }
+  retained_[id] = history;
+  while (retained_.size() > history_capacity_ && !retained_fifo_.empty()) {
+    retained_.erase(retained_fifo_.front());
+    retained_fifo_.pop_front();
+  }
+}
+
+void LruKCache::Remove(uint64_t id) { RemoveById(id, /*explicit_delete=*/true); }
+
+void LruKCache::RemoveById(uint64_t id, bool explicit_delete) {
+  auto it = table_.find(id);
+  if (it == table_.end()) {
+    return;
+  }
+  Entry& e = it->second;
+  EvictionEvent ev;
+  ev.id = id;
+  ev.size = e.size;
+  ev.access_count = e.hits;
+  ev.insert_time = e.insert_time;
+  ev.last_access_time = e.last_access_time;
+  ev.evict_time = clock();
+  ev.explicit_delete = explicit_delete;
+  order_.erase(KeyOf(id, e));
+  SubOccupied(e.size);
+  RememberHistory(id, e.history);
+  table_.erase(it);
+  NotifyEviction(ev);
+}
+
+void LruKCache::EvictOne() {
+  if (order_.empty()) {
+    return;
+  }
+  RemoveById(std::get<2>(*order_.begin()), /*explicit_delete=*/false);
+}
+
+bool LruKCache::Access(const Request& req) {
+  const uint64_t need = SizeOf(req);
+  const uint64_t now = clock();
+  auto it = table_.find(req.id);
+  if (it != table_.end()) {
+    Entry& e = it->second;
+    order_.erase(KeyOf(req.id, e));
+    ++e.hits;
+    PushHistory(e.history, now);
+    e.last_access_time = now;
+    e.kth_time = e.history.size() >= k_ ? e.history.front() : 0;
+    if (!count_based() && e.size != need) {
+      SubOccupied(e.size);
+      e.size = need;
+      AddOccupied(e.size);
+    }
+    order_.insert(KeyOf(req.id, e));
+    while (occupied() > capacity() && !order_.empty()) {
+      EvictOne();
+    }
+    return true;
+  }
+  if (need > capacity()) {
+    return false;
+  }
+  while (occupied() + need > capacity()) {
+    EvictOne();
+  }
+  Entry e;
+  e.size = need;
+  e.insert_time = now;
+  e.last_access_time = now;
+  auto retained_it = retained_.find(req.id);
+  if (retained_it != retained_.end()) {
+    e.history = retained_it->second;
+    retained_.erase(retained_it);
+  }
+  PushHistory(e.history, now);
+  e.kth_time = e.history.size() >= k_ ? e.history.front() : 0;
+  order_.insert(KeyOf(req.id, e));
+  table_.emplace(req.id, std::move(e));
+  AddOccupied(need);
+  return false;
+}
+
+}  // namespace s3fifo

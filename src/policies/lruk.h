@@ -1,0 +1,61 @@
+// LRU-K (O'Neil, O'Neil & Weikum, SIGMOD'93), K=2 by default: evicts the
+// object whose K-th most recent reference is oldest ("maximum backward
+// K-distance"). Objects with fewer than K references have infinite backward
+// distance and are evicted first, in LRU order among themselves. Reference
+// history is retained for recently evicted ids so a returning object gets
+// credit for pre-eviction accesses.
+//
+// Params: k=2, history_ratio=1.0 (retained-history ids as a fraction of
+// capacity).
+#ifndef SRC_POLICIES_LRUK_H_
+#define SRC_POLICIES_LRUK_H_
+
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+#include "src/core/cache.h"
+
+namespace s3fifo {
+
+class LruKCache : public Cache {
+ public:
+  explicit LruKCache(const CacheConfig& config);
+
+  bool Contains(uint64_t id) const override;
+  void Remove(uint64_t id) override;
+  std::string Name() const override { return "lruk"; }
+
+ private:
+  struct Entry {
+    uint64_t size = 1;
+    uint32_t hits = 0;
+    uint64_t insert_time = 0;
+    uint64_t last_access_time = 0;
+    uint64_t kth_time = 0;  // K-th most recent access; 0 = fewer than K refs
+    std::deque<uint64_t> history;  // most recent K access times
+  };
+  // (kth_time, last_access, id): begin() = victim (0 kth_time first).
+  using VictimKey = std::tuple<uint64_t, uint64_t, uint64_t>;
+
+  bool Access(const Request& req) override;
+  void EvictOne();
+  void RemoveById(uint64_t id, bool explicit_delete);
+  void PushHistory(std::deque<uint64_t>& history, uint64_t now) const;
+  VictimKey KeyOf(uint64_t id, const Entry& e) const {
+    return {e.kth_time, e.last_access_time, id};
+  }
+  void RememberHistory(uint64_t id, const std::deque<uint64_t>& history);
+
+  uint32_t k_;
+  uint64_t history_capacity_;
+  std::unordered_map<uint64_t, Entry> table_;
+  std::set<VictimKey> order_;
+  // Retained (non-resident) reference history, bounded FIFO.
+  std::unordered_map<uint64_t, std::deque<uint64_t>> retained_;
+  std::deque<uint64_t> retained_fifo_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_POLICIES_LRUK_H_

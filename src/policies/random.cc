@@ -1,0 +1,76 @@
+#include "src/policies/random.h"
+
+namespace s3fifo {
+
+RandomCache::RandomCache(const CacheConfig& config) : Cache(config), rng_(config.seed) {}
+
+bool RandomCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+
+void RandomCache::Remove(uint64_t id) { RemoveById(id, /*explicit_delete=*/true); }
+
+void RandomCache::RemoveById(uint64_t id, bool explicit_delete) {
+  auto it = table_.find(id);
+  if (it == table_.end()) {
+    return;
+  }
+  Entry& e = it->second;
+  EvictionEvent ev;
+  ev.id = id;
+  ev.size = e.size;
+  ev.access_count = e.hits;
+  ev.insert_time = e.insert_time;
+  ev.last_access_time = e.last_access_time;
+  ev.evict_time = clock();
+  ev.explicit_delete = explicit_delete;
+  // Swap-remove from the sampling vector.
+  const size_t slot = e.slot;
+  ids_[slot] = ids_.back();
+  table_[ids_[slot]].slot = slot;
+  ids_.pop_back();
+  SubOccupied(e.size);
+  table_.erase(id);  // invalidates e
+  NotifyEviction(ev);
+}
+
+void RandomCache::EvictOne() {
+  if (ids_.empty()) {
+    return;
+  }
+  RemoveById(ids_[rng_.NextBounded(ids_.size())], /*explicit_delete=*/false);
+}
+
+bool RandomCache::Access(const Request& req) {
+  const uint64_t need = SizeOf(req);
+  auto it = table_.find(req.id);
+  if (it != table_.end()) {
+    Entry& e = it->second;
+    ++e.hits;
+    e.last_access_time = clock();
+    if (!count_based() && e.size != need) {
+      SubOccupied(e.size);
+      e.size = need;
+      AddOccupied(e.size);
+      while (occupied() > capacity() && !ids_.empty()) {
+        EvictOne();
+      }
+    }
+    return true;
+  }
+  if (need > capacity()) {
+    return false;
+  }
+  while (occupied() + need > capacity()) {
+    EvictOne();
+  }
+  Entry e;
+  e.size = need;
+  e.insert_time = clock();
+  e.last_access_time = clock();
+  e.slot = ids_.size();
+  ids_.push_back(req.id);
+  table_.emplace(req.id, e);
+  AddOccupied(need);
+  return false;
+}
+
+}  // namespace s3fifo

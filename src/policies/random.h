@@ -1,0 +1,44 @@
+// Random eviction: a uniformly random resident object is evicted on each
+// miss. O(1) via index-map + swap-remove.
+#ifndef SRC_POLICIES_RANDOM_H_
+#define SRC_POLICIES_RANDOM_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/util/rng.h"
+
+namespace s3fifo {
+
+class RandomCache : public Cache {
+ public:
+  explicit RandomCache(const CacheConfig& config);
+
+  bool Contains(uint64_t id) const override;
+  void Remove(uint64_t id) override;
+  std::string Name() const override { return "random"; }
+
+ protected:
+  bool Access(const Request& req) override;
+
+ private:
+  struct Entry {
+    uint64_t size = 1;
+    uint32_t hits = 0;
+    uint64_t insert_time = 0;
+    uint64_t last_access_time = 0;
+    size_t slot = 0;  // index into ids_
+  };
+
+  void EvictOne();
+  void RemoveById(uint64_t id, bool explicit_delete);
+
+  Rng rng_;
+  std::unordered_map<uint64_t, Entry> table_;
+  std::vector<uint64_t> ids_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_POLICIES_RANDOM_H_

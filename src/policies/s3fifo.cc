@@ -1,0 +1,262 @@
+#include "src/policies/s3fifo.h"
+
+#include <algorithm>
+
+#include "src/util/params.h"
+
+namespace s3fifo {
+
+S3FifoCache::S3FifoCache(const CacheConfig& config) : Cache(config) {
+  const Params params(config.params);
+  const double small_ratio = std::clamp(params.GetDouble("small_ratio", 0.1), 0.001, 0.999);
+  small_target_ = std::max<uint64_t>(static_cast<uint64_t>(capacity() * small_ratio), 1);
+  if (small_target_ >= capacity()) {
+    small_target_ = capacity() > 1 ? capacity() - 1 : 1;
+  }
+  main_target_ = capacity() - small_target_;
+  move_threshold_ = static_cast<uint32_t>(
+      std::clamp<uint64_t>(params.GetU64("move_to_main_threshold", 2), 1, 16));
+  max_freq_ = static_cast<uint32_t>(std::clamp<uint64_t>(params.GetU64("max_freq", 3), 1, 255));
+  small_lru_ = params.GetBool("small_lru", false);
+  main_lru_ = params.GetBool("main_lru", false);
+  main_sieve_ = params.GetBool("main_sieve", false);
+
+  const double ghost_ratio = params.GetDouble("ghost_ratio", 0.9);
+  const uint64_t entries = count_based()
+                               ? capacity()
+                               : std::max<uint64_t>(capacity() / 4096, 16);
+  const uint64_t ghost_entries =
+      std::max<uint64_t>(static_cast<uint64_t>(entries * ghost_ratio), 1);
+  const std::string ghost_type = params.GetString("ghost_type", "exact");
+  if (ghost_type == "table") {
+    ghost_table_ = std::make_unique<GhostTable>(ghost_entries);
+  } else {
+    ghost_exact_ = std::make_unique<GhostQueue>(ghost_entries);
+  }
+}
+
+void S3FifoCache::set_small_target(uint64_t target) {
+  small_target_ = std::clamp<uint64_t>(target, 1, capacity() - 1);
+  main_target_ = capacity() - small_target_;
+}
+
+bool S3FifoCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+
+bool S3FifoCache::GhostContains(uint64_t id) const {
+  return ghost_exact_ ? ghost_exact_->Contains(id) : ghost_table_->Contains(id);
+}
+
+void S3FifoCache::GhostInsert(uint64_t id) {
+  if (ghost_exact_) {
+    ghost_exact_->Insert(id);
+  } else {
+    ghost_table_->Insert(id);
+  }
+}
+
+bool S3FifoCache::GhostHitAndErase(uint64_t id) {
+  if (ghost_exact_) {
+    if (ghost_exact_->Contains(id)) {
+      ghost_exact_->Remove(id);
+      return true;
+    }
+    return false;
+  }
+  if (ghost_table_->Contains(id)) {
+    ghost_table_->Remove(id);
+    return true;
+  }
+  return false;
+}
+
+void S3FifoCache::FireEviction(const Entry& e, bool explicit_delete) {
+  EvictionEvent ev;
+  ev.id = e.id;
+  ev.size = e.size;
+  ev.access_count = e.hits;
+  ev.insert_time = e.insert_time;
+  ev.last_access_time = e.last_access_time;
+  ev.evict_time = clock();
+  ev.explicit_delete = explicit_delete;
+  NotifyEviction(ev);
+}
+
+void S3FifoCache::NotifyDemotion(const Entry& e, bool promoted) {
+  if (demotion_listener_) {
+    DemotionEvent ev;
+    ev.id = e.id;
+    ev.enter_time = e.stage_enter_time;
+    ev.leave_time = clock();
+    ev.promoted = promoted;
+    demotion_listener_(ev);
+  }
+}
+
+void S3FifoCache::Remove(uint64_t id) {
+  auto it = table_.find(id);
+  if (it == table_.end()) {
+    return;
+  }
+  Entry& e = it->second;
+  if (e.in_small) {
+    small_.Remove(&e);
+    small_occ_ -= e.size;
+  } else {
+    if (sieve_hand_ == &e) {
+      sieve_hand_ = main_.Newer(&e);
+    }
+    main_.Remove(&e);
+    main_occ_ -= e.size;
+  }
+  SubOccupied(e.size);
+  FireEviction(e, /*explicit_delete=*/true);
+  table_.erase(it);
+}
+
+void S3FifoCache::EvictFromSmall() {
+  Entry* t = small_.Back();
+  if (t == nullptr) {
+    return;
+  }
+  if (t->freq >= move_threshold_) {
+    // Promote to M; the access bits are cleared during the move (§4.1).
+    NotifyDemotion(*t, /*promoted=*/true);
+    small_.Remove(t);
+    small_occ_ -= t->size;
+    t->in_small = false;
+    t->freq = 0;
+    main_.PushFront(t);
+    main_occ_ += t->size;
+    ++stats_.moved_to_main;
+    while (main_occ_ > main_target_) {
+      EvictFromMain();
+    }
+  } else {
+    NotifyDemotion(*t, /*promoted=*/false);
+    small_.Remove(t);
+    small_occ_ -= t->size;
+    SubOccupied(t->size);
+    GhostInsert(t->id);
+    ++stats_.demoted_to_ghost;
+    FireEviction(*t, /*explicit_delete=*/false);
+    OnDemotionToGhost(t->id);
+    table_.erase(t->id);
+  }
+}
+
+void S3FifoCache::EvictFromMain() {
+  if (main_sieve_) {
+    // §7 extension: SIEVE eviction — walk the hand from the tail toward the
+    // head, decrementing counters in place; survivors keep their position.
+    Entry* t = sieve_hand_ != nullptr ? sieve_hand_ : main_.Back();
+    while (t != nullptr && t->freq > 0) {
+      --t->freq;
+      ++stats_.main_reinsertions;  // a "spare", SIEVE-style
+      t = main_.Newer(t);
+      if (t == nullptr) {
+        t = main_.Back();
+      }
+    }
+    if (t == nullptr) {
+      return;
+    }
+    sieve_hand_ = main_.Newer(t);
+    main_.Remove(t);
+    main_occ_ -= t->size;
+    SubOccupied(t->size);
+    ++stats_.main_evictions;
+    FireEviction(*t, /*explicit_delete=*/false);
+    OnMainEviction(t->id);
+    table_.erase(t->id);
+    return;
+  }
+  // FIFO-reinsertion: terminates because every reinsertion decrements freq.
+  while (Entry* t = main_.Back()) {
+    if (t->freq > 0) {
+      --t->freq;
+      main_.MoveToFront(t);
+      ++stats_.main_reinsertions;
+    } else {
+      main_.Remove(t);
+      main_occ_ -= t->size;
+      SubOccupied(t->size);
+      ++stats_.main_evictions;
+      FireEviction(*t, /*explicit_delete=*/false);
+      OnMainEviction(t->id);
+      table_.erase(t->id);
+      return;
+    }
+  }
+}
+
+void S3FifoCache::EnsureFree(uint64_t need) {
+  while (occupied() + need > capacity()) {
+    if ((small_occ_ > small_target_ && !small_.empty()) || main_.empty()) {
+      EvictFromSmall();
+    } else {
+      EvictFromMain();
+    }
+    if (small_.empty() && main_.empty()) {
+      return;
+    }
+  }
+}
+
+bool S3FifoCache::Access(const Request& req) {
+  const uint64_t need = SizeOf(req);
+  auto it = table_.find(req.id);
+  if (it != table_.end()) {
+    Entry& e = it->second;
+    e.freq = std::min(e.freq + 1, max_freq_);
+    ++e.hits;
+    e.last_access_time = clock();
+    if (small_lru_ && e.in_small) {
+      small_.MoveToFront(&e);
+    } else if (main_lru_ && !e.in_small) {
+      main_.MoveToFront(&e);
+    }
+    if (!count_based() && e.size != need) {
+      SubOccupied(e.size);
+      if (e.in_small) {
+        small_occ_ += need;
+        small_occ_ -= e.size;
+      } else {
+        main_occ_ += need;
+        main_occ_ -= e.size;
+      }
+      e.size = need;
+      AddOccupied(e.size);
+      EnsureFree(0);
+    }
+    return true;
+  }
+
+  OnMissLookup(req.id);
+  if (need > capacity()) {
+    return false;
+  }
+  EnsureFree(need);
+  const bool ghost_hit = GhostHitAndErase(req.id);
+  Entry& e = table_[req.id];
+  e.id = req.id;
+  e.size = need;
+  e.freq = 0;
+  e.insert_time = clock();
+  e.stage_enter_time = clock();
+  e.last_access_time = clock();
+  if (ghost_hit) {
+    e.in_small = false;
+    main_.PushFront(&e);
+    main_occ_ += need;
+    ++stats_.ghost_hit_inserts;
+  } else {
+    e.in_small = true;
+    small_.PushFront(&e);
+    small_occ_ += need;
+    ++stats_.inserted_to_small;
+  }
+  AddOccupied(need);
+  return false;
+}
+
+}  // namespace s3fifo

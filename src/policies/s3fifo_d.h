@@ -1,0 +1,45 @@
+// S3-FIFO-D (paper §6.2.2): S3-FIFO with dynamic queue sizes. Two small
+// adaptation ghost queues (5% of the cached objects each) track objects
+// evicted from S and from M. Whenever the two have accumulated more than 100
+// hits in total and one side has 2x the hits of the other, 0.1% of the cache
+// capacity moves toward the queue whose evicted objects are being
+// re-requested — balancing the marginal hits on evicted objects.
+//
+// Params (on top of s3fifo's): adapt_ghost_ratio=0.05, adapt_min_hits=100,
+// adapt_imbalance=2.0, adapt_step_ratio=0.001.
+#ifndef SRC_POLICIES_S3FIFO_D_H_
+#define SRC_POLICIES_S3FIFO_D_H_
+
+#include "src/policies/s3fifo.h"
+
+namespace s3fifo {
+
+class S3FifoDCache : public S3FifoCache {
+ public:
+  explicit S3FifoDCache(const CacheConfig& config);
+
+  std::string Name() const override { return "s3fifo-d"; }
+
+  uint64_t adaptations() const { return adaptations_; }
+
+ protected:
+  void OnMissLookup(uint64_t id) override;
+  void OnDemotionToGhost(uint64_t id) override;
+  void OnMainEviction(uint64_t id) override;
+
+ private:
+  void MaybeRebalance();
+
+  GhostQueue small_evicted_;
+  GhostQueue main_evicted_;
+  uint64_t small_ghost_hits_ = 0;
+  uint64_t main_ghost_hits_ = 0;
+  uint64_t min_hits_;
+  double imbalance_;
+  uint64_t step_;
+  uint64_t adaptations_ = 0;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_POLICIES_S3FIFO_D_H_

@@ -1,0 +1,86 @@
+#include "src/policies/sieve.h"
+
+namespace s3fifo {
+
+SieveCache::SieveCache(const CacheConfig& config) : Cache(config) {}
+
+bool SieveCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+
+void SieveCache::Remove(uint64_t id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    RemoveEntry(&it->second, /*explicit_delete=*/true);
+  }
+}
+
+void SieveCache::RemoveEntry(Entry* entry, bool explicit_delete) {
+  if (hand_ == entry) {
+    hand_ = queue_.Newer(entry);  // hand advances toward the head
+  }
+  EvictionEvent ev;
+  ev.id = entry->id;
+  ev.size = entry->size;
+  ev.access_count = entry->hits;
+  ev.insert_time = entry->insert_time;
+  ev.last_access_time = entry->last_access_time;
+  ev.evict_time = clock();
+  ev.explicit_delete = explicit_delete;
+  queue_.Remove(entry);
+  SubOccupied(entry->size);
+  table_.erase(entry->id);
+  NotifyEviction(ev);
+}
+
+void SieveCache::EvictOne() {
+  Entry* obj = hand_ != nullptr ? hand_ : queue_.Back();
+  // Walk from the hand toward the head, clearing visited bits; wrap to the
+  // tail when the head is passed. Terminates within two passes: the first
+  // pass clears every visited bit on its path.
+  while (obj != nullptr && obj->visited) {
+    obj->visited = false;
+    obj = queue_.Newer(obj);
+    if (obj == nullptr) {
+      obj = queue_.Back();
+    }
+  }
+  if (obj != nullptr) {
+    hand_ = obj;  // RemoveEntry advances the hand to the next-newer entry
+    RemoveEntry(obj, /*explicit_delete=*/false);
+  }
+}
+
+bool SieveCache::Access(const Request& req) {
+  const uint64_t need = SizeOf(req);
+  auto it = table_.find(req.id);
+  if (it != table_.end()) {
+    Entry& e = it->second;
+    ++e.hits;
+    e.visited = true;
+    e.last_access_time = clock();
+    if (!count_based() && e.size != need) {
+      SubOccupied(e.size);
+      e.size = need;
+      AddOccupied(e.size);
+      while (occupied() > capacity() && !queue_.empty()) {
+        EvictOne();
+      }
+    }
+    return true;
+  }
+  if (need > capacity()) {
+    return false;
+  }
+  while (occupied() + need > capacity()) {
+    EvictOne();
+  }
+  Entry& e = table_[req.id];
+  e.id = req.id;
+  e.size = need;
+  e.insert_time = clock();
+  e.last_access_time = clock();
+  queue_.PushFront(&e);
+  AddOccupied(need);
+  return false;
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,47 @@
+// SIEVE (Zhang et al., NSDI'24; paper §7): a FIFO queue with a moving "hand"
+// and one visited bit. Unlike CLOCK, survivors stay in place (the hand moves
+// instead of the object), giving lazy promotion with zero queue mutation on
+// hit.
+#ifndef SRC_POLICIES_SIEVE_H_
+#define SRC_POLICIES_SIEVE_H_
+
+#include <unordered_map>
+
+#include "src/core/cache.h"
+#include "src/util/intrusive_list.h"
+
+namespace s3fifo {
+
+class SieveCache : public Cache {
+ public:
+  explicit SieveCache(const CacheConfig& config);
+
+  bool Contains(uint64_t id) const override;
+  void Remove(uint64_t id) override;
+  std::string Name() const override { return "sieve"; }
+
+ protected:
+  bool Access(const Request& req) override;
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    uint64_t size = 1;
+    uint32_t hits = 0;
+    bool visited = false;
+    uint64_t insert_time = 0;
+    uint64_t last_access_time = 0;
+    ListHook hook;
+  };
+
+  void EvictOne();
+  void RemoveEntry(Entry* entry, bool explicit_delete);
+
+  std::unordered_map<uint64_t, Entry> table_;
+  IntrusiveList<Entry, &Entry::hook> queue_;
+  Entry* hand_ = nullptr;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_POLICIES_SIEVE_H_

@@ -1,0 +1,114 @@
+#include "src/policies/slru.h"
+
+#include <algorithm>
+
+#include "src/util/params.h"
+
+namespace s3fifo {
+
+SlruCache::SlruCache(const CacheConfig& config) : Cache(config) {
+  const Params params(config.params);
+  num_segments_ =
+      static_cast<uint32_t>(std::clamp<uint64_t>(params.GetU64("segments", 4), 1, 16));
+  seg_capacity_ = std::max<uint64_t>(capacity() / num_segments_, 1);
+  segments_.reserve(num_segments_);
+  for (uint32_t i = 0; i < num_segments_; ++i) {
+    segments_.push_back(std::make_unique<Segment>());
+  }
+  seg_occupied_.assign(num_segments_, 0);
+}
+
+bool SlruCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+
+void SlruCache::Remove(uint64_t id) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    RemoveEntry(&it->second, /*explicit_delete=*/true);
+  }
+}
+
+void SlruCache::RemoveEntry(Entry* entry, bool explicit_delete) {
+  EvictionEvent ev;
+  ev.id = entry->id;
+  ev.size = entry->size;
+  ev.access_count = entry->hits;
+  ev.insert_time = entry->insert_time;
+  ev.last_access_time = entry->last_access_time;
+  ev.evict_time = clock();
+  ev.explicit_delete = explicit_delete;
+  segments_[entry->segment]->Remove(entry);
+  seg_occupied_[entry->segment] -= entry->size;
+  SubOccupied(entry->size);
+  table_.erase(entry->id);
+  NotifyEviction(ev);
+}
+
+void SlruCache::Cascade(uint32_t segment) {
+  // Demote LRU tails downward while a segment exceeds its share. Overflow of
+  // segment 0 is handled by EvictOne.
+  for (uint32_t s = segment; s > 0; --s) {
+    while (seg_occupied_[s] > seg_capacity_) {
+      Entry* tail = segments_[s]->PopBack();
+      if (tail == nullptr) {
+        break;
+      }
+      seg_occupied_[s] -= tail->size;
+      tail->segment = s - 1;
+      segments_[s - 1]->PushFront(tail);
+      seg_occupied_[s - 1] += tail->size;
+    }
+  }
+}
+
+void SlruCache::EvictOne() {
+  for (uint32_t s = 0; s < num_segments_; ++s) {
+    if (Entry* tail = segments_[s]->Back()) {
+      RemoveEntry(tail, /*explicit_delete=*/false);
+      return;
+    }
+  }
+}
+
+bool SlruCache::Access(const Request& req) {
+  const uint64_t need = SizeOf(req);
+  auto it = table_.find(req.id);
+  if (it != table_.end()) {
+    Entry& e = it->second;
+    ++e.hits;
+    e.last_access_time = clock();
+    const uint32_t target = std::min(e.segment + 1, num_segments_ - 1);
+    segments_[e.segment]->Remove(&e);
+    seg_occupied_[e.segment] -= e.size;
+    if (!count_based() && e.size != need) {
+      SubOccupied(e.size);
+      e.size = need;
+      AddOccupied(e.size);
+    }
+    e.segment = target;
+    segments_[target]->PushFront(&e);
+    seg_occupied_[target] += e.size;
+    Cascade(target);
+    while (occupied() > capacity()) {
+      EvictOne();
+    }
+    return true;
+  }
+  if (need > capacity()) {
+    return false;
+  }
+  while (occupied() + need > capacity()) {
+    EvictOne();
+  }
+  Entry& e = table_[req.id];
+  e.id = req.id;
+  e.size = need;
+  e.segment = 0;
+  e.insert_time = clock();
+  e.last_access_time = clock();
+  segments_[0]->PushFront(&e);
+  seg_occupied_[0] += need;
+  AddOccupied(need);
+  return false;
+}
+
+}  // namespace s3fifo

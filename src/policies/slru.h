@@ -1,0 +1,58 @@
+// Segmented LRU (Karedla et al. '94), generalised to N equal segments
+// (paper §5.2 uses four). New objects enter segment 0; a hit promotes one
+// segment up; overflow of segment k demotes its LRU tail to segment k-1;
+// evictions leave from the tail of the lowest non-empty segment. No ghost
+// queue — which is exactly why SLRU is not scan-resistant (§5.2).
+//
+// Params: segments=<n> (default 4).
+#ifndef SRC_POLICIES_SLRU_H_
+#define SRC_POLICIES_SLRU_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/util/intrusive_list.h"
+
+namespace s3fifo {
+
+class SlruCache : public Cache {
+ public:
+  explicit SlruCache(const CacheConfig& config);
+
+  bool Contains(uint64_t id) const override;
+  void Remove(uint64_t id) override;
+  std::string Name() const override { return "slru"; }
+
+ protected:
+  bool Access(const Request& req) override;
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    uint64_t size = 1;
+    uint32_t hits = 0;
+    uint32_t segment = 0;
+    uint64_t insert_time = 0;
+    uint64_t last_access_time = 0;
+    ListHook hook;
+  };
+  using Segment = IntrusiveList<Entry, &Entry::hook>;
+
+  void EvictOne();
+  void RemoveEntry(Entry* entry, bool explicit_delete);
+  // Pushes overflow of segment k down the hierarchy (k -> k-1 -> ...).
+  void Cascade(uint32_t segment);
+  uint64_t SegmentOccupied(uint32_t segment) const { return seg_occupied_[segment]; }
+
+  uint32_t num_segments_;
+  uint64_t seg_capacity_;
+  std::unordered_map<uint64_t, Entry> table_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::vector<uint64_t> seg_occupied_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_POLICIES_SLRU_H_

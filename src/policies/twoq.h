@@ -1,0 +1,56 @@
+// 2Q (Johnson & Shasha, VLDB'94): a probationary FIFO (A1in, 25% of the
+// cache), a main LRU (Am), and a ghost queue of recently demoted ids (A1out,
+// ids for 50% of the capacity). Objects evicted from A1in are remembered in
+// A1out but NOT moved to Am; only a re-request of an A1out id enters Am
+// (paper §5.2 contrasts this with S3-FIFO's eviction-time move).
+//
+// Params: kin_ratio=0.25, kout_ratio=0.5.
+#ifndef SRC_POLICIES_TWOQ_H_
+#define SRC_POLICIES_TWOQ_H_
+
+#include <unordered_map>
+
+#include "src/core/cache.h"
+#include "src/util/ghost_queue.h"
+#include "src/util/intrusive_list.h"
+
+namespace s3fifo {
+
+class TwoQCache : public Cache {
+ public:
+  explicit TwoQCache(const CacheConfig& config);
+
+  bool Contains(uint64_t id) const override;
+  void Remove(uint64_t id) override;
+  std::string Name() const override { return "2q"; }
+
+ protected:
+  bool Access(const Request& req) override;
+
+ private:
+  enum class Where : uint8_t { kA1In, kAm };
+
+  struct Entry {
+    uint64_t id = 0;
+    uint64_t size = 1;
+    uint32_t hits = 0;
+    Where where = Where::kA1In;
+    uint64_t insert_time = 0;
+    uint64_t last_access_time = 0;
+    ListHook hook;
+  };
+
+  void EvictOne();
+  void RemoveEntry(Entry* entry, bool explicit_delete, bool to_ghost);
+
+  uint64_t kin_capacity_;
+  std::unordered_map<uint64_t, Entry> table_;
+  IntrusiveList<Entry, &Entry::hook> a1in_;
+  IntrusiveList<Entry, &Entry::hook> am_;
+  uint64_t a1in_occupied_ = 0;
+  GhostQueue a1out_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_POLICIES_TWOQ_H_

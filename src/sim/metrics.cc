@@ -1,0 +1,53 @@
+#include "src/sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace s3fifo {
+
+double MissRatioReduction(double mr_algo, double mr_fifo) {
+  if (mr_fifo <= 0.0 && mr_algo <= 0.0) {
+    return 0.0;
+  }
+  if (mr_algo <= mr_fifo) {
+    return mr_fifo <= 0.0 ? 0.0 : (mr_fifo - mr_algo) / mr_fifo;
+  }
+  return -(mr_algo - mr_fifo) / mr_algo;
+}
+
+PercentileRow Percentiles(std::vector<double> values) {
+  PercentileRow row;
+  if (values.empty()) {
+    return row;
+  }
+  std::sort(values.begin(), values.end());
+  auto at = [&](double p) {
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(rank));
+    const size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  row.p10 = at(10);
+  row.p25 = at(25);
+  row.p50 = at(50);
+  row.p75 = at(75);
+  row.p90 = at(90);
+  double sum = 0;
+  for (double v : values) {
+    sum += v;
+  }
+  row.mean = sum / static_cast<double>(values.size());
+  return row;
+}
+
+std::string FormatPercentileRow(const std::string& label, const PercentileRow& row) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%-14s P10=%+7.4f P25=%+7.4f P50=%+7.4f mean=%+7.4f P75=%+7.4f P90=%+7.4f",
+                label.c_str(), row.p10, row.p25, row.p50, row.mean, row.p75, row.p90);
+  return buf;
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,26 @@
+// Metrics shared by the evaluation harness, chiefly the paper's bounded
+// miss-ratio-reduction statistic (§5.1.2).
+#ifndef SRC_SIM_METRICS_H_
+#define SRC_SIM_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace s3fifo {
+
+// (MR_fifo - MR_algo) / MR_fifo when the algorithm wins, and
+// -(MR_algo - MR_fifo) / MR_algo when it loses — bounding the value to
+// [-1, 1] so outliers cannot dominate the mean (paper §5.1.2).
+double MissRatioReduction(double mr_algo, double mr_fifo);
+
+// Pretty-prints a percentile row (P10/P25/P50/Mean/P75/P90) for a metric
+// vector; used by the figure benches.
+struct PercentileRow {
+  double p10 = 0, p25 = 0, p50 = 0, mean = 0, p75 = 0, p90 = 0;
+};
+PercentileRow Percentiles(std::vector<double> values);
+std::string FormatPercentileRow(const std::string& label, const PercentileRow& row);
+
+}  // namespace s3fifo
+
+#endif  // SRC_SIM_METRICS_H_

@@ -1,0 +1,42 @@
+#include "src/sim/runner.h"
+
+#include <exception>
+#include <thread>
+
+#include "src/util/thread_pool.h"
+
+namespace s3fifo {
+
+std::vector<SimJobResult> RunJobs(const std::vector<SimJob>& jobs, const RunnerOptions& options) {
+  std::vector<SimJobResult> results(jobs.size());
+  unsigned threads = options.num_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  ThreadPool pool(threads);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    pool.Submit([&jobs, &results, &options, i] {
+      const SimJob& job = jobs[i];
+      SimJobResult& out = results[i];
+      out.label = job.label;
+      for (uint32_t attempt = 0; attempt <= options.max_retries; ++attempt) {
+        out.attempts = attempt + 1;
+        try {
+          Trace trace = job.make_trace();
+          std::unique_ptr<Cache> cache = job.make_cache();
+          out.result = Simulate(trace, *cache, job.options);
+          out.ok = true;
+          return;
+        } catch (const std::exception& e) {
+          out.error = e.what();
+        } catch (...) {
+          out.error = "unknown exception";
+        }
+      }
+    });
+  }
+  pool.Wait();
+  return results;
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,32 @@
+#include "src/sim/simulator.h"
+
+#include <stdexcept>
+
+namespace s3fifo {
+
+SimResult Simulate(const Trace& trace, Cache& cache, const SimOptions& options) {
+  if (cache.RequiresNextAccess() && !trace.annotated()) {
+    throw std::invalid_argument("policy '" + cache.Name() +
+                                "' requires AnnotateNextAccess() on the trace");
+  }
+  SimResult result;
+  uint64_t index = 0;
+  for (const Request& req : trace.requests()) {
+    const bool hit = cache.Get(req);
+    const bool measured = index++ >= options.warmup_requests;
+    if (!measured || req.op == OpType::kDelete) {
+      continue;
+    }
+    ++result.requests;
+    result.bytes_requested += req.size;
+    if (hit) {
+      ++result.hits;
+    } else {
+      ++result.misses;
+      result.bytes_missed += req.size;
+    }
+  }
+  return result;
+}
+
+}  // namespace s3fifo

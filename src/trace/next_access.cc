@@ -1,0 +1,20 @@
+#include "src/trace/next_access.h"
+
+#include <unordered_map>
+
+namespace s3fifo {
+
+void AnnotateNextAccess(Trace& trace) {
+  auto& reqs = trace.mutable_requests();
+  std::unordered_map<uint64_t, uint64_t> next_seen;
+  next_seen.reserve(reqs.size() / 4 + 16);
+  for (size_t i = reqs.size(); i-- > 0;) {
+    Request& r = reqs[i];
+    auto it = next_seen.find(r.id);
+    r.next_access = it == next_seen.end() ? kNeverAccessed : it->second;
+    next_seen[r.id] = i;
+  }
+  trace.set_annotated(true);
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,39 @@
+#include "src/trace/tenant_split.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/hash.h"
+
+namespace s3fifo {
+
+std::vector<Trace> SplitByTenant(const Trace& trace) {
+  std::unordered_map<uint32_t, size_t> index_of;
+  std::vector<std::vector<Request>> buckets;
+  for (const Request& r : trace.requests()) {
+    auto [it, inserted] = index_of.emplace(r.tenant, buckets.size());
+    if (inserted) {
+      buckets.emplace_back();
+    }
+    buckets[it->second].push_back(r);
+  }
+  std::vector<Trace> out;
+  out.reserve(buckets.size());
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint32_t tenant = buckets[i].empty() ? 0 : buckets[i].front().tenant;
+    Trace t(std::move(buckets[i]), trace.name() + "/tenant" + std::to_string(tenant));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Trace AssignTenantsByIdHash(const Trace& trace, uint32_t num_tenants) {
+  num_tenants = std::max(num_tenants, 1u);
+  std::vector<Request> reqs = trace.requests();
+  for (Request& r : reqs) {
+    r.tenant = static_cast<uint32_t>(HashId(r.id ^ 0xa5a5a5a5a5a5a5a5ULL) % num_tenants);
+  }
+  return Trace(std::move(reqs), trace.name());
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,24 @@
+// Multi-tenant trace splitting (paper §5.1.1: "we split four datasets ...
+// with tenant information into per-tenant traces for an in-depth study").
+#ifndef SRC_TRACE_TENANT_SPLIT_H_
+#define SRC_TRACE_TENANT_SPLIT_H_
+
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace s3fifo {
+
+// Splits a trace into one sub-trace per tenant id, preserving request
+// order within each tenant. Tenants appear in order of first occurrence.
+std::vector<Trace> SplitByTenant(const Trace& trace);
+
+// Assigns synthetic tenants to a single-tenant trace by id-hash sharding
+// (every request of an object maps to the same tenant), returning the
+// annotated copy. Useful to exercise multi-tenant tooling on generated
+// workloads.
+Trace AssignTenantsByIdHash(const Trace& trace, uint32_t num_tenants);
+
+}  // namespace s3fifo
+
+#endif  // SRC_TRACE_TENANT_SPLIT_H_

@@ -1,0 +1,62 @@
+#include "src/trace/trace.h"
+
+#include <unordered_map>
+
+namespace s3fifo {
+
+Trace::Trace(std::vector<Request> requests, std::string name)
+    : requests_(std::move(requests)), name_(std::move(name)) {}
+
+void Trace::Append(const Request& req) {
+  requests_.push_back(req);
+  stats_valid_ = false;
+  annotated_ = false;
+}
+
+const TraceStats& Trace::Stats() const {
+  if (stats_valid_) {
+    return stats_;
+  }
+  TraceStats s;
+  s.num_requests = requests_.size();
+  std::unordered_map<uint64_t, uint64_t> request_count;
+  std::unordered_map<uint64_t, uint32_t> last_size;
+  request_count.reserve(requests_.size() / 4 + 16);
+  for (const Request& r : requests_) {
+    switch (r.op) {
+      case OpType::kGet:
+        ++s.num_gets;
+        break;
+      case OpType::kSet:
+        ++s.num_sets;
+        break;
+      case OpType::kDelete:
+        ++s.num_deletes;
+        break;
+    }
+    if (r.op == OpType::kDelete) {
+      continue;  // deletes do not count toward popularity
+    }
+    s.total_bytes_requested += r.size;
+    ++request_count[r.id];
+    last_size[r.id] = r.size;
+  }
+  s.num_objects = request_count.size();
+  uint64_t one_hit = 0;
+  for (const auto& [id, count] : request_count) {
+    if (count == 1) {
+      ++one_hit;
+    }
+  }
+  for (const auto& [id, size] : last_size) {
+    s.footprint_bytes += size;
+  }
+  s.one_hit_wonder_ratio =
+      s.num_objects == 0 ? 0.0
+                         : static_cast<double>(one_hit) / static_cast<double>(s.num_objects);
+  stats_ = s;
+  stats_valid_ = true;
+  return stats_;
+}
+
+}  // namespace s3fifo

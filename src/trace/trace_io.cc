@@ -1,0 +1,173 @@
+#include "src/trace/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace s3fifo {
+namespace {
+
+constexpr char kMagic[4] = {'S', '3', 'F', 'T'};
+constexpr uint32_t kVersion = 1;
+
+struct BinaryRecord {
+  uint64_t id;
+  uint32_t size;
+  uint8_t op;
+  uint8_t pad[3];
+  uint64_t time;
+};
+static_assert(sizeof(BinaryRecord) == 24, "binary trace record must be packed to 24 bytes");
+
+[[noreturn]] void Fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path);
+}
+
+OpType OpFromString(const std::string& s) {
+  if (s == "get" || s == "GET" || s == "read" || s == "r") {
+    return OpType::kGet;
+  }
+  if (s == "set" || s == "SET" || s == "write" || s == "w") {
+    return OpType::kSet;
+  }
+  if (s == "delete" || s == "DELETE" || s == "del" || s == "d") {
+    return OpType::kDelete;
+  }
+  throw std::runtime_error("unknown op in CSV trace: " + s);
+}
+
+const char* OpToString(OpType op) {
+  switch (op) {
+    case OpType::kGet:
+      return "get";
+    case OpType::kSet:
+      return "set";
+    case OpType::kDelete:
+      return "delete";
+  }
+  return "get";
+}
+
+}  // namespace
+
+void WriteBinaryTrace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    Fail("cannot open trace file for writing", path);
+  }
+  out.write(kMagic, sizeof(kMagic));
+  const uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const uint64_t n = trace.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const Request& r : trace.requests()) {
+    BinaryRecord rec{};
+    rec.id = r.id;
+    rec.size = r.size;
+    rec.op = static_cast<uint8_t>(r.op);
+    rec.time = r.time;
+    out.write(reinterpret_cast<const char*>(&rec), sizeof(rec));
+  }
+  if (!out) {
+    Fail("short write on trace file", path);
+  }
+}
+
+Trace ReadBinaryTrace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    Fail("cannot open trace file for reading", path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    Fail("bad magic in trace file", path);
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kVersion) {
+    Fail("unsupported trace version", path);
+  }
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in) {
+    Fail("truncated trace header", path);
+  }
+  std::vector<Request> reqs;
+  reqs.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    BinaryRecord rec{};
+    in.read(reinterpret_cast<char*>(&rec), sizeof(rec));
+    if (!in) {
+      Fail("truncated trace body", path);
+    }
+    if (rec.op > static_cast<uint8_t>(OpType::kDelete)) {
+      Fail("corrupt op byte in trace", path);
+    }
+    Request r;
+    r.id = rec.id;
+    r.size = rec.size;
+    r.op = static_cast<OpType>(rec.op);
+    r.time = rec.time;
+    reqs.push_back(r);
+  }
+  return Trace(std::move(reqs));
+}
+
+void WriteCsvTrace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    Fail("cannot open trace file for writing", path);
+  }
+  out << "time,id,size,op\n";
+  for (const Request& r : trace.requests()) {
+    out << r.time << ',' << r.id << ',' << r.size << ',' << OpToString(r.op) << '\n';
+  }
+  if (!out) {
+    Fail("short write on trace file", path);
+  }
+}
+
+Trace ReadCsvTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    Fail("cannot open trace file for reading", path);
+  }
+  std::vector<Request> reqs;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (first && line.rfind("time,", 0) == 0) {
+      first = false;
+      continue;  // header
+    }
+    first = false;
+    std::istringstream ls(line);
+    std::string field;
+    Request r;
+    if (!std::getline(ls, field, ',')) {
+      Fail("malformed CSV line: " + line, path);
+    }
+    r.time = std::stoull(field);
+    if (!std::getline(ls, field, ',')) {
+      Fail("malformed CSV line: " + line, path);
+    }
+    r.id = std::stoull(field);
+    if (!std::getline(ls, field, ',')) {
+      Fail("malformed CSV line: " + line, path);
+    }
+    r.size = static_cast<uint32_t>(std::stoul(field));
+    if (!std::getline(ls, field, ',')) {
+      Fail("malformed CSV line: " + line, path);
+    }
+    r.op = OpFromString(field);
+    reqs.push_back(r);
+  }
+  return Trace(std::move(reqs));
+}
+
+}  // namespace s3fifo

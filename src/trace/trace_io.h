@@ -1,0 +1,27 @@
+// Trace persistence: a compact binary format (magic + fixed-width records)
+// and CSV for interoperability with other simulators.
+//
+// Binary layout (little-endian):
+//   header: "S3FT" (4 bytes) | version u32 | num_requests u64
+//   record: id u64 | size u32 | op u8 | pad u8[3] | time u64
+#ifndef SRC_TRACE_TRACE_IO_H_
+#define SRC_TRACE_TRACE_IO_H_
+
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace s3fifo {
+
+// All functions throw std::runtime_error on IO or format errors.
+void WriteBinaryTrace(const Trace& trace, const std::string& path);
+Trace ReadBinaryTrace(const std::string& path);
+
+// CSV columns: time,id,size,op  (op: get|set|delete). A header line is
+// written and tolerated on read.
+void WriteCsvTrace(const Trace& trace, const std::string& path);
+Trace ReadCsvTrace(const std::string& path);
+
+}  // namespace s3fifo
+
+#endif  // SRC_TRACE_TRACE_IO_H_

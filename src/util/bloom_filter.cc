@@ -1,0 +1,88 @@
+#include "src/util/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/hash.h"
+
+namespace s3fifo {
+namespace {
+
+uint64_t NextPow2(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(uint64_t expected_items, double false_positive_rate) {
+  expected_items = std::max<uint64_t>(expected_items, 16);
+  const double ln2 = 0.6931471805599453;
+  const double bits_needed =
+      -static_cast<double>(expected_items) * std::log(false_positive_rate) / (ln2 * ln2);
+  const uint64_t num_bits = NextPow2(std::max<uint64_t>(static_cast<uint64_t>(bits_needed), 64));
+  bits_.assign(num_bits / 64, 0);
+  bit_mask_ = num_bits - 1;
+  num_hashes_ = std::clamp(
+      static_cast<int>(std::lround(ln2 * static_cast<double>(num_bits) /
+                                   static_cast<double>(expected_items))),
+      1, 16);
+}
+
+uint64_t BloomFilter::BitIndex(uint64_t h1, uint64_t h2, int i) const {
+  return (h1 + static_cast<uint64_t>(i) * h2) & bit_mask_;
+}
+
+void BloomFilter::Insert(uint64_t id) {
+  const uint64_t h1 = HashId(id);
+  const uint64_t h2 = HashId2(id) | 1;  // odd, so all strides visit all bits
+  for (int i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = BitIndex(h1, h2, i);
+    bits_[bit >> 6] |= 1ULL << (bit & 63);
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::Contains(uint64_t id) const {
+  const uint64_t h1 = HashId(id);
+  const uint64_t h2 = HashId2(id) | 1;
+  for (int i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = BitIndex(h1, h2, i);
+    if ((bits_[bit >> 6] & (1ULL << (bit & 63))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BloomFilter::Clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  inserted_ = 0;
+}
+
+RotatingBloomFilter::RotatingBloomFilter(uint64_t rotate_after, double false_positive_rate)
+    : rotate_after_(std::max<uint64_t>(rotate_after, 1)),
+      active_(rotate_after_, false_positive_rate),
+      previous_(rotate_after_, false_positive_rate) {}
+
+void RotatingBloomFilter::Insert(uint64_t id) {
+  if (active_.inserted() >= rotate_after_) {
+    std::swap(active_, previous_);
+    active_.Clear();
+  }
+  active_.Insert(id);
+}
+
+bool RotatingBloomFilter::Contains(uint64_t id) const {
+  return active_.Contains(id) || previous_.Contains(id);
+}
+
+void RotatingBloomFilter::Clear() {
+  active_.Clear();
+  previous_.Clear();
+}
+
+}  // namespace s3fifo

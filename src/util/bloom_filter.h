@@ -1,0 +1,55 @@
+// Bloom filter with k hash functions derived via double hashing, plus a
+// rotating variant for bounded-staleness membership (used by B-LRU admission
+// and TinyLFU's doorkeeper).
+#ifndef SRC_UTIL_BLOOM_FILTER_H_
+#define SRC_UTIL_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace s3fifo {
+
+class BloomFilter {
+ public:
+  // expected_items / false_positive_rate pick the bit count and hash count
+  // via the standard optimum (m = -n ln p / ln^2 2, k = m/n ln 2).
+  BloomFilter(uint64_t expected_items, double false_positive_rate);
+
+  void Insert(uint64_t id);
+  bool Contains(uint64_t id) const;
+  void Clear();
+
+  uint64_t inserted() const { return inserted_; }
+  uint64_t num_bits() const { return static_cast<uint64_t>(bits_.size()) * 64; }
+  int num_hashes() const { return num_hashes_; }
+
+ private:
+  uint64_t BitIndex(uint64_t h1, uint64_t h2, int i) const;
+
+  std::vector<uint64_t> bits_;
+  uint64_t bit_mask_;  // bits_ holds a power-of-two bit count
+  int num_hashes_;
+  uint64_t inserted_ = 0;
+};
+
+// Two alternating Bloom filters: when the active one has absorbed
+// `rotate_after` insertions it becomes the "previous" filter and a cleared
+// one takes over. Contains() consults both, so membership is remembered for
+// between rotate_after and 2*rotate_after insertions.
+class RotatingBloomFilter {
+ public:
+  RotatingBloomFilter(uint64_t rotate_after, double false_positive_rate);
+
+  void Insert(uint64_t id);
+  bool Contains(uint64_t id) const;
+  void Clear();
+
+ private:
+  uint64_t rotate_after_;
+  BloomFilter active_;
+  BloomFilter previous_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_UTIL_BLOOM_FILTER_H_

@@ -1,0 +1,77 @@
+#include "src/util/count_min_sketch.h"
+
+#include <algorithm>
+
+#include "src/util/hash.h"
+
+namespace s3fifo {
+namespace {
+
+uint64_t NextPow2(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// Per-row hash seeds (arbitrary odd constants).
+constexpr uint64_t kRowSeeds[4] = {0x9e3779b97f4a7c15ULL, 0xc2b2ae3d27d4eb4fULL,
+                                   0x165667b19e3779f9ULL, 0xd6e8feb86659fd93ULL};
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(uint64_t expected_items) {
+  width_ = NextPow2(std::max<uint64_t>(expected_items, 16));
+  index_mask_ = width_ - 1;
+  table_.assign(static_cast<size_t>(kRows) * (width_ / 16), 0);
+}
+
+uint64_t CountMinSketch::IndexFor(int row, uint64_t id) const {
+  return Mix64(id ^ kRowSeeds[row]) & index_mask_;
+}
+
+uint32_t CountMinSketch::CounterAt(int row, uint64_t index) const {
+  const uint64_t word = table_[static_cast<uint64_t>(row) * (width_ / 16) + (index >> 4)];
+  const int shift = static_cast<int>(index & 15) * 4;
+  return static_cast<uint32_t>((word >> shift) & 0xF);
+}
+
+void CountMinSketch::SetCounterAt(int row, uint64_t index, uint32_t value) {
+  uint64_t& word = table_[static_cast<uint64_t>(row) * (width_ / 16) + (index >> 4)];
+  const int shift = static_cast<int>(index & 15) * 4;
+  word = (word & ~(0xFULL << shift)) | (static_cast<uint64_t>(value & 0xF) << shift);
+}
+
+uint32_t CountMinSketch::Increment(uint64_t id) {
+  uint32_t min_after = 15;
+  for (int row = 0; row < kRows; ++row) {
+    const uint64_t idx = IndexFor(row, id);
+    const uint32_t c = CounterAt(row, idx);
+    if (c < 15) {
+      SetCounterAt(row, idx, c + 1);
+    }
+    min_after = std::min(min_after, std::min(c + 1, 15u));
+  }
+  return min_after;
+}
+
+uint32_t CountMinSketch::Estimate(uint64_t id) const {
+  uint32_t m = 15;
+  for (int row = 0; row < kRows; ++row) {
+    m = std::min(m, CounterAt(row, IndexFor(row, id)));
+  }
+  return m;
+}
+
+void CountMinSketch::Age() {
+  // Halve all 4-bit counters in parallel within each word:
+  // (word >> 1) & 0x7777... clears the bit shifted in from the neighbour.
+  for (uint64_t& word : table_) {
+    word = (word >> 1) & 0x7777777777777777ULL;
+  }
+}
+
+void CountMinSketch::Clear() { std::fill(table_.begin(), table_.end(), 0); }
+
+}  // namespace s3fifo

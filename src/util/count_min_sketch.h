@@ -1,0 +1,41 @@
+// Count-min sketch with 4-bit counters and periodic halving ("aging"), the
+// frequency substrate of TinyLFU (Einziger et al., ToS'17).
+#ifndef SRC_UTIL_COUNT_MIN_SKETCH_H_
+#define SRC_UTIL_COUNT_MIN_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace s3fifo {
+
+class CountMinSketch {
+ public:
+  // Sized so that ~`expected_items` distinct keys can be tracked with low
+  // over-estimation; uses 4 rows of 4-bit counters packed 16 per uint64_t.
+  explicit CountMinSketch(uint64_t expected_items);
+
+  // Increments all 4 row counters (saturating at 15). Returns the new
+  // estimate.
+  uint32_t Increment(uint64_t id);
+  // Minimum over the 4 rows; in [0, 15].
+  uint32_t Estimate(uint64_t id) const;
+  // Halves every counter — TinyLFU's reset/aging operation.
+  void Age();
+  void Clear();
+
+  uint64_t width() const { return width_; }
+
+ private:
+  uint32_t CounterAt(int row, uint64_t index) const;
+  void SetCounterAt(int row, uint64_t index, uint32_t value);
+  uint64_t IndexFor(int row, uint64_t id) const;
+
+  static constexpr int kRows = 4;
+  uint64_t width_;       // counters per row (power of two)
+  uint64_t index_mask_;  // width_ - 1
+  std::vector<uint64_t> table_;  // kRows * width_/16 words
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_UTIL_COUNT_MIN_SKETCH_H_

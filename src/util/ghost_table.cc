@@ -1,0 +1,110 @@
+#include "src/util/ghost_table.h"
+
+#include <algorithm>
+
+#include "src/util/hash.h"
+
+namespace s3fifo {
+namespace {
+
+uint64_t NextPow2(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+GhostTable::GhostTable(uint64_t capacity) : capacity_(std::max<uint64_t>(capacity, 1)) {
+  // 2x slots over capacity keeps the live load factor around 50%, so expired
+  // or overwritten entries are rare enough not to distort membership.
+  const uint64_t num_buckets = NextPow2(std::max<uint64_t>(2 * capacity_ / kBucketWidth, 1));
+  bucket_mask_ = num_buckets - 1;
+  slots_.assign(num_buckets * kBucketWidth, Slot{});
+}
+
+uint64_t GhostTable::BucketFor(uint64_t id) const { return HashId(id) & bucket_mask_; }
+
+bool GhostTable::IsLive(const Slot& slot) const {
+  if (slot.fingerprint == 0) {
+    return false;
+  }
+  // 32-bit modular distance; valid while capacity_ < 2^31.
+  const uint32_t age = static_cast<uint32_t>(insertions_) - slot.time;
+  return age <= capacity_;
+}
+
+void GhostTable::Insert(uint64_t id) {
+  const uint64_t base = BucketFor(id) * kBucketWidth;
+  const uint32_t fp = Fingerprint32(id);
+  ++insertions_;
+  const uint32_t now = static_cast<uint32_t>(insertions_);
+
+  int free_slot = -1;
+  int oldest_slot = 0;
+  uint32_t oldest_age = 0;
+  for (int i = 0; i < kBucketWidth; ++i) {
+    Slot& slot = slots_[base + i];
+    if (slot.fingerprint == fp) {
+      slot.time = now;  // refresh position in the logical queue
+      return;
+    }
+    if (!IsLive(slot)) {
+      if (free_slot < 0) {
+        free_slot = i;  // expired/empty: reclaim on collision (paper §4.2)
+      }
+    } else {
+      const uint32_t age = now - slot.time;
+      if (age >= oldest_age) {
+        oldest_age = age;
+        oldest_slot = i;
+      }
+    }
+  }
+  Slot& victim = slots_[base + (free_slot >= 0 ? free_slot : oldest_slot)];
+  victim.fingerprint = fp;
+  victim.time = now;
+}
+
+bool GhostTable::Contains(uint64_t id) const {
+  const uint64_t base = BucketFor(id) * kBucketWidth;
+  const uint32_t fp = Fingerprint32(id);
+  for (int i = 0; i < kBucketWidth; ++i) {
+    const Slot& slot = slots_[base + i];
+    if (slot.fingerprint == fp && IsLive(slot)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void GhostTable::Remove(uint64_t id) {
+  const uint64_t base = BucketFor(id) * kBucketWidth;
+  const uint32_t fp = Fingerprint32(id);
+  for (int i = 0; i < kBucketWidth; ++i) {
+    Slot& slot = slots_[base + i];
+    if (slot.fingerprint == fp) {
+      slot = Slot{};
+      return;
+    }
+  }
+}
+
+void GhostTable::Clear() {
+  std::fill(slots_.begin(), slots_.end(), Slot{});
+  insertions_ = 0;
+}
+
+uint64_t GhostTable::CountLive() const {
+  uint64_t live = 0;
+  for (const Slot& slot : slots_) {
+    if (IsLive(slot)) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+}  // namespace s3fifo

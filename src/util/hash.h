@@ -1,0 +1,41 @@
+// Hashing primitives shared across the library.
+//
+// All hash functions here are deterministic across platforms and runs; the
+// simulator relies on that for reproducibility.
+#ifndef SRC_UTIL_HASH_H_
+#define SRC_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace s3fifo {
+
+// SplitMix64 finalizer: a strong 64-bit mixing function. Suitable both as a
+// standalone integer hash and as a seed expander.
+inline constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Hash of an object id. Used for hash-table placement and Bloom filters.
+inline constexpr uint64_t HashId(uint64_t id) { return Mix64(id); }
+
+// Seeded variant: two independent hash streams per id, combinable as
+// h1 + i * h2 (Kirsch-Mitzenmacher) for k-hash structures.
+inline constexpr uint64_t HashId2(uint64_t id) {
+  return Mix64(id ^ 0xc2b2ae3d27d4eb4fULL);
+}
+
+// 32-bit fingerprint used by the ghost table (paper §4.2: "The fingerprint
+// stores a hash of the object using 4 bytes").
+inline constexpr uint32_t Fingerprint32(uint64_t id) {
+  uint64_t h = Mix64(id ^ 0x165667b19e3779f9ULL);
+  // Reserve 0 as the "empty slot" sentinel.
+  uint32_t fp = static_cast<uint32_t>(h >> 32);
+  return fp == 0 ? 1u : fp;
+}
+
+}  // namespace s3fifo
+
+#endif  // SRC_UTIL_HASH_H_

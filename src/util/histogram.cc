@@ -1,0 +1,131 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace s3fifo {
+
+void Summary::Add(double value) {
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+void Summary::Merge(const Summary& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_ = false;
+}
+
+void Summary::EnsureSorted() const {
+  if (!sorted_) {
+    auto* self = const_cast<Summary*>(this);
+    std::sort(self->values_.begin(), self->values_.end());
+    self->sorted_ = true;
+  }
+}
+
+double Summary::Mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  double s = 0.0;
+  for (double v : values_) {
+    s += v;
+  }
+  return s / static_cast<double>(values_.size());
+}
+
+double Summary::Min() const {
+  EnsureSorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Summary::Max() const {
+  EnsureSorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Summary::Percentile(double p) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double Summary::Stddev() const {
+  if (values_.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean();
+  double s = 0.0;
+  for (double v : values_) {
+    s += (v - mean) * (v - mean);
+  }
+  return std::sqrt(s / static_cast<double>(values_.size() - 1));
+}
+
+LogHistogram::LogHistogram() : buckets_(65, 0) {}
+
+int LogHistogram::BucketFor(uint64_t value) {
+  if (value == 0) {
+    return 0;
+  }
+  return 64 - __builtin_clzll(value);
+}
+
+void LogHistogram::Add(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  ++count_;
+  sum_ += static_cast<double>(value);
+}
+
+double LogHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LogHistogram::CumulativeFraction(uint64_t value) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const int b = BucketFor(value);
+  uint64_t below = 0;
+  for (int i = 0; i <= b; ++i) {
+    below += buckets_[i];
+  }
+  return static_cast<double>(below) / static_cast<double>(count_);
+}
+
+uint64_t LogHistogram::Quantile(double fraction) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const double target = fraction * static_cast<double>(count_);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (static_cast<double>(cum) >= target) {
+      return i == 0 ? 0 : (1ULL << i) - 1;  // bucket upper bound
+    }
+  }
+  return ~0ULL;
+}
+
+std::string LogHistogram::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const uint64_t lo = i == 0 ? 0 : (1ULL << (i - 1));
+    const uint64_t hi = i == 0 ? 0 : (1ULL << i) - 1;
+    os << "[" << lo << "," << hi << "]: " << buckets_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace s3fifo

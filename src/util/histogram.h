@@ -1,0 +1,63 @@
+// Small statistics helpers: exact percentile summaries over collected
+// samples, and a log-bucketed histogram for long-tailed quantities (eviction
+// ages, reuse distances).
+#ifndef SRC_UTIL_HISTOGRAM_H_
+#define SRC_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s3fifo {
+
+// Accumulates raw samples; percentiles computed on demand (sorts lazily).
+class Summary {
+ public:
+  void Add(double value);
+  void Merge(const Summary& other);
+
+  size_t count() const { return values_.size(); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  // p in [0, 100]; linear interpolation between order statistics.
+  double Percentile(double p) const;
+  double Stddev() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+// Power-of-two bucketed histogram for non-negative integer samples.
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  void Add(uint64_t value);
+  uint64_t count() const { return count_; }
+  double Mean() const;
+  // Fraction of samples <= value.
+  double CumulativeFraction(uint64_t value) const;
+  // Value at which the CDF first reaches fraction (approximate: bucket upper
+  // bound).
+  uint64_t Quantile(double fraction) const;
+  std::string ToString() const;
+
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  static int BucketFor(uint64_t value);
+
+  std::vector<uint64_t> buckets_;  // bucket i holds values in [2^(i-1), 2^i)
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_UTIL_HISTOGRAM_H_

@@ -1,0 +1,132 @@
+// Intrusive doubly-linked list.
+//
+// Cache policies keep their per-object metadata in a hash map (node-based, so
+// addresses are stable) and chain the entries through embedded ListHooks.
+// This gives O(1) splice/remove without per-operation allocation — the same
+// structure production caches (Cachelib, memcached) use for LRU queues.
+//
+// An entry may sit on several lists at once by embedding several hooks (LIRS
+// needs stack + queue membership simultaneously).
+#ifndef SRC_UTIL_INTRUSIVE_LIST_H_
+#define SRC_UTIL_INTRUSIVE_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+
+namespace s3fifo {
+
+struct ListHook {
+  ListHook* prev = nullptr;
+  ListHook* next = nullptr;
+  void* owner = nullptr;  // back-pointer to the enclosing entry
+
+  bool linked() const { return prev != nullptr; }
+};
+
+// T is the entry type; HookPtr selects which embedded hook this list uses.
+template <typename T, ListHook T::*HookPtr>
+class IntrusiveList {
+ public:
+  IntrusiveList() { Reset(); }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  // Head = most recently inserted ("front"), tail = oldest ("back").
+  T* Front() { return empty() ? nullptr : Owner(head_.next); }
+  T* Back() { return empty() ? nullptr : Owner(head_.prev); }
+  const T* Front() const { return empty() ? nullptr : Owner(head_.next); }
+  const T* Back() const { return empty() ? nullptr : Owner(head_.prev); }
+
+  void PushFront(T* entry) { InsertAfter(&head_, entry); }
+  void PushBack(T* entry) { InsertAfter(head_.prev, entry); }
+
+  void Remove(T* entry) {
+    ListHook* h = Hook(entry);
+    assert(h->linked());
+    h->prev->next = h->next;
+    h->next->prev = h->prev;
+    h->prev = h->next = nullptr;
+    h->owner = nullptr;
+    --size_;
+  }
+
+  T* PopFront() {
+    T* e = Front();
+    if (e != nullptr) {
+      Remove(e);
+    }
+    return e;
+  }
+
+  T* PopBack() {
+    T* e = Back();
+    if (e != nullptr) {
+      Remove(e);
+    }
+    return e;
+  }
+
+  void MoveToFront(T* entry) {
+    Remove(entry);
+    PushFront(entry);
+  }
+
+  void MoveToBack(T* entry) {
+    Remove(entry);
+    PushBack(entry);
+  }
+
+  bool Contains(const T* entry) const { return (entry->*HookPtr).linked(); }
+
+  // Neighbour toward the tail (older side); nullptr at the tail.
+  T* Older(T* entry) {
+    ListHook* n = Hook(entry)->next;
+    return n == &head_ ? nullptr : Owner(n);
+  }
+
+  // Neighbour toward the head (newer side); nullptr at the head.
+  T* Newer(T* entry) {
+    ListHook* p = Hook(entry)->prev;
+    return p == &head_ ? nullptr : Owner(p);
+  }
+
+  void Clear() {
+    while (!empty()) {
+      PopFront();
+    }
+  }
+
+ private:
+  static ListHook* Hook(T* entry) { return &(entry->*HookPtr); }
+  static T* Owner(ListHook* h) { return static_cast<T*>(h->owner); }
+  static const T* Owner(const ListHook* h) { return static_cast<const T*>(h->owner); }
+
+  void InsertAfter(ListHook* pos, T* entry) {
+    ListHook* h = Hook(entry);
+    assert(!h->linked());
+    h->owner = entry;
+    h->prev = pos;
+    h->next = pos->next;
+    pos->next->prev = h;
+    pos->next = h;
+    ++size_;
+  }
+
+  void Reset() {
+    head_.prev = &head_;
+    head_.next = &head_;
+    head_.owner = nullptr;
+    size_ = 0;
+  }
+
+  ListHook head_;
+  size_t size_ = 0;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_UTIL_INTRUSIVE_LIST_H_

@@ -1,0 +1,64 @@
+#include "src/util/params.h"
+
+#include <stdexcept>
+
+namespace s3fifo {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Params::Params(std::string_view spec) {
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) {
+      comma = spec.size();
+    }
+    std::string_view pair = Trim(spec.substr(pos, comma - pos));
+    if (!pair.empty()) {
+      const size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        throw std::invalid_argument("Params: malformed pair '" + std::string(pair) + "'");
+      }
+      kv_.emplace(std::string(Trim(pair.substr(0, eq))), std::string(Trim(pair.substr(eq + 1))));
+    }
+    pos = comma + 1;
+  }
+}
+
+bool Params::Has(const std::string& key) const { return kv_.count(key) != 0; }
+
+double Params::GetDouble(const std::string& key, double default_value) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? default_value : std::stod(it->second);
+}
+
+uint64_t Params::GetU64(const std::string& key, uint64_t default_value) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? default_value : static_cast<uint64_t>(std::stoull(it->second));
+}
+
+bool Params::GetBool(const std::string& key, bool default_value) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) {
+    return default_value;
+  }
+  return it->second == "1" || it->second == "true" || it->second == "yes";
+}
+
+std::string Params::GetString(const std::string& key, const std::string& default_value) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? default_value : it->second;
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,36 @@
+// Tiny "key=value,key=value" parameter parser used by CacheConfig::params so
+// benches and examples can configure policies from strings
+// ("s3fifo", "small_ratio=0.05,ghost_ratio=0.9").
+#ifndef SRC_UTIL_PARAMS_H_
+#define SRC_UTIL_PARAMS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace s3fifo {
+
+class Params {
+ public:
+  Params() = default;
+  // Parses "k1=v1,k2=v2". Whitespace around keys/values is trimmed. Throws
+  // std::invalid_argument on malformed input (a pair without '=').
+  explicit Params(std::string_view spec);
+
+  bool Has(const std::string& key) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  uint64_t GetU64(const std::string& key, uint64_t default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+  std::string GetString(const std::string& key, const std::string& default_value) const;
+
+  // Keys that were parsed but never read; lets policies reject typos.
+  const std::map<std::string, std::string>& raw() const { return kv_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_UTIL_PARAMS_H_

@@ -1,0 +1,46 @@
+// Fixed-size thread pool. Substrate for the parallel simulation runner (the
+// analog of the paper's distributed computation platform) and for the
+// concurrent-cache stress tests.
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace s3fifo {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not throw; wrap fallible work (the parallel
+  // runner does its own exception capture).
+  void Submit(std::function<void()> task);
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  unsigned in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

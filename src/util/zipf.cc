@@ -1,0 +1,75 @@
+#include "src/util/zipf.h"
+
+#include <cmath>
+
+namespace s3fifo {
+namespace {
+
+// log1p(x) / x, continuous at x = 0. Used so HIntegralInverse stays accurate
+// when alpha is close to 1.
+double Helper1(double x) {
+  if (std::abs(x) > 1e-8) {
+    return std::log1p(x) / x;
+  }
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25));
+}
+
+// expm1(x) / x, continuous at x = 0.
+double Helper2(double x) {
+  if (std::abs(x) > 1e-8) {
+    return std::expm1(x) / x;
+  }
+  return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + x * 0.25));
+}
+
+}  // namespace
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double alpha) : n_(n == 0 ? 1 : n), alpha_(alpha) {
+  if (alpha_ < 1e-9) {
+    // Uniform; Sample() special-cases this.
+    h_integral_x1_ = h_integral_n_ = s_ = 0.0;
+    return;
+  }
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_n_ = HIntegral(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+}
+
+// Integral of t^-alpha, i.e. (x^(1-alpha) - 1) / (1 - alpha), in a form that
+// is stable for alpha near 1.
+double ZipfDistribution::HIntegral(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - alpha_) * log_x) * log_x;
+}
+
+double ZipfDistribution::H(double x) const { return std::exp(-alpha_ * std::log(x)); }
+
+double ZipfDistribution::HIntegralInverse(double x) const {
+  double t = x * (1.0 - alpha_);
+  if (t < -1.0) {
+    t = -1.0;  // guard against round-off below the valid domain
+  }
+  return std::exp(Helper1(t) * x);
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  if (alpha_ < 1e-9) {
+    return 1 + rng.NextBounded(n_);
+  }
+  while (true) {
+    const double u = h_integral_n_ + rng.NextDouble() * (h_integral_x1_ - h_integral_n_);
+    const double x = HIntegralInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= HIntegral(kd + 0.5) - H(kd)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,40 @@
+// Zipf(α) sampler over ranks [1, n] using rejection inversion (Hörmann &
+// Derflinger). O(1) per draw for any n, unlike the naive CDF table which is
+// O(n) memory and O(log n) per draw. This is what makes generating the
+// paper's billion-scale synthetic traces tractable.
+#ifndef SRC_UTIL_ZIPF_H_
+#define SRC_UTIL_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace s3fifo {
+
+class ZipfDistribution {
+ public:
+  // n: number of ranks; alpha: skew (> 0). alpha near 0 is handled by the
+  // uniform fallback since rejection inversion degenerates there.
+  ZipfDistribution(uint64_t n, double alpha);
+
+  // Draws a rank in [1, n]; rank 1 is the most popular.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double HIntegral(double x) const;
+  double HIntegralInverse(double x) const;
+  double H(double x) const;
+
+  uint64_t n_;
+  double alpha_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_UTIL_ZIPF_H_

@@ -1,0 +1,55 @@
+#include "src/workload/scan_workload.h"
+
+namespace s3fifo {
+
+Trace GenerateSequentialScan(uint64_t num_objects) {
+  std::vector<Request> reqs;
+  reqs.reserve(num_objects);
+  for (uint64_t i = 0; i < num_objects; ++i) {
+    Request r;
+    r.id = i;
+    r.time = i;
+    reqs.push_back(r);
+  }
+  return Trace(std::move(reqs), "sequential_scan");
+}
+
+Trace GenerateLoop(uint64_t region, uint64_t num_requests) {
+  std::vector<Request> reqs;
+  reqs.reserve(num_requests);
+  for (uint64_t i = 0; i < num_requests; ++i) {
+    Request r;
+    r.id = region == 0 ? 0 : i % region;
+    r.time = i;
+    reqs.push_back(r);
+  }
+  return Trace(std::move(reqs), "loop");
+}
+
+Trace GenerateTwoHitPattern(uint64_t num_objects, uint64_t reuse_distance) {
+  // Emit object i at position p(i), and again reuse_distance slots later, by
+  // interleaving: i, i+1, ..., i+D-1, i, i+D, i+1, ... A simple construction:
+  // maintain a sliding window of D outstanding first-accesses.
+  std::vector<Request> reqs;
+  reqs.reserve(2 * num_objects);
+  uint64_t t = 0;
+  auto emit = [&](uint64_t id) {
+    Request r;
+    r.id = id;
+    r.time = t++;
+    reqs.push_back(r);
+  };
+  for (uint64_t i = 0; i < num_objects; ++i) {
+    emit(i);
+    if (i >= reuse_distance) {
+      emit(i - reuse_distance);  // second (and last) access
+    }
+  }
+  for (uint64_t i = num_objects >= reuse_distance ? num_objects - reuse_distance : 0;
+       i < num_objects; ++i) {
+    emit(i);
+  }
+  return Trace(std::move(reqs), "two_hit");
+}
+
+}  // namespace s3fifo

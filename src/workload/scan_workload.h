@@ -1,0 +1,31 @@
+// Focused access-pattern generators used by unit tests and adversarial
+// benchmarks: pure sequential scans, cyclic loops, and the "every object is
+// requested exactly twice, D apart" pattern the paper identifies as
+// adversarial for space-partitioned algorithms (§5.2).
+#ifndef SRC_WORKLOAD_SCAN_WORKLOAD_H_
+#define SRC_WORKLOAD_SCAN_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "src/trace/trace.h"
+
+namespace s3fifo {
+
+// ids 0..n-1 each requested once, in order.
+Trace GenerateSequentialScan(uint64_t num_objects);
+
+// ids 0..region-1 swept repeatedly until num_requests requests are emitted
+// (the classic LRU-thrashing loop).
+Trace GenerateLoop(uint64_t region, uint64_t num_requests);
+
+// Every object requested exactly twice, the second access lagging the first
+// by `reuse_distance` insertion steps. Measured in intervening *distinct*
+// objects the steady-state reuse distance is ~2x reuse_distance (the window
+// holds both upcoming first accesses and trailing second accesses).
+// Adversarial for S3-FIFO when that distance exceeds the small queue (§5.2
+// "Adversarial workloads").
+Trace GenerateTwoHitPattern(uint64_t num_objects, uint64_t reuse_distance);
+
+}  // namespace s3fifo
+
+#endif  // SRC_WORKLOAD_SCAN_WORKLOAD_H_

@@ -1,0 +1,107 @@
+#include "src/analysis/demotion.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cache_factory.h"
+#include "src/trace/next_access.h"
+#include "src/workload/zipf_workload.h"
+
+namespace s3fifo {
+namespace {
+
+Trace AnnotatedZipf(uint64_t seed, double new_frac = 0.15) {
+  ZipfWorkloadConfig c;
+  c.num_objects = 1500;
+  c.num_requests = 50000;
+  c.alpha = 1.0;
+  c.new_object_fraction = new_frac;
+  c.seed = seed;
+  Trace t = GenerateZipfTrace(c);
+  AnnotateNextAccess(t);
+  return t;
+}
+
+CacheConfig Config(uint64_t cap, const std::string& params = "") {
+  CacheConfig c;
+  c.capacity = cap;
+  c.params = params;
+  return c;
+}
+
+TEST(DemotionTest, SupportedPoliciesExposeListeners) {
+  for (const char* name : {"s3fifo", "tinylfu", "arc"}) {
+    auto cache = CreateCache(name, Config(100));
+    EXPECT_TRUE(TrySetDemotionListener(*cache, [](const DemotionEvent&) {})) << name;
+  }
+  auto lru = CreateCache("lru", Config(100));
+  EXPECT_FALSE(TrySetDemotionListener(*lru, [](const DemotionEvent&) {}));
+}
+
+TEST(DemotionTest, UnsupportedPolicyThrows) {
+  Trace t = AnnotatedZipf(1);
+  auto lru = CreateCache("lru", Config(100));
+  EXPECT_THROW(MeasureDemotion(t, *lru, 100.0), std::invalid_argument);
+}
+
+TEST(DemotionTest, UnannotatedTraceThrows) {
+  ZipfWorkloadConfig c;
+  c.num_objects = 100;
+  c.num_requests = 1000;
+  Trace t = GenerateZipfTrace(c);
+  auto s3 = CreateCache("s3fifo", Config(50));
+  EXPECT_THROW(MeasureDemotion(t, *s3, 100.0), std::invalid_argument);
+}
+
+TEST(DemotionTest, S3FifoDemotionIsFasterThanLruEviction) {
+  // §6.1: the small queue demotes in ~small-queue time, i.e. ~10x faster
+  // than the LRU eviction age => normalized speed >> 1.
+  Trace t = AnnotatedZipf(2);
+  const CacheConfig config = Config(150);
+  const double lru_age = LruEvictionAge(t, config);
+  ASSERT_GT(lru_age, 0.0);
+  auto s3 = CreateCache("s3fifo", config);
+  const DemotionMetrics m = MeasureDemotion(t, *s3, lru_age);
+  EXPECT_GT(m.demotions, 0u);
+  EXPECT_GT(m.normalized_speed, 2.0);
+}
+
+TEST(DemotionTest, SmallerSmallQueueDemotesFaster) {
+  // Fig. 10: reducing S always increases demotion speed.
+  Trace t = AnnotatedZipf(3);
+  const CacheConfig base = Config(200);
+  const double lru_age = LruEvictionAge(t, base);
+  auto s3_small = CreateCache("s3fifo", Config(200, "small_ratio=0.02"));
+  auto s3_large = CreateCache("s3fifo", Config(200, "small_ratio=0.4"));
+  const DemotionMetrics fast = MeasureDemotion(t, *s3_small, lru_age);
+  const DemotionMetrics slow = MeasureDemotion(t, *s3_large, lru_age);
+  EXPECT_GT(fast.normalized_speed, slow.normalized_speed);
+}
+
+TEST(DemotionTest, PrecisionIsAFraction) {
+  Trace t = AnnotatedZipf(4);
+  const CacheConfig config = Config(150);
+  const double lru_age = LruEvictionAge(t, config);
+  for (const char* name : {"s3fifo", "tinylfu", "arc"}) {
+    auto cache = CreateCache(name, config);
+    const DemotionMetrics m = MeasureDemotion(t, *cache, lru_age);
+    EXPECT_GE(m.precision, 0.0) << name;
+    EXPECT_LE(m.precision, 1.0) << name;
+    EXPECT_GT(m.demotions + m.promotions, 0u) << name;
+    EXPECT_GT(m.miss_ratio, 0.0) << name;
+    EXPECT_LT(m.miss_ratio, 1.0) << name;
+  }
+}
+
+TEST(DemotionTest, OneHitWonderDemotionsAreMostlyCorrect) {
+  // With many true one-hit wonders, demoting them early is almost always
+  // the right call -> high precision.
+  Trace t = AnnotatedZipf(5, /*new_frac=*/0.4);
+  const CacheConfig config = Config(150);
+  const double lru_age = LruEvictionAge(t, config);
+  auto s3 = CreateCache("s3fifo", config);
+  const DemotionMetrics m = MeasureDemotion(t, *s3, lru_age);
+  EXPECT_GT(m.precision, 0.6);
+}
+
+}  // namespace
+}  // namespace s3fifo

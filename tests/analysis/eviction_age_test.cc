@@ -1,0 +1,103 @@
+#include "src/analysis/eviction_age.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cache_factory.h"
+#include "src/sim/simulator.h"
+#include "src/trace/next_access.h"
+#include "src/workload/scan_workload.h"
+#include "src/workload/zipf_workload.h"
+
+namespace s3fifo {
+namespace {
+
+Trace HighOhwTrace(uint64_t seed) {
+  ZipfWorkloadConfig c;
+  c.num_objects = 1000;
+  c.num_requests = 40000;
+  c.alpha = 0.8;
+  c.new_object_fraction = 0.25;
+  c.seed = seed;
+  Trace t = GenerateZipfTrace(c);
+  AnnotateNextAccess(t);
+  return t;
+}
+
+TEST(EvictionProfileTest, ScanEvictionsAreAllZeroFrequency) {
+  Trace scan = GenerateSequentialScan(5000);
+  CacheConfig config;
+  config.capacity = 100;
+  auto lru = CreateCache("lru", config);
+  const EvictionProfile p = CollectEvictionProfile(scan, *lru);
+  ASSERT_GT(p.evictions, 0u);
+  EXPECT_DOUBLE_EQ(p.freq_at_eviction[0], 1.0);  // every eviction a one-hit wonder
+}
+
+TEST(EvictionProfileTest, HistogramSumsToOne) {
+  Trace t = HighOhwTrace(1);
+  CacheConfig config;
+  config.capacity = 100;
+  auto lru = CreateCache("lru", config);
+  const EvictionProfile p = CollectEvictionProfile(t, *lru);
+  double sum = 0;
+  for (double f : p.freq_at_eviction) {
+    sum += f;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(EvictionProfileTest, LruEvictionAgeNearCacheSizeOnScan) {
+  // On a pure miss stream, an object inserted into LRU is evicted exactly
+  // `capacity` insertions later.
+  Trace scan = GenerateSequentialScan(5000);
+  CacheConfig config;
+  config.capacity = 100;
+  auto lru = CreateCache("lru", config);
+  const EvictionProfile p = CollectEvictionProfile(scan, *lru);
+  EXPECT_NEAR(p.mean_insert_age, 100.0, 1.0);
+  EXPECT_NEAR(p.mean_last_access_age, 100.0, 1.0);
+}
+
+TEST(EvictionProfileTest, MostEvictionsAreOneHitWondersAtSmallSize) {
+  // The Fig. 4 observation: at a cache far smaller than the footprint, the
+  // bulk of LRU- and Belady-evicted objects saw no reuse.
+  Trace t = HighOhwTrace(2);
+  CacheConfig config;
+  config.capacity = 50;  // ~0.3% of footprint
+  for (const char* policy : {"lru", "belady"}) {
+    auto cache = CreateCache(policy, config);
+    const EvictionProfile p = CollectEvictionProfile(t, *cache);
+    EXPECT_GT(p.freq_at_eviction[0], 0.5) << policy;
+  }
+}
+
+TEST(EvictionProfileTest, MissRatioReportedMatchesSimulator) {
+  Trace t = HighOhwTrace(3);
+  CacheConfig config;
+  config.capacity = 100;
+  auto a = CreateCache("s3fifo", config);
+  const EvictionProfile p = CollectEvictionProfile(t, *a);
+  auto b = CreateCache("s3fifo", config);
+  const SimResult r = Simulate(t, *b);
+  EXPECT_DOUBLE_EQ(p.miss_ratio, r.MissRatio());
+}
+
+TEST(EvictionProfileTest, MaxBucketAggregatesTail) {
+  // FIFO evicts hot objects regardless of hits, so popular Zipf objects
+  // reach eviction with many accesses — they must land in the last bucket.
+  ZipfWorkloadConfig zc;
+  zc.num_objects = 1000;
+  zc.num_requests = 40000;
+  zc.alpha = 1.2;
+  zc.seed = 4;
+  Trace t = GenerateZipfTrace(zc);
+  CacheConfig config;
+  config.capacity = 100;
+  auto fifo = CreateCache("fifo", config);
+  const EvictionProfile p = CollectEvictionProfile(t, *fifo, /*max_freq_bucket=*/4);
+  ASSERT_EQ(p.freq_at_eviction.size(), 5u);
+  EXPECT_GT(p.freq_at_eviction[4], 0.0);  // hits overflow into the last bucket
+}
+
+}  // namespace
+}  // namespace s3fifo

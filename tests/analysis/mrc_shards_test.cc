@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "src/analysis/mrc.h"
+#include "src/analysis/shards.h"
+#include "src/workload/zipf_workload.h"
+
+namespace s3fifo {
+namespace {
+
+Trace BigZipf(uint64_t seed) {
+  ZipfWorkloadConfig c;
+  c.num_objects = 5000;
+  c.num_requests = 100000;
+  c.alpha = 1.0;
+  c.seed = seed;
+  return GenerateZipfTrace(c);
+}
+
+TEST(MrcTest, CurveHasOnePointPerSize) {
+  Trace t = BigZipf(1);
+  const auto curve = ComputeMrc(t, "lru", {50, 100, 200});
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_EQ(curve[0].cache_size, 50u);
+  EXPECT_EQ(curve[2].cache_size, 200u);
+}
+
+TEST(MrcTest, LruCurveIsMonotone) {
+  Trace t = BigZipf(2);
+  const auto curve = ComputeMrc(t, "lru", {25, 50, 100, 200, 400, 800});
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].miss_ratio, curve[i - 1].miss_ratio + 1e-9);
+  }
+}
+
+TEST(MrcTest, S3FifoCurveBelowFifoCurve) {
+  Trace t = BigZipf(3);
+  const std::vector<uint64_t> sizes = {50, 100, 200, 400};
+  const auto fifo = ComputeMrc(t, "fifo", sizes);
+  const auto s3 = ComputeMrc(t, "s3fifo", sizes);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_LE(s3[i].miss_ratio, fifo[i].miss_ratio + 0.01) << sizes[i];
+  }
+}
+
+TEST(ShardsTest, SampleKeepsAllRequestsOfSampledObjects) {
+  Trace t = BigZipf(4);
+  Trace sampled = ShardsSample(t, 0.1);
+  ASSERT_GT(sampled.size(), 0u);
+  // Per-object request counts must be preserved exactly.
+  std::unordered_map<uint64_t, uint32_t> full_counts, sample_counts;
+  for (const Request& r : t.requests()) {
+    ++full_counts[r.id];
+  }
+  for (const Request& r : sampled.requests()) {
+    ++sample_counts[r.id];
+  }
+  for (const auto& [id, n] : sample_counts) {
+    ASSERT_EQ(n, full_counts[id]) << id;
+  }
+}
+
+TEST(ShardsTest, SampleSizeNearRate) {
+  Trace t = BigZipf(5);
+  Trace sampled = ShardsSample(t, 0.1);
+  const double object_rate = static_cast<double>(sampled.Stats().num_objects) /
+                             static_cast<double>(t.Stats().num_objects);
+  EXPECT_NEAR(object_rate, 0.1, 0.03);
+}
+
+TEST(ShardsTest, EstimateTracksExactMissRatio) {
+  // §6.2.3: downsized simulation approximates the full simulation.
+  Trace t = BigZipf(6);
+  const auto exact = ComputeMrc(t, "lru", {500});
+  const double approx = ShardsMissRatio(t, "lru", 500, 0.2);
+  EXPECT_NEAR(approx, exact[0].miss_ratio, 0.05);
+}
+
+TEST(ShardsTest, FullRateIsExact) {
+  Trace t = BigZipf(7);
+  const auto exact = ComputeMrc(t, "fifo", {300});
+  const double approx = ShardsMissRatio(t, "fifo", 300, 1.0);
+  EXPECT_NEAR(approx, exact[0].miss_ratio, 1e-9);
+}
+
+}  // namespace
+}  // namespace s3fifo

@@ -1,0 +1,105 @@
+#include "src/concurrent/mpmc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace s3fifo {
+namespace {
+
+TEST(MpmcQueueTest, FifoOrderSingleThread) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.TryPush(i));
+  }
+  EXPECT_FALSE(q.TryPush(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    int v = -1;
+    ASSERT_TRUE(q.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  int v;
+  EXPECT_FALSE(q.TryPop(&v));  // empty
+}
+
+TEST(MpmcQueueTest, CapacityRoundedToPowerOfTwo) {
+  MpmcQueue<int> q(100);
+  EXPECT_EQ(q.capacity(), 128u);
+}
+
+TEST(MpmcQueueTest, WrapAroundManyTimes) {
+  MpmcQueue<int> q(4);
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(q.TryPush(round));
+    int v = -1;
+    ASSERT_TRUE(q.TryPop(&v));
+    ASSERT_EQ(v, round);
+  }
+}
+
+TEST(MpmcQueueTest, ConcurrentProducersConsumersConserveSum) {
+  MpmcQueue<uint64_t> q(1024);
+  constexpr int kProducers = 2, kConsumers = 2;
+  constexpr uint64_t kPerProducer = 100000;
+  std::atomic<uint64_t> consumed_sum{0};
+  std::atomic<uint64_t> consumed_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        const uint64_t value = static_cast<uint64_t>(p) * kPerProducer + i + 1;
+        while (!q.TryPush(value)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      uint64_t v;
+      while (true) {
+        if (q.TryPop(&v)) {
+          consumed_sum.fetch_add(v, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (done.load(std::memory_order_acquire)) {
+          while (q.TryPop(&v)) {  // final drain
+            consumed_sum.fetch_add(v, std::memory_order_relaxed);
+            consumed_count.fetch_add(1, std::memory_order_relaxed);
+          }
+          return;
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads[p].join();
+  }
+  done.store(true, std::memory_order_release);
+  for (int c = 0; c < kConsumers; ++c) {
+    threads[kProducers + c].join();
+  }
+  // Drain leftovers on this thread.
+  uint64_t v;
+  while (q.TryPop(&v)) {
+    consumed_sum.fetch_add(v);
+    consumed_count.fetch_add(1);
+  }
+  const uint64_t n = kProducers * kPerProducer;
+  uint64_t expected = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    expected += i;
+  }
+  EXPECT_EQ(consumed_count.load(), n);
+  EXPECT_EQ(consumed_sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace s3fifo

@@ -1,0 +1,64 @@
+#include "src/concurrent/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "src/concurrent/concurrent_lru.h"
+#include "src/concurrent/concurrent_s3fifo.h"
+
+namespace s3fifo {
+namespace {
+
+TEST(ReplayTest, ReportsThroughputAndHitRatio) {
+  ConcurrentCacheConfig config;
+  config.capacity_objects = 1 << 12;
+  config.value_size = 16;
+  ConcurrentS3Fifo cache(config);
+  ReplayOptions options;
+  options.num_threads = 2;
+  options.requests_per_thread = 50000;
+  options.num_objects = 1 << 14;
+  options.zipf_alpha = 1.0;
+  const ReplayResult r = ReplayClosedLoop(cache, options);
+  EXPECT_EQ(r.total_requests, 100000u);
+  EXPECT_GT(r.throughput_mops, 0.0);
+  EXPECT_GT(r.hit_ratio, 0.3);  // zipf 1.0 with 25% cache
+  EXPECT_LT(r.hit_ratio, 1.0);
+  EXPECT_GT(r.elapsed_seconds, 0.0);
+}
+
+TEST(ReplayTest, HitRatioConsistentAcrossCaches) {
+  // Same workload and cache size: LRU and S3-FIFO hit ratios should be in
+  // the same ballpark (both sane cache policies).
+  ReplayOptions options;
+  options.num_threads = 1;
+  options.requests_per_thread = 80000;
+  options.num_objects = 1 << 14;
+  options.zipf_alpha = 1.0;
+
+  ConcurrentCacheConfig config;
+  config.capacity_objects = 1 << 12;
+  config.value_size = 16;
+  ConcurrentLruStrict lru(config);
+  ConcurrentS3Fifo s3(config);
+  const double hr_lru = ReplayClosedLoop(lru, options).hit_ratio;
+  const double hr_s3 = ReplayClosedLoop(s3, options).hit_ratio;
+  EXPECT_NEAR(hr_lru, hr_s3, 0.15);
+}
+
+TEST(ReplayTest, SingleThreadDeterministicHitRatio) {
+  ReplayOptions options;
+  options.num_threads = 1;
+  options.requests_per_thread = 30000;
+  options.num_objects = 1 << 12;
+  options.seed = 99;
+
+  ConcurrentCacheConfig config;
+  config.capacity_objects = 1 << 10;
+  config.value_size = 16;
+  ConcurrentLruStrict a(config), b(config);
+  EXPECT_DOUBLE_EQ(ReplayClosedLoop(a, options).hit_ratio,
+                   ReplayClosedLoop(b, options).hit_ratio);
+}
+
+}  // namespace
+}  // namespace s3fifo

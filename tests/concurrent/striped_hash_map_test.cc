@@ -1,0 +1,102 @@
+#include "src/concurrent/striped_hash_map.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace s3fifo {
+namespace {
+
+TEST(StripedHashMapTest, BasicOps) {
+  StripedHashMap<int> map(8);
+  EXPECT_TRUE(map.Insert(1, 10));
+  EXPECT_FALSE(map.Insert(1, 20));  // overwrite, not new
+  int v = 0;
+  EXPECT_TRUE(map.Find(1, &v));
+  EXPECT_EQ(v, 20);
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_FALSE(map.Find(1, &v));
+  EXPECT_FALSE(map.Erase(1));
+}
+
+TEST(StripedHashMapTest, InsertIfAbsent) {
+  StripedHashMap<int> map(8);
+  EXPECT_TRUE(map.InsertIfAbsent(1, 10));
+  EXPECT_FALSE(map.InsertIfAbsent(1, 20));
+  int v = 0;
+  map.Find(1, &v);
+  EXPECT_EQ(v, 10);  // first insert won
+}
+
+TEST(StripedHashMapTest, EraseIf) {
+  StripedHashMap<int> map(8);
+  map.Insert(1, 10);
+  EXPECT_FALSE(map.EraseIf(1, [](int v) { return v == 99; }));
+  EXPECT_TRUE(map.Contains(1));
+  EXPECT_TRUE(map.EraseIf(1, [](int v) { return v == 10; }));
+  EXPECT_FALSE(map.Contains(1));
+}
+
+TEST(StripedHashMapTest, WithValueRunsUnderLock) {
+  StripedHashMap<int> map(8);
+  map.Insert(5, 50);
+  const int result = map.WithValue(5, [](int* v) { return v == nullptr ? -1 : *v; });
+  EXPECT_EQ(result, 50);
+  const int absent = map.WithValue(6, [](int* v) { return v == nullptr ? -1 : *v; });
+  EXPECT_EQ(absent, -1);
+}
+
+TEST(StripedHashMapTest, SizeAggregatesShards) {
+  StripedHashMap<int> map(4);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    map.Insert(i, static_cast<int>(i));
+  }
+  EXPECT_EQ(map.Size(), 1000u);
+}
+
+TEST(StripedHashMapTest, ConcurrentInsertFind) {
+  StripedHashMap<uint64_t> map(16);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>(t) * kPerThread + i;
+        map.Insert(key, key * 2);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(map.Size(), kThreads * kPerThread);
+  uint64_t v = 0;
+  ASSERT_TRUE(map.Find(3 * kPerThread + 7, &v));
+  EXPECT_EQ(v, (3 * kPerThread + 7) * 2);
+}
+
+TEST(StripedHashMapTest, ConcurrentInsertIfAbsentExactlyOneWinner) {
+  StripedHashMap<int> map(16);
+  constexpr int kThreads = 8;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t key = 0; key < 1000; ++key) {
+        if (map.InsertIfAbsent(key, t)) {
+          winners.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(winners.load(), 1000);
+}
+
+}  // namespace
+}  // namespace s3fifo

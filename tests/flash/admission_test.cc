@@ -1,0 +1,109 @@
+#include "src/flash/admission.h"
+
+#include <gtest/gtest.h>
+
+namespace s3fifo {
+namespace {
+
+AdmissionCandidate Candidate(uint64_t id, uint32_t reads, uint64_t residency = 100) {
+  AdmissionCandidate c;
+  c.id = id;
+  c.size = 4096;
+  c.dram_reads = reads;
+  c.dram_residency = residency;
+  c.now = 1000;
+  return c;
+}
+
+TEST(AdmissionTest, AdmitAllAlwaysTrue) {
+  AdmitAll policy;
+  EXPECT_TRUE(policy.Admit(Candidate(1, 0)));
+  EXPECT_TRUE(policy.Admit(Candidate(2, 100)));
+}
+
+TEST(AdmissionTest, ProbabilisticMatchesRate) {
+  ProbabilisticAdmission policy(0.2, 7);
+  int admitted = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (policy.Admit(Candidate(i, 0))) {
+      ++admitted;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(admitted) / n, 0.2, 0.01);
+}
+
+TEST(AdmissionTest, S3FifoAdmitsOnReads) {
+  S3FifoAdmission policy(1);
+  EXPECT_FALSE(policy.Admit(Candidate(1, 0)));
+  EXPECT_TRUE(policy.Admit(Candidate(2, 1)));
+  EXPECT_TRUE(policy.Admit(Candidate(3, 5)));
+}
+
+TEST(AdmissionTest, S3FifoThresholdTwo) {
+  S3FifoAdmission policy(2);
+  EXPECT_FALSE(policy.Admit(Candidate(1, 1)));
+  EXPECT_TRUE(policy.Admit(Candidate(2, 2)));
+}
+
+TEST(AdmissionTest, FlashieldLearnsToPreferReadObjects) {
+  FlashieldAdmission policy(1000, 3);
+  // Feedback loop: objects with reads are flashy, read-free ones are not.
+  for (int round = 0; round < 2000; ++round) {
+    policy.Admit(Candidate(round * 2, 3));      // flashy
+    const uint64_t cold = round * 2 + 1;
+    if (!policy.Admit(Candidate(cold, 0))) {
+      // cold objects genuinely never return: no OnRejectedReuse call.
+    }
+  }
+  // After training, read-heavy candidates admitted, read-free rejected.
+  int hot_admitted = 0, cold_admitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (policy.Admit(Candidate(1000000 + i, 4))) {
+      ++hot_admitted;
+    }
+    if (policy.Admit(Candidate(2000000 + i, 0))) {
+      ++cold_admitted;
+    }
+  }
+  EXPECT_GT(hot_admitted, 80);
+  EXPECT_LT(cold_admitted, 20);
+}
+
+TEST(AdmissionTest, FlashieldRejectedReuseFeedback) {
+  FlashieldAdmission policy(1000, 5);
+  // Train hard toward rejecting read-free objects...
+  for (int i = 0; i < 3000; ++i) {
+    policy.Admit(Candidate(i, 0));
+  }
+  // ...then deliver "it came back" feedback; weights must move toward
+  // admitting (the bias increases).
+  int admitted_before = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (policy.Admit(Candidate(500000 + i, 0))) {
+      ++admitted_before;
+    }
+  }
+  for (int i = 0; i < 5000; ++i) {
+    policy.Admit(Candidate(700000 + i, 0));
+    policy.OnRejectedReuse(700000 + i, 10);
+  }
+  int admitted_after = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (policy.Admit(Candidate(900000 + i, 0))) {
+      ++admitted_after;
+    }
+  }
+  EXPECT_GE(admitted_after, admitted_before);
+}
+
+TEST(AdmissionTest, FactoryCreatesAllPolicies) {
+  for (const char* name : {"none", "probabilistic", "flashield", "s3fifo"}) {
+    auto policy = CreateAdmissionPolicy(name, 1000, 1);
+    ASSERT_NE(policy, nullptr) << name;
+  }
+  EXPECT_THROW(CreateAdmissionPolicy("bogus", 1000, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace s3fifo

@@ -1,0 +1,133 @@
+#include "src/flash/flash_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/zipf_workload.h"
+
+namespace s3fifo {
+namespace {
+
+Trace CdnTrace(uint64_t seed) {
+  ZipfWorkloadConfig c;
+  c.num_objects = 2000;
+  c.num_requests = 40000;
+  c.alpha = 0.9;
+  c.new_object_fraction = 0.15;
+  c.size_sigma = 0.8;
+  c.size_mean_bytes = 8192;
+  c.seed = seed;
+  return GenerateZipfTrace(c);
+}
+
+FlashCacheConfig Config(DramDiscipline discipline, uint64_t flash_bytes = 8 << 20,
+                        uint64_t dram_bytes = 512 << 10) {
+  FlashCacheConfig c;
+  c.flash_capacity_bytes = flash_bytes;
+  c.dram_capacity_bytes = dram_bytes;
+  c.dram_discipline = discipline;
+  return c;
+}
+
+TEST(FlashCacheTest, TiersStayWithinCapacity) {
+  FlashCacheSim sim(Config(DramDiscipline::kLru), std::make_unique<AdmitAll>());
+  Trace t = CdnTrace(1);
+  for (const Request& r : t.requests()) {
+    sim.Get(r);
+    ASSERT_LE(sim.dram_occupied(), 512u << 10);
+    ASSERT_LE(sim.flash_occupied(), 8u << 20);
+  }
+}
+
+TEST(FlashCacheTest, DramHitThenFlashHit) {
+  FlashCacheSim sim(Config(DramDiscipline::kLru, 8 << 20, 16 << 10),
+                    std::make_unique<AdmitAll>());
+  Request a;
+  a.id = 1;
+  a.size = 4096;
+  EXPECT_FALSE(sim.Get(a));  // miss -> DRAM
+  EXPECT_TRUE(sim.Get(a));   // DRAM hit
+  // Push id 1 out of the small DRAM into flash.
+  for (uint64_t i = 2; i < 10; ++i) {
+    Request r;
+    r.id = i;
+    r.size = 4096;
+    sim.Get(r);
+  }
+  EXPECT_TRUE(sim.Get(a));  // now a flash hit
+  EXPECT_GE(sim.stats().flash_hits, 1u);
+}
+
+TEST(FlashCacheTest, NoAdmissionWritesEverythingEvicted) {
+  FlashCacheStats all = SimulateFlashCache(CdnTrace(2), Config(DramDiscipline::kLru),
+                                           std::make_unique<AdmitAll>());
+  FlashCacheStats prob = SimulateFlashCache(CdnTrace(2), Config(DramDiscipline::kLru),
+                                            std::make_unique<ProbabilisticAdmission>(0.2));
+  EXPECT_GT(all.flash_write_bytes, 3 * prob.flash_write_bytes);
+}
+
+TEST(FlashCacheTest, ProbabilisticTradesMissRatioForWrites) {
+  // Fig. 9: probabilistic admission reduces writes but raises the miss
+  // ratio relative to no admission control.
+  FlashCacheStats all = SimulateFlashCache(CdnTrace(3), Config(DramDiscipline::kLru),
+                                           std::make_unique<AdmitAll>());
+  FlashCacheStats prob = SimulateFlashCache(CdnTrace(3), Config(DramDiscipline::kLru),
+                                            std::make_unique<ProbabilisticAdmission>(0.2));
+  EXPECT_LT(all.MissRatio(), prob.MissRatio());
+  EXPECT_LT(prob.flash_write_bytes, all.flash_write_bytes);
+}
+
+TEST(FlashCacheTest, S3FifoAdmissionReducesWritesAndMissRatio) {
+  // The paper's headline flash result: the small-FIFO filter cuts writes
+  // versus no admission while keeping the miss ratio at least as good as
+  // probabilistic admission.
+  Trace t = CdnTrace(4);
+  FlashCacheStats all = SimulateFlashCache(t, Config(DramDiscipline::kLru),
+                                           std::make_unique<AdmitAll>());
+  FlashCacheStats prob = SimulateFlashCache(t, Config(DramDiscipline::kLru),
+                                            std::make_unique<ProbabilisticAdmission>(0.2));
+  FlashCacheStats s3 = SimulateFlashCache(t, Config(DramDiscipline::kSmallFifo),
+                                          std::make_unique<S3FifoAdmission>(1));
+  EXPECT_LT(s3.flash_write_bytes, all.flash_write_bytes);
+  EXPECT_LT(s3.MissRatio(), prob.MissRatio());
+}
+
+TEST(FlashCacheTest, GhostPathWritesStraightToFlash) {
+  FlashCacheConfig config = Config(DramDiscipline::kSmallFifo, 8 << 20, 8 << 10);
+  FlashCacheSim sim(config, std::make_unique<S3FifoAdmission>(1));
+  Request a;
+  a.id = 1;
+  a.size = 4096;
+  sim.Get(a);  // -> DRAM
+  // Evict id 1 (no reads): rejected, remembered in the ghost.
+  for (uint64_t i = 2; i < 6; ++i) {
+    Request r;
+    r.id = i;
+    r.size = 4096;
+    sim.Get(r);
+  }
+  const uint64_t writes_before = sim.stats().flash_write_bytes;
+  EXPECT_FALSE(sim.Get(a));  // ghost hit: goes to flash, still a miss
+  EXPECT_GT(sim.stats().flash_write_bytes, writes_before);
+  EXPECT_TRUE(sim.Get(a));  // flash hit now
+}
+
+TEST(FlashCacheTest, ObjectLargerThanDramGoesThroughAdmission) {
+  FlashCacheConfig config = Config(DramDiscipline::kLru, 8 << 20, 4 << 10);
+  FlashCacheSim sim(config, std::make_unique<AdmitAll>());
+  Request big;
+  big.id = 9;
+  big.size = 64 << 10;  // larger than DRAM
+  EXPECT_FALSE(sim.Get(big));
+  EXPECT_TRUE(sim.Get(big));  // admitted directly to flash
+}
+
+TEST(FlashCacheTest, StatsAddUp) {
+  Trace t = CdnTrace(5);
+  FlashCacheStats s = SimulateFlashCache(t, Config(DramDiscipline::kLru),
+                                         std::make_unique<AdmitAll>());
+  EXPECT_EQ(s.dram_hits + s.flash_hits + s.misses, s.requests);
+  EXPECT_GE(s.bytes_requested, s.bytes_missed);
+}
+
+}  // namespace
+}  // namespace s3fifo

@@ -1,0 +1,148 @@
+// Behavioural tests pinning down FIFO, LRU, and CLOCK semantics.
+#include <gtest/gtest.h>
+
+#include "src/core/cache_factory.h"
+#include "src/sim/simulator.h"
+#include "src/workload/scan_workload.h"
+
+namespace s3fifo {
+namespace {
+
+std::unique_ptr<Cache> Make(const std::string& name, uint64_t cap,
+                            const std::string& params = "") {
+  CacheConfig config;
+  config.capacity = cap;
+  config.params = params;
+  return CreateCache(name, config);
+}
+
+Request Get(uint64_t id) {
+  Request r;
+  r.id = id;
+  return r;
+}
+
+TEST(FifoTest, EvictsInInsertionOrder) {
+  auto c = Make("fifo", 3);
+  c->Get(Get(1));
+  c->Get(Get(2));
+  c->Get(Get(3));
+  c->Get(Get(4));  // evicts 1
+  EXPECT_FALSE(c->Contains(1));
+  EXPECT_TRUE(c->Contains(2));
+  EXPECT_TRUE(c->Contains(3));
+  EXPECT_TRUE(c->Contains(4));
+}
+
+TEST(FifoTest, HitsDoNotChangeOrder) {
+  auto c = Make("fifo", 3);
+  c->Get(Get(1));
+  c->Get(Get(2));
+  c->Get(Get(3));
+  c->Get(Get(1));  // hit; 1 remains oldest
+  c->Get(Get(4));  // evicts 1 despite the hit
+  EXPECT_FALSE(c->Contains(1));
+}
+
+TEST(LruTest, HitsPromote) {
+  auto c = Make("lru", 3);
+  c->Get(Get(1));
+  c->Get(Get(2));
+  c->Get(Get(3));
+  c->Get(Get(1));  // 1 becomes MRU
+  c->Get(Get(4));  // evicts 2 (now LRU)
+  EXPECT_TRUE(c->Contains(1));
+  EXPECT_FALSE(c->Contains(2));
+}
+
+TEST(LruTest, EvictionEventCountsHits) {
+  auto c = Make("lru", 2);
+  std::vector<EvictionEvent> events;
+  c->set_eviction_listener([&](const EvictionEvent& ev) { events.push_back(ev); });
+  c->Get(Get(1));
+  c->Get(Get(1));
+  c->Get(Get(1));  // two hits
+  c->Get(Get(2));
+  c->Get(Get(3));  // evicts 1
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].id, 1u);
+  EXPECT_EQ(events[0].access_count, 2u);
+}
+
+TEST(ClockTest, SecondChanceOnReferencedObject) {
+  auto c = Make("clock", 3);
+  c->Get(Get(1));
+  c->Get(Get(2));
+  c->Get(Get(3));
+  c->Get(Get(1));  // sets 1's ref bit
+  c->Get(Get(4));  // 1 gets a second chance; 2 is evicted
+  EXPECT_TRUE(c->Contains(1));
+  EXPECT_FALSE(c->Contains(2));
+}
+
+TEST(ClockTest, UnreferencedEvictedInFifoOrder) {
+  auto c = Make("clock", 2);
+  c->Get(Get(1));
+  c->Get(Get(2));
+  c->Get(Get(3));
+  EXPECT_FALSE(c->Contains(1));
+}
+
+TEST(ClockTest, MultiBitCounterSurvivesMultipleSweeps) {
+  auto c = Make("clock", 3, "bits=2");  // counter up to 3
+  c->Get(Get(1));
+  c->Get(Get(1));
+  c->Get(Get(1));
+  c->Get(Get(1));  // ref = 3
+  c->Get(Get(2));
+  c->Get(Get(3));
+  // Three insertions force three sweeps past object 1.
+  c->Get(Get(4));
+  c->Get(Get(5));
+  EXPECT_TRUE(c->Contains(1));  // 2 decrements so far, still referenced
+}
+
+TEST(ClockTest, EqualsFifoWithoutReuse) {
+  Trace scan = GenerateSequentialScan(2000);
+  auto fifo = Make("fifo", 100);
+  auto clock = Make("clock", 100);
+  const SimResult rf = Simulate(scan, *fifo);
+  const SimResult rc = Simulate(scan, *clock);
+  EXPECT_EQ(rf.misses, rc.misses);
+}
+
+TEST(LruTest, LoopThrashesLruButNotFifoWorse) {
+  // The classic result: a loop slightly larger than the cache gives LRU a
+  // 100% miss ratio; FIFO does no better — both thrash.
+  Trace loop = GenerateLoop(110, 10000);
+  auto lru = Make("lru", 100);
+  const SimResult r = Simulate(loop, *lru);
+  EXPECT_EQ(r.hits, 0u);
+}
+
+TEST(LruTest, ByteModeSizeUpdateEvicts) {
+  CacheConfig config;
+  config.capacity = 1000;
+  config.count_based = false;
+  auto c = CreateCache("lru", config);
+  Request a;
+  a.id = 1;
+  a.size = 400;
+  c->Get(a);
+  Request b;
+  b.id = 2;
+  b.size = 400;
+  c->Get(b);
+  // Grow object 1 to 900 bytes via a set: object 2 must be evicted.
+  Request grow;
+  grow.id = 1;
+  grow.size = 900;
+  grow.op = OpType::kSet;
+  EXPECT_TRUE(c->Get(grow));
+  EXPECT_LE(c->occupied(), 1000u);
+  EXPECT_FALSE(c->Contains(2));
+  EXPECT_TRUE(c->Contains(1));
+}
+
+}  // namespace
+}  // namespace s3fifo

@@ -1,0 +1,217 @@
+// Behavioural tests for LFU, LRU-K, B-LRU, LeCaR, CACHEUS, LHD, Hyperbolic,
+// FIFO-Merge, and Random.
+#include <gtest/gtest.h>
+
+#include "src/core/cache_factory.h"
+#include "src/sim/simulator.h"
+#include "src/workload/scan_workload.h"
+#include "src/workload/zipf_workload.h"
+
+namespace s3fifo {
+namespace {
+
+std::unique_ptr<Cache> Make(const std::string& name, uint64_t cap,
+                            const std::string& params = "") {
+  CacheConfig config;
+  config.capacity = cap;
+  config.params = params;
+  return CreateCache(name, config);
+}
+
+Request Get(uint64_t id) {
+  Request r;
+  r.id = id;
+  return r;
+}
+
+Trace SkewedTrace(uint64_t seed, uint64_t objects = 1000, uint64_t requests = 30000) {
+  ZipfWorkloadConfig c;
+  c.num_objects = objects;
+  c.num_requests = requests;
+  c.alpha = 1.0;
+  c.seed = seed;
+  return GenerateZipfTrace(c);
+}
+
+TEST(LfuTest, EvictsLeastFrequent) {
+  auto c = Make("lfu", 3);
+  c->Get(Get(1));
+  c->Get(Get(1));
+  c->Get(Get(2));
+  c->Get(Get(2));
+  c->Get(Get(3));
+  c->Get(Get(4));  // 3 has the lowest frequency
+  EXPECT_FALSE(c->Contains(3));
+  EXPECT_TRUE(c->Contains(1));
+  EXPECT_TRUE(c->Contains(2));
+}
+
+TEST(LfuTest, TieBrokenByRecency) {
+  auto c = Make("lfu", 2);
+  c->Get(Get(1));
+  c->Get(Get(2));
+  c->Get(Get(3));  // 1 and 2 tie at freq 1; 1 accessed longer ago
+  EXPECT_FALSE(c->Contains(1));
+  EXPECT_TRUE(c->Contains(2));
+}
+
+TEST(LruKTest, KDistanceBeatsRecency) {
+  // Object with two accesses has finite K-distance; one-touch objects are
+  // evicted first regardless of recency.
+  auto c = Make("lruk", 3, "k=2");
+  c->Get(Get(1));
+  c->Get(Get(1));  // 1 has 2 refs
+  c->Get(Get(2));
+  c->Get(Get(3));
+  c->Get(Get(4));  // evict among {2,3} (no K-th access), oldest first
+  EXPECT_TRUE(c->Contains(1));
+  EXPECT_FALSE(c->Contains(2));
+}
+
+TEST(LruKTest, OneTouchPagesEvictedBeforeTwoTouchUnderChurn) {
+  // Backward K-distance is infinite for pages with < K references: a churn
+  // of one-touch pages can never displace K-referenced residents.
+  auto c = Make("lruk", 4, "k=2");
+  c->Get(Get(1));
+  c->Get(Get(1));
+  for (uint64_t i = 10; i < 40; ++i) {
+    c->Get(Get(i));
+  }
+  EXPECT_TRUE(c->Contains(1));
+}
+
+TEST(LruKTest, RetainedHistoryChangesDecisions) {
+  // With retained reference history a returning object carries a finite
+  // K-distance; without retention it restarts at infinity. The two
+  // configurations must diverge on a churny workload.
+  ZipfWorkloadConfig zc;
+  zc.num_objects = 2000;
+  zc.num_requests = 40000;
+  zc.alpha = 0.8;
+  zc.seed = 23;
+  Trace t = GenerateZipfTrace(zc);
+  auto with_history = Make("lruk", 100, "k=2,history_ratio=2.0");
+  auto without_history = Make("lruk", 100, "k=2,history_ratio=0.0001");
+  const SimResult a = Simulate(t, *with_history);
+  const SimResult b = Simulate(t, *without_history);
+  EXPECT_NE(a.hits, b.hits);
+}
+
+TEST(BLruTest, FirstTouchIsNotCached) {
+  auto c = Make("blru", 10);
+  c->Get(Get(1));
+  EXPECT_FALSE(c->Contains(1));
+  c->Get(Get(1));  // second touch admits
+  EXPECT_TRUE(c->Contains(1));
+}
+
+TEST(BLruTest, RejectsOneHitWondersEntirely) {
+  auto c = Make("blru", 50);
+  Trace scan = GenerateSequentialScan(5000);
+  uint64_t evictions = 0;
+  c->set_eviction_listener([&](const EvictionEvent&) { ++evictions; });
+  Simulate(scan, *c);
+  // Essentially nothing admitted: only Bloom false positives (rate 0.001)
+  // can slip through.
+  EXPECT_LE(c->occupied(), 15u);
+  EXPECT_LE(evictions, 15u);
+}
+
+TEST(BLruTest, SecondRequestIsAlwaysAMiss) {
+  // The §5.2 critique: B-LRU turns every object's second request into a
+  // miss; on a two-hit workload it gets zero hits.
+  Trace two_hit = GenerateTwoHitPattern(2000, 10);
+  auto blru = Make("blru", 100);
+  const SimResult r = Simulate(two_hit, *blru);
+  EXPECT_EQ(r.hits, 0u);
+  // Plain LRU catches the second request easily at this reuse distance.
+  auto lru = Make("lru", 100);
+  EXPECT_GT(Simulate(two_hit, *lru).hits, 0u);
+}
+
+TEST(LeCarTest, WeightsRemainNormalised) {
+  auto c = Make("lecar", 50);
+  Trace t = SkewedTrace(3);
+  Simulate(t, *c);
+  // Re-run hot objects; just assert sane behaviour (weights internal).
+  EXPECT_LE(c->occupied(), 50u);
+}
+
+TEST(LeCarTest, BeatsNothingButWorks) {
+  Trace t = SkewedTrace(5);
+  auto c = Make("lecar", 100);
+  const SimResult r = Simulate(t, *c);
+  EXPECT_GT(r.hits, r.requests / 4);  // sane hit rate on a skewed trace
+}
+
+TEST(CacheusTest, AdaptiveLearningRateRuns) {
+  Trace t = SkewedTrace(7, 500, 40000);
+  auto c = Make("cacheus", 64);
+  const SimResult r = Simulate(t, *c);
+  EXPECT_GT(r.hits, 0u);
+  EXPECT_LE(c->occupied(), 64u);
+}
+
+TEST(LhdTest, PrefersHighHitDensityObjects) {
+  // Hot objects re-accessed at short ages accumulate hit events in young
+  // age classes; cold objects age out. After warmup LHD must clearly beat
+  // random eviction on a skewed trace.
+  Trace t = SkewedTrace(9, 500, 50000);
+  auto lhd = Make("lhd", 50);
+  auto random = Make("random", 50);
+  const double mr_lhd = Simulate(t, *lhd).MissRatio();
+  const double mr_rand = Simulate(t, *random).MissRatio();
+  EXPECT_LT(mr_lhd, mr_rand + 0.02);
+}
+
+TEST(HyperbolicTest, FrequencyPerAgePriority) {
+  Trace t = SkewedTrace(11, 500, 50000);
+  auto hyp = Make("hyperbolic", 50);
+  auto random = Make("random", 50);
+  EXPECT_LT(Simulate(t, *hyp).MissRatio(), Simulate(t, *random).MissRatio() + 0.02);
+}
+
+TEST(FifoMergeTest, RetainsFrequentObjectsAcrossMerges) {
+  auto c = Make("fifo-merge", 64, "segment_objects=8,merge_factor=4");
+  // Make object 1 hot.
+  c->Get(Get(1));
+  for (int round = 0; round < 20; ++round) {
+    c->Get(Get(1));
+    for (uint64_t i = 0; i < 10; ++i) {
+      c->Get(Get(1000 + static_cast<uint64_t>(round) * 10 + i));
+    }
+  }
+  EXPECT_TRUE(c->Contains(1));
+  EXPECT_LE(c->occupied(), 64u);
+}
+
+TEST(FifoMergeTest, DeleteTombstonesThenReinsert) {
+  auto c = Make("fifo-merge", 32, "segment_objects=8");
+  c->Get(Get(5));
+  Request del;
+  del.id = 5;
+  del.op = OpType::kDelete;
+  c->Get(del);
+  EXPECT_FALSE(c->Contains(5));
+  c->Get(Get(5));
+  EXPECT_TRUE(c->Contains(5));
+}
+
+TEST(RandomTest, EvictsSomethingWhenFull) {
+  auto c = Make("random", 10);
+  for (uint64_t i = 0; i < 100; ++i) {
+    c->Get(Get(i));
+    ASSERT_LE(c->occupied(), 10u);
+  }
+  // Exactly 10 residents remain.
+  int resident = 0;
+  for (uint64_t i = 0; i < 100; ++i) {
+    if (c->Contains(i)) {
+      ++resident;
+    }
+  }
+  EXPECT_EQ(resident, 10);
+}
+
+}  // namespace
+}  // namespace s3fifo

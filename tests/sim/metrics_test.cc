@@ -1,0 +1,67 @@
+#include "src/sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace s3fifo {
+namespace {
+
+TEST(MissRatioReductionTest, PositiveWhenAlgoWins) {
+  // FIFO 0.5 -> algo 0.25: 50% reduction.
+  EXPECT_DOUBLE_EQ(MissRatioReduction(0.25, 0.5), 0.5);
+}
+
+TEST(MissRatioReductionTest, NegativeWhenAlgoLoses) {
+  // algo 0.5 vs FIFO 0.25: -(0.25/0.5) = -0.5 (paper's bounding form).
+  EXPECT_DOUBLE_EQ(MissRatioReduction(0.5, 0.25), -0.5);
+}
+
+TEST(MissRatioReductionTest, ZeroWhenEqual) {
+  EXPECT_DOUBLE_EQ(MissRatioReduction(0.3, 0.3), 0.0);
+}
+
+TEST(MissRatioReductionTest, BoundedToUnitInterval) {
+  EXPECT_LE(MissRatioReduction(1.0, 0.0001), 1.0);
+  EXPECT_GE(MissRatioReduction(1.0, 0.0001), -1.0);
+  EXPECT_GE(MissRatioReduction(0.0001, 1.0), -1.0);
+  EXPECT_LE(MissRatioReduction(0.0001, 1.0), 1.0);
+}
+
+TEST(MissRatioReductionTest, DegenerateZeros) {
+  EXPECT_DOUBLE_EQ(MissRatioReduction(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(MissRatioReduction(0.0, 0.5), 1.0);   // algo eliminates all misses
+  EXPECT_DOUBLE_EQ(MissRatioReduction(0.5, 0.0), -1.0);  // algo strictly worse
+}
+
+TEST(PercentilesTest, OrderStatistics) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) {
+    v.push_back(static_cast<double>(i));
+  }
+  const PercentileRow row = Percentiles(v);
+  EXPECT_NEAR(row.p10, 10.9, 0.01);
+  EXPECT_NEAR(row.p50, 50.5, 0.01);
+  EXPECT_NEAR(row.p90, 90.1, 0.01);
+  EXPECT_NEAR(row.mean, 50.5, 0.01);
+}
+
+TEST(PercentilesTest, EmptyInput) {
+  const PercentileRow row = Percentiles({});
+  EXPECT_DOUBLE_EQ(row.p50, 0.0);
+  EXPECT_DOUBLE_EQ(row.mean, 0.0);
+}
+
+TEST(PercentilesTest, SingleValue) {
+  const PercentileRow row = Percentiles({3.0});
+  EXPECT_DOUBLE_EQ(row.p10, 3.0);
+  EXPECT_DOUBLE_EQ(row.p90, 3.0);
+  EXPECT_DOUBLE_EQ(row.mean, 3.0);
+}
+
+TEST(PercentilesTest, FormatRowContainsLabel) {
+  const std::string s = FormatPercentileRow("s3fifo", Percentiles({0.1, 0.2}));
+  EXPECT_NE(s.find("s3fifo"), std::string::npos);
+  EXPECT_NE(s.find("P50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace s3fifo

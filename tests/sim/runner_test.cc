@@ -1,0 +1,97 @@
+#include "src/sim/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "src/core/cache_factory.h"
+#include "src/workload/zipf_workload.h"
+
+namespace s3fifo {
+namespace {
+
+SimJob MakeJob(const std::string& label, const std::string& policy, uint64_t seed) {
+  SimJob job;
+  job.label = label;
+  job.make_trace = [seed] {
+    ZipfWorkloadConfig c;
+    c.num_objects = 200;
+    c.num_requests = 5000;
+    c.alpha = 1.0;
+    c.seed = seed;
+    return GenerateZipfTrace(c);
+  };
+  job.make_cache = [policy] {
+    CacheConfig config;
+    config.capacity = 50;
+    return CreateCache(policy, config);
+  };
+  return job;
+}
+
+TEST(RunnerTest, RunsAllJobs) {
+  std::vector<SimJob> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(MakeJob("job" + std::to_string(i), i % 2 ? "lru" : "s3fifo", i));
+  }
+  const auto results = RunJobs(jobs, {.num_threads = 4, .max_retries = 0});
+  ASSERT_EQ(results.size(), 8u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok) << r.label << ": " << r.error;
+    EXPECT_GT(r.result.requests, 0u);
+  }
+}
+
+TEST(RunnerTest, ResultsAreIndexAligned) {
+  std::vector<SimJob> jobs = {MakeJob("a", "lru", 1), MakeJob("b", "fifo", 2)};
+  const auto results = RunJobs(jobs, {.num_threads = 2, .max_retries = 0});
+  EXPECT_EQ(results[0].label, "a");
+  EXPECT_EQ(results[1].label, "b");
+}
+
+TEST(RunnerTest, FaultIsolationAndRetry) {
+  // A job that fails twice then succeeds: the runner's retry absorbs the
+  // transient fault without affecting neighbours.
+  auto flaky_counter = std::make_shared<std::atomic<int>>(0);
+  SimJob flaky = MakeJob("flaky", "lru", 3);
+  auto inner = flaky.make_trace;
+  flaky.make_trace = [flaky_counter, inner] {
+    if (flaky_counter->fetch_add(1) < 2) {
+      throw std::runtime_error("simulated node failure");
+    }
+    return inner();
+  };
+  std::vector<SimJob> jobs = {MakeJob("ok", "lru", 4), flaky};
+  const auto results = RunJobs(jobs, {.num_threads = 2, .max_retries = 2});
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_TRUE(results[1].ok);
+  EXPECT_EQ(results[1].attempts, 3u);
+}
+
+TEST(RunnerTest, PermanentFailureReported) {
+  SimJob doomed = MakeJob("doomed", "lru", 5);
+  doomed.make_cache = []() -> std::unique_ptr<Cache> {
+    throw std::runtime_error("always fails");
+  };
+  const auto results = RunJobs({doomed}, {.num_threads = 1, .max_retries = 1});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_EQ(results[0].attempts, 2u);
+  EXPECT_NE(results[0].error.find("always fails"), std::string::npos);
+}
+
+TEST(RunnerTest, DeterministicAcrossThreadCounts) {
+  std::vector<SimJob> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back(MakeJob("j" + std::to_string(i), "s3fifo", i + 10));
+  }
+  const auto seq = RunJobs(jobs, {.num_threads = 1, .max_retries = 0});
+  const auto par = RunJobs(jobs, {.num_threads = 4, .max_retries = 0});
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(seq[i].result.hits, par[i].result.hits) << i;
+  }
+}
+
+}  // namespace
+}  // namespace s3fifo

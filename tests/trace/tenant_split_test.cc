@@ -1,0 +1,102 @@
+#include "src/trace/tenant_split.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/workload/zipf_workload.h"
+
+namespace s3fifo {
+namespace {
+
+Trace MultiTenant() {
+  std::vector<Request> reqs;
+  const uint32_t tenants[] = {0, 1, 0, 2, 1, 0, 2, 2};
+  for (size_t i = 0; i < 8; ++i) {
+    Request r;
+    r.id = 100 + i;
+    r.tenant = tenants[i];
+    r.time = i;
+    reqs.push_back(r);
+  }
+  return Trace(std::move(reqs), "mt");
+}
+
+TEST(TenantSplitTest, OneTracePerTenant) {
+  const auto parts = SplitByTenant(MultiTenant());
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].size(), 3u);  // tenant 0
+  EXPECT_EQ(parts[1].size(), 2u);  // tenant 1
+  EXPECT_EQ(parts[2].size(), 3u);  // tenant 2
+}
+
+TEST(TenantSplitTest, OrderPreservedWithinTenant) {
+  const auto parts = SplitByTenant(MultiTenant());
+  for (const Trace& part : parts) {
+    for (size_t i = 1; i < part.size(); ++i) {
+      ASSERT_LT(part[i - 1].time, part[i].time);
+    }
+  }
+}
+
+TEST(TenantSplitTest, RequestConservation) {
+  Trace t = MultiTenant();
+  const auto parts = SplitByTenant(t);
+  size_t total = 0;
+  for (const Trace& part : parts) {
+    total += part.size();
+  }
+  EXPECT_EQ(total, t.size());
+}
+
+TEST(TenantSplitTest, SingleTenantTraceYieldsOnePart) {
+  ZipfWorkloadConfig c;
+  c.num_objects = 100;
+  c.num_requests = 1000;
+  Trace t = GenerateZipfTrace(c);
+  EXPECT_EQ(SplitByTenant(t).size(), 1u);
+}
+
+TEST(TenantSplitTest, HashAssignmentIsPerObject) {
+  ZipfWorkloadConfig c;
+  c.num_objects = 500;
+  c.num_requests = 10000;
+  c.seed = 3;
+  Trace t = AssignTenantsByIdHash(GenerateZipfTrace(c), 4);
+  // Every request of an object carries the same tenant.
+  std::unordered_map<uint64_t, uint32_t> tenant_of;
+  for (const Request& r : t.requests()) {
+    auto [it, inserted] = tenant_of.emplace(r.id, r.tenant);
+    if (!inserted) {
+      ASSERT_EQ(it->second, r.tenant);
+    }
+  }
+  // And all four tenants are used.
+  std::unordered_set<uint32_t> used;
+  for (const auto& [id, tenant] : tenant_of) {
+    used.insert(tenant);
+  }
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(TenantSplitTest, SplitAfterAssignRoundTrips) {
+  ZipfWorkloadConfig c;
+  c.num_objects = 300;
+  c.num_requests = 5000;
+  c.seed = 9;
+  Trace t = AssignTenantsByIdHash(GenerateZipfTrace(c), 3);
+  const auto parts = SplitByTenant(t);
+  EXPECT_EQ(parts.size(), 3u);
+  // Objects do not leak across tenants.
+  std::unordered_map<uint64_t, size_t> part_of;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    for (const Request& r : parts[p].requests()) {
+      auto [it, inserted] = part_of.emplace(r.id, p);
+      ASSERT_EQ(it->second, p);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace s3fifo

@@ -1,0 +1,107 @@
+#include "src/trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace s3fifo {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "s3fifo_trace_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  static Trace SampleTrace() {
+    std::vector<Request> reqs;
+    for (uint64_t i = 0; i < 100; ++i) {
+      Request r;
+      r.id = i * 31 % 17;
+      r.size = static_cast<uint32_t>(64 + i);
+      r.op = i % 5 == 0 ? OpType::kSet : (i % 11 == 0 ? OpType::kDelete : OpType::kGet);
+      r.time = i;
+      reqs.push_back(r);
+    }
+    return Trace(std::move(reqs));
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TraceIoTest, BinaryRoundTrip) {
+  Trace original = SampleTrace();
+  WriteBinaryTrace(original, Path("t.bin"));
+  Trace loaded = ReadBinaryTrace(Path("t.bin"));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, original[i].id);
+    EXPECT_EQ(loaded[i].size, original[i].size);
+    EXPECT_EQ(loaded[i].op, original[i].op);
+    EXPECT_EQ(loaded[i].time, original[i].time);
+  }
+}
+
+TEST_F(TraceIoTest, CsvRoundTrip) {
+  Trace original = SampleTrace();
+  WriteCsvTrace(original, Path("t.csv"));
+  Trace loaded = ReadCsvTrace(Path("t.csv"));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, original[i].id);
+    EXPECT_EQ(loaded[i].size, original[i].size);
+    EXPECT_EQ(loaded[i].op, original[i].op);
+  }
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(ReadBinaryTrace(Path("nope.bin")), std::runtime_error);
+  EXPECT_THROW(ReadCsvTrace(Path("nope.csv")), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BadMagicThrows) {
+  std::ofstream out(Path("bad.bin"), std::ios::binary);
+  out << "NOTATRACE___________________";
+  out.close();
+  EXPECT_THROW(ReadBinaryTrace(Path("bad.bin")), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, TruncatedBodyThrows) {
+  Trace original = SampleTrace();
+  WriteBinaryTrace(original, Path("t.bin"));
+  // Chop the file.
+  const auto size = std::filesystem::file_size(Path("t.bin"));
+  std::filesystem::resize_file(Path("t.bin"), size - 10);
+  EXPECT_THROW(ReadBinaryTrace(Path("t.bin")), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips) {
+  Trace empty;
+  WriteBinaryTrace(empty, Path("e.bin"));
+  EXPECT_EQ(ReadBinaryTrace(Path("e.bin")).size(), 0u);
+  WriteCsvTrace(empty, Path("e.csv"));
+  EXPECT_EQ(ReadCsvTrace(Path("e.csv")).size(), 0u);
+}
+
+TEST_F(TraceIoTest, CsvMalformedLineThrows) {
+  std::ofstream out(Path("bad.csv"));
+  out << "time,id,size,op\n1,2\n";
+  out.close();
+  EXPECT_THROW(ReadCsvTrace(Path("bad.csv")), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, CsvUnknownOpThrows) {
+  std::ofstream out(Path("badop.csv"));
+  out << "time,id,size,op\n1,2,3,frobnicate\n";
+  out.close();
+  EXPECT_THROW(ReadCsvTrace(Path("badop.csv")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace s3fifo

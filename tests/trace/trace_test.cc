@@ -1,0 +1,99 @@
+#include "src/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace s3fifo {
+namespace {
+
+Trace MakeTrace(std::vector<uint64_t> ids) {
+  std::vector<Request> reqs;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    Request r;
+    r.id = ids[i];
+    r.time = i;
+    reqs.push_back(r);
+  }
+  return Trace(std::move(reqs));
+}
+
+TEST(TraceTest, EmptyTrace) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  const TraceStats& s = t.Stats();
+  EXPECT_EQ(s.num_requests, 0u);
+  EXPECT_EQ(s.num_objects, 0u);
+  EXPECT_DOUBLE_EQ(s.one_hit_wonder_ratio, 0.0);
+}
+
+TEST(TraceTest, StatsCountObjectsAndRequests) {
+  Trace t = MakeTrace({1, 2, 1, 3, 1});
+  const TraceStats& s = t.Stats();
+  EXPECT_EQ(s.num_requests, 5u);
+  EXPECT_EQ(s.num_objects, 3u);
+}
+
+TEST(TraceTest, OneHitWonderRatioMatchesPaperToyExample) {
+  // Fig. 1: A B A C B A D A B C B A C A B D -> E... the 17-request example:
+  // requests A B A C B A D A B C B A _ C A B D, object E appears once.
+  Trace t = MakeTrace({'A', 'B', 'A', 'C', 'B', 'A', 'D', 'A', 'B', 'C', 'B', 'A', 'E', 'C',
+                       'A', 'B', 'D'});
+  const TraceStats& s = t.Stats();
+  EXPECT_EQ(s.num_objects, 5u);
+  EXPECT_DOUBLE_EQ(s.one_hit_wonder_ratio, 0.2);  // 1 of 5 (E)
+}
+
+TEST(TraceTest, DeletesExcludedFromPopularity) {
+  std::vector<Request> reqs;
+  Request r;
+  r.id = 1;
+  reqs.push_back(r);
+  r.id = 2;
+  r.op = OpType::kDelete;
+  reqs.push_back(r);
+  Trace t(std::move(reqs));
+  const TraceStats& s = t.Stats();
+  EXPECT_EQ(s.num_objects, 1u);
+  EXPECT_EQ(s.num_deletes, 1u);
+}
+
+TEST(TraceTest, ByteAccounting) {
+  std::vector<Request> reqs;
+  Request r;
+  r.id = 1;
+  r.size = 100;
+  reqs.push_back(r);
+  r.id = 1;
+  r.size = 100;
+  reqs.push_back(r);
+  r.id = 2;
+  r.size = 50;
+  reqs.push_back(r);
+  Trace t(std::move(reqs));
+  const TraceStats& s = t.Stats();
+  EXPECT_EQ(s.total_bytes_requested, 250u);
+  EXPECT_EQ(s.footprint_bytes, 150u);
+}
+
+TEST(TraceTest, AppendInvalidatesStats) {
+  Trace t = MakeTrace({1});
+  EXPECT_EQ(t.Stats().num_requests, 1u);
+  Request r;
+  r.id = 2;
+  t.Append(r);
+  EXPECT_EQ(t.Stats().num_requests, 2u);
+  EXPECT_FALSE(t.annotated());
+}
+
+TEST(TraceTest, OpCounts) {
+  std::vector<Request> reqs(3);
+  reqs[0].op = OpType::kGet;
+  reqs[1].op = OpType::kSet;
+  reqs[2].op = OpType::kDelete;
+  Trace t(std::move(reqs));
+  EXPECT_EQ(t.Stats().num_gets, 1u);
+  EXPECT_EQ(t.Stats().num_sets, 1u);
+  EXPECT_EQ(t.Stats().num_deletes, 1u);
+}
+
+}  // namespace
+}  // namespace s3fifo

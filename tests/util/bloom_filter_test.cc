@@ -1,0 +1,88 @@
+#include "src/util/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace s3fifo {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bf(10000, 0.01);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    bf.Insert(i);
+  }
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(bf.Contains(i)) << i;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget) {
+  BloomFilter bf(10000, 0.01);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    bf.Insert(i);
+  }
+  int fp = 0;
+  const int probes = 100000;
+  for (uint64_t i = 1000000; i < 1000000 + probes; ++i) {
+    if (bf.Contains(i)) {
+      ++fp;
+    }
+  }
+  // Bits are rounded up to a power of two, so the realised rate is at or
+  // below the target (with slack for randomness).
+  EXPECT_LT(static_cast<double>(fp) / probes, 0.02);
+}
+
+TEST(BloomFilterTest, ClearForgetsEverything) {
+  BloomFilter bf(1000, 0.01);
+  bf.Insert(1);
+  bf.Insert(2);
+  EXPECT_TRUE(bf.Contains(1));
+  bf.Clear();
+  EXPECT_FALSE(bf.Contains(1));
+  EXPECT_FALSE(bf.Contains(2));
+  EXPECT_EQ(bf.inserted(), 0u);
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  BloomFilter bf(1000, 0.01);
+  int fp = 0;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    if (bf.Contains(i)) {
+      ++fp;
+    }
+  }
+  EXPECT_EQ(fp, 0);
+}
+
+TEST(RotatingBloomFilterTest, RemembersRecentWindow) {
+  RotatingBloomFilter rbf(1000, 0.001);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    rbf.Insert(i);
+  }
+  // All of the last rotation window must still be present.
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(rbf.Contains(i));
+  }
+}
+
+TEST(RotatingBloomFilterTest, ForgetsOldEntriesAfterTwoRotations) {
+  RotatingBloomFilter rbf(100, 0.001);
+  rbf.Insert(42);
+  // Two full rotations push id 42 out of both filters.
+  for (uint64_t i = 1000; i < 1000 + 250; ++i) {
+    rbf.Insert(i);
+  }
+  EXPECT_FALSE(rbf.Contains(42));
+}
+
+TEST(RotatingBloomFilterTest, MembershipSurvivesOneRotation) {
+  RotatingBloomFilter rbf(100, 0.001);
+  rbf.Insert(42);
+  for (uint64_t i = 1000; i < 1000 + 110; ++i) {
+    rbf.Insert(i);  // one rotation: 42 is in the "previous" filter
+  }
+  EXPECT_TRUE(rbf.Contains(42));
+}
+
+}  // namespace
+}  // namespace s3fifo

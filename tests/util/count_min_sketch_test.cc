@@ -1,0 +1,79 @@
+#include "src/util/count_min_sketch.h"
+
+#include <gtest/gtest.h>
+
+namespace s3fifo {
+namespace {
+
+TEST(CountMinSketchTest, EstimateNeverUndercounts) {
+  CountMinSketch cms(1024);
+  for (int i = 0; i < 7; ++i) {
+    cms.Increment(42);
+  }
+  EXPECT_GE(cms.Estimate(42), 7u);
+}
+
+TEST(CountMinSketchTest, SaturatesAtFifteen) {
+  CountMinSketch cms(1024);
+  for (int i = 0; i < 100; ++i) {
+    cms.Increment(7);
+  }
+  EXPECT_EQ(cms.Estimate(7), 15u);
+}
+
+TEST(CountMinSketchTest, ColdKeysEstimateNearZero) {
+  CountMinSketch cms(4096);
+  for (uint64_t i = 0; i < 500; ++i) {
+    cms.Increment(i);
+  }
+  int overestimated = 0;
+  for (uint64_t i = 100000; i < 101000; ++i) {
+    if (cms.Estimate(i) > 1) {
+      ++overestimated;
+    }
+  }
+  EXPECT_LT(overestimated, 50);  // low collision noise at low load
+}
+
+TEST(CountMinSketchTest, AgeHalvesCounts) {
+  CountMinSketch cms(1024);
+  for (int i = 0; i < 8; ++i) {
+    cms.Increment(5);
+  }
+  const uint32_t before = cms.Estimate(5);
+  cms.Age();
+  EXPECT_EQ(cms.Estimate(5), before / 2);
+  cms.Age();
+  EXPECT_EQ(cms.Estimate(5), before / 4);
+}
+
+TEST(CountMinSketchTest, AgeAffectsAllKeys) {
+  CountMinSketch cms(1024);
+  for (uint64_t k = 0; k < 50; ++k) {
+    for (int i = 0; i < 6; ++i) {
+      cms.Increment(k);
+    }
+  }
+  cms.Age();
+  for (uint64_t k = 0; k < 50; ++k) {
+    ASSERT_LE(cms.Estimate(k), 4u) << k;  // 6/2=3 plus collision slack
+  }
+}
+
+TEST(CountMinSketchTest, ClearZeroesEverything) {
+  CountMinSketch cms(256);
+  cms.Increment(1);
+  cms.Increment(2);
+  cms.Clear();
+  EXPECT_EQ(cms.Estimate(1), 0u);
+  EXPECT_EQ(cms.Estimate(2), 0u);
+}
+
+TEST(CountMinSketchTest, WidthIsPowerOfTwo) {
+  CountMinSketch cms(1000);
+  EXPECT_EQ(cms.width() & (cms.width() - 1), 0u);
+  EXPECT_GE(cms.width(), 1000u);
+}
+
+}  // namespace
+}  // namespace s3fifo

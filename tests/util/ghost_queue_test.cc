@@ -1,0 +1,108 @@
+#include "src/util/ghost_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace s3fifo {
+namespace {
+
+TEST(GhostQueueTest, InsertThenContains) {
+  GhostQueue g(10);
+  g.Insert(1);
+  g.Insert(2);
+  EXPECT_TRUE(g.Contains(1));
+  EXPECT_TRUE(g.Contains(2));
+  EXPECT_FALSE(g.Contains(3));
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(GhostQueueTest, EvictsOldestWhenFull) {
+  GhostQueue g(3);
+  g.Insert(1);
+  g.Insert(2);
+  g.Insert(3);
+  g.Insert(4);  // evicts 1
+  EXPECT_FALSE(g.Contains(1));
+  EXPECT_TRUE(g.Contains(2));
+  EXPECT_TRUE(g.Contains(4));
+  EXPECT_EQ(g.size(), 3u);
+}
+
+TEST(GhostQueueTest, ReinsertRefreshesPosition) {
+  GhostQueue g(3);
+  g.Insert(1);
+  g.Insert(2);
+  g.Insert(3);
+  g.Insert(1);  // 1 moves to head; still 3 entries
+  EXPECT_EQ(g.size(), 3u);
+  g.Insert(4);  // evicts 2, the oldest live entry
+  EXPECT_TRUE(g.Contains(1));
+  EXPECT_FALSE(g.Contains(2));
+  EXPECT_TRUE(g.Contains(3));
+  EXPECT_TRUE(g.Contains(4));
+}
+
+TEST(GhostQueueTest, RemoveDropsEntry) {
+  GhostQueue g(5);
+  g.Insert(1);
+  g.Insert(2);
+  g.Remove(1);
+  EXPECT_FALSE(g.Contains(1));
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(GhostQueueTest, RemoveThenReinsert) {
+  GhostQueue g(2);
+  g.Insert(1);
+  g.Remove(1);
+  g.Insert(1);
+  EXPECT_TRUE(g.Contains(1));
+  g.Insert(2);
+  g.Insert(3);  // evicts 1
+  EXPECT_FALSE(g.Contains(1));
+  EXPECT_TRUE(g.Contains(2));
+  EXPECT_TRUE(g.Contains(3));
+}
+
+TEST(GhostQueueTest, ShrinkCapacityEvictsOldest) {
+  GhostQueue g(10);
+  for (uint64_t i = 0; i < 10; ++i) {
+    g.Insert(i);
+  }
+  g.set_capacity(3);
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_TRUE(g.Contains(9));
+  EXPECT_TRUE(g.Contains(8));
+  EXPECT_TRUE(g.Contains(7));
+  EXPECT_FALSE(g.Contains(6));
+}
+
+TEST(GhostQueueTest, SizeNeverExceedsCapacity) {
+  GhostQueue g(7);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    g.Insert(i % 13);
+    ASSERT_LE(g.size(), 7u);
+  }
+}
+
+TEST(GhostQueueTest, ClearEmpties) {
+  GhostQueue g(5);
+  g.Insert(1);
+  g.Clear();
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_FALSE(g.Contains(1));
+}
+
+TEST(GhostQueueTest, HeavyChurnStaysBounded) {
+  // Exercises the stale-slot compaction path.
+  GhostQueue g(100);
+  for (uint64_t i = 0; i < 100000; ++i) {
+    g.Insert(i % 50);  // constant re-insertions create stale slots
+    ASSERT_LE(g.size(), 100u);
+  }
+  for (uint64_t i = 0; i < 50; ++i) {
+    EXPECT_TRUE(g.Contains(i));
+  }
+}
+
+}  // namespace
+}  // namespace s3fifo

@@ -1,0 +1,111 @@
+#include "src/util/ghost_table.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/ghost_queue.h"
+#include "src/util/rng.h"
+
+namespace s3fifo {
+namespace {
+
+TEST(GhostTableTest, InsertThenContains) {
+  GhostTable g(100);
+  g.Insert(1);
+  g.Insert(2);
+  EXPECT_TRUE(g.Contains(1));
+  EXPECT_TRUE(g.Contains(2));
+  EXPECT_FALSE(g.Contains(999));
+}
+
+TEST(GhostTableTest, EntriesExpireAfterCapacityInsertions) {
+  // Paper §4.2: entries inserted before N - S_G are no longer part of G.
+  GhostTable g(50);
+  g.Insert(7);
+  for (uint64_t i = 100; i < 100 + 60; ++i) {
+    g.Insert(i);
+  }
+  EXPECT_FALSE(g.Contains(7));
+}
+
+TEST(GhostTableTest, RecentEntriesSurvive) {
+  GhostTable g(100);
+  for (uint64_t i = 0; i < 80; ++i) {
+    g.Insert(i);
+  }
+  int present = 0;
+  for (uint64_t i = 0; i < 80; ++i) {
+    if (g.Contains(i)) {
+      ++present;
+    }
+  }
+  // Collisions within a bucket may drop a few; the vast majority survive.
+  EXPECT_GE(present, 75);
+}
+
+TEST(GhostTableTest, RemoveDropsEntry) {
+  GhostTable g(100);
+  g.Insert(5);
+  EXPECT_TRUE(g.Contains(5));
+  g.Remove(5);
+  EXPECT_FALSE(g.Contains(5));
+}
+
+TEST(GhostTableTest, ReinsertRefreshesTimestamp) {
+  GhostTable g(50);
+  g.Insert(7);
+  for (uint64_t i = 100; i < 140; ++i) {
+    g.Insert(i);
+  }
+  g.Insert(7);  // refresh
+  for (uint64_t i = 200; i < 240; ++i) {
+    g.Insert(i);
+  }
+  EXPECT_TRUE(g.Contains(7));  // 40 < 50 insertions since refresh
+}
+
+TEST(GhostTableTest, ClearForgetsEverything) {
+  GhostTable g(100);
+  g.Insert(1);
+  g.Clear();
+  EXPECT_FALSE(g.Contains(1));
+  EXPECT_EQ(g.insertions(), 0u);
+  EXPECT_EQ(g.CountLive(), 0u);
+}
+
+TEST(GhostTableTest, LiveCountTracksLogicalQueue) {
+  GhostTable g(100);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    g.Insert(i);
+  }
+  // At most `capacity` entries can be logically live (collisions may have
+  // dropped some physically).
+  EXPECT_LE(g.CountLive(), 101u);
+  EXPECT_GE(g.CountLive(), 60u);
+}
+
+// Behavioural agreement with the exact ghost queue: on a random workload the
+// membership answers should almost always match (fingerprint collisions and
+// bucket-overflow drops are rare).
+TEST(GhostTableTest, AgreesWithExactGhostQueue) {
+  const uint64_t cap = 500;
+  GhostTable table(cap);
+  GhostQueue exact(cap);
+  Rng rng(17);
+  uint64_t agree = 0, total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t id = rng.NextBounded(3000);
+    if (rng.NextBool(0.5)) {
+      table.Insert(id);
+      exact.Insert(id);
+    } else {
+      ++total;
+      if (table.Contains(id) == exact.Contains(id)) {
+        ++agree;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.97);
+}
+
+}  // namespace
+}  // namespace s3fifo

@@ -1,0 +1,60 @@
+#include "src/util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace s3fifo {
+namespace {
+
+TEST(HashTest, Mix64IsDeterministic) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_EQ(HashId(123456789), HashId(123456789));
+}
+
+TEST(HashTest, Mix64ChangesOnEveryInput) {
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    seen.insert(Mix64(i));
+  }
+  EXPECT_EQ(seen.size(), 100000u);  // no collisions on a small dense range
+}
+
+TEST(HashTest, Mix64AvalanchesLowBits) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  const int samples = 1000;
+  for (uint64_t i = 0; i < samples; ++i) {
+    const uint64_t a = Mix64(i);
+    const uint64_t b = Mix64(i ^ 1);
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double mean_flips = static_cast<double>(total_flips) / samples;
+  EXPECT_GT(mean_flips, 24.0);
+  EXPECT_LT(mean_flips, 40.0);
+}
+
+TEST(HashTest, HashIdAndHashId2AreIndependentStreams) {
+  int equal = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if ((HashId(i) & 0xFF) == (HashId2(i) & 0xFF)) {
+      ++equal;
+    }
+  }
+  // ~1000/256 expected if independent.
+  EXPECT_LT(equal, 30);
+}
+
+TEST(HashTest, Fingerprint32NeverZero) {
+  for (uint64_t i = 0; i < 200000; ++i) {
+    ASSERT_NE(Fingerprint32(i), 0u);
+  }
+}
+
+TEST(HashTest, Fingerprint32Deterministic) {
+  EXPECT_EQ(Fingerprint32(987654321), Fingerprint32(987654321));
+  EXPECT_NE(Fingerprint32(1), Fingerprint32(2));
+}
+
+}  // namespace
+}  // namespace s3fifo

@@ -1,0 +1,95 @@
+#include "src/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace s3fifo {
+namespace {
+
+TEST(SummaryTest, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(SummaryTest, BasicStats) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 5.0);
+}
+
+TEST(SummaryTest, PercentileInterpolates) {
+  Summary s;
+  s.Add(0.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 2.5);
+}
+
+TEST(SummaryTest, AddAfterPercentileResorts) {
+  Summary s;
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 5.0);
+  s.Add(1.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+}
+
+TEST(SummaryTest, MergeCombines) {
+  Summary a, b;
+  a.Add(1.0);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+}
+
+TEST(SummaryTest, Stddev) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_NEAR(s.Stddev(), 2.138, 0.01);  // sample stddev
+}
+
+TEST(LogHistogramTest, MeanIsExact) {
+  LogHistogram h;
+  h.Add(10);
+  h.Add(20);
+  h.Add(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(LogHistogramTest, CumulativeFraction) {
+  LogHistogram h;
+  h.Add(1);   // bucket [1,1]
+  h.Add(2);   // bucket [2,3]
+  h.Add(100); // bucket [64,127]
+  EXPECT_NEAR(h.CumulativeFraction(3), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(h.CumulativeFraction(127), 1.0, 1e-9);
+}
+
+TEST(LogHistogramTest, QuantileBounds) {
+  LogHistogram h;
+  for (uint64_t i = 0; i < 100; ++i) {
+    h.Add(8);  // all in bucket [8,15]
+  }
+  EXPECT_EQ(h.Quantile(0.5), 15u);
+}
+
+TEST(LogHistogramTest, ZeroHandled) {
+  LogHistogram h;
+  h.Add(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_NEAR(h.CumulativeFraction(0), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace s3fifo

@@ -1,0 +1,62 @@
+#include "src/util/params.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace s3fifo {
+namespace {
+
+TEST(ParamsTest, EmptySpec) {
+  Params p("");
+  EXPECT_FALSE(p.Has("x"));
+  EXPECT_EQ(p.GetU64("x", 7), 7u);
+}
+
+TEST(ParamsTest, ParsesMultiplePairs) {
+  Params p("a=1,b=2.5,c=hello");
+  EXPECT_EQ(p.GetU64("a", 0), 1u);
+  EXPECT_DOUBLE_EQ(p.GetDouble("b", 0), 2.5);
+  EXPECT_EQ(p.GetString("c", ""), "hello");
+}
+
+TEST(ParamsTest, TrimsWhitespace) {
+  Params p(" a = 1 ,  b = x ");
+  EXPECT_EQ(p.GetU64("a", 0), 1u);
+  EXPECT_EQ(p.GetString("b", ""), "x");
+}
+
+TEST(ParamsTest, BoolParsing) {
+  Params p("t1=1,t2=true,t3=yes,f1=0,f2=false");
+  EXPECT_TRUE(p.GetBool("t1", false));
+  EXPECT_TRUE(p.GetBool("t2", false));
+  EXPECT_TRUE(p.GetBool("t3", false));
+  EXPECT_FALSE(p.GetBool("f1", true));
+  EXPECT_FALSE(p.GetBool("f2", true));
+  EXPECT_TRUE(p.GetBool("missing", true));
+}
+
+TEST(ParamsTest, MalformedPairThrows) {
+  EXPECT_THROW(Params("novalue"), std::invalid_argument);
+  EXPECT_THROW(Params("a=1,bad"), std::invalid_argument);
+}
+
+TEST(ParamsTest, TrailingCommaTolerated) {
+  Params p("a=1,");
+  EXPECT_EQ(p.GetU64("a", 0), 1u);
+}
+
+TEST(ParamsTest, LaterValueWins) {
+  // std::map::emplace keeps the first; document the behaviour.
+  Params p("a=1,a=2");
+  EXPECT_EQ(p.GetU64("a", 0), 1u);
+}
+
+TEST(ParamsTest, DefaultsPassThrough) {
+  Params p("a=1");
+  EXPECT_DOUBLE_EQ(p.GetDouble("missing", 3.14), 3.14);
+  EXPECT_EQ(p.GetString("missing", "d"), "d");
+}
+
+}  // namespace
+}  // namespace s3fifo

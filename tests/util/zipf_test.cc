@@ -1,0 +1,114 @@
+#include "src/util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace s3fifo {
+namespace {
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfDistribution zipf(1000, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t k = zipf.Sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 1000u);
+  }
+}
+
+TEST(ZipfTest, DeterministicGivenRngSeed) {
+  ZipfDistribution zipf(5000, 0.9);
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(zipf.Sample(a), zipf.Sample(b));
+  }
+}
+
+// Empirical frequencies must match the analytic Zipf pmf.
+class ZipfPmfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfPmfTest, MatchesAnalyticDistribution) {
+  const double alpha = GetParam();
+  const uint64_t n = 100;
+  ZipfDistribution zipf(n, alpha);
+  Rng rng(7);
+  std::vector<double> counts(n + 1, 0.0);
+  const int samples = 400000;
+  for (int i = 0; i < samples; ++i) {
+    counts[zipf.Sample(rng)] += 1.0;
+  }
+  double harmonic = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    harmonic += std::pow(static_cast<double>(k), -alpha);
+  }
+  for (uint64_t k : {uint64_t{1}, uint64_t{2}, uint64_t{5}, uint64_t{10}, uint64_t{50}}) {
+    const double expected = std::pow(static_cast<double>(k), -alpha) / harmonic;
+    const double observed = counts[k] / samples;
+    EXPECT_NEAR(observed, expected, std::max(0.004, expected * 0.08))
+        << "alpha=" << alpha << " rank=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfPmfTest, ::testing::Values(0.6, 0.8, 1.0, 1.2, 1.5));
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  ZipfDistribution zipf(50, 0.0);
+  Rng rng(3);
+  std::vector<int> counts(51, 0);
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) {
+    counts[zipf.Sample(rng)]++;
+  }
+  for (uint64_t k = 1; k <= 50; ++k) {
+    EXPECT_NEAR(counts[k], samples / 50, samples / 250);
+  }
+}
+
+TEST(ZipfTest, LargeUniverseIsConstantTime) {
+  // Rejection inversion must work for universes far too large for a CDF
+  // table; smoke-check range and skew direction.
+  ZipfDistribution zipf(1ULL << 40, 1.0);
+  Rng rng(5);
+  uint64_t below_1k = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t k = zipf.Sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, 1ULL << 40);
+    if (k <= 1000) {
+      ++below_1k;
+    }
+  }
+  // For alpha=1 and N=2^40, P(rank <= 1000) = H(1000)/H(2^40) ~ 0.25.
+  EXPECT_GT(below_1k, 1500u);
+  EXPECT_LT(below_1k, 3500u);
+}
+
+TEST(ZipfTest, HigherAlphaIsMoreSkewed) {
+  Rng rng(9);
+  auto top10_mass = [&](double alpha) {
+    ZipfDistribution zipf(10000, alpha);
+    int top = 0;
+    const int samples = 100000;
+    for (int i = 0; i < samples; ++i) {
+      if (zipf.Sample(rng) <= 10) {
+        ++top;
+      }
+    }
+    return static_cast<double>(top) / samples;
+  };
+  EXPECT_LT(top10_mass(0.6), top10_mass(1.0));
+  EXPECT_LT(top10_mass(1.0), top10_mass(1.4));
+}
+
+TEST(ZipfTest, SingleElementUniverse) {
+  ZipfDistribution zipf(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(zipf.Sample(rng), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace s3fifo

@@ -1,0 +1,82 @@
+#include "src/workload/dataset_profiles.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace s3fifo {
+namespace {
+
+TEST(DatasetProfilesTest, FourteenDatasets) {
+  EXPECT_EQ(AllDatasetProfiles().size(), 14u);  // Table 1 has 14 rows
+}
+
+TEST(DatasetProfilesTest, NamesAreUniqueAndLookupWorks) {
+  for (const DatasetProfile& d : AllDatasetProfiles()) {
+    EXPECT_EQ(DatasetByName(d.name).name, d.name);
+  }
+  EXPECT_THROW(DatasetByName("not-a-dataset"), std::out_of_range);
+}
+
+TEST(DatasetProfilesTest, CacheTypesCoverAllThree) {
+  bool block = false, kv = false, object = false;
+  for (const DatasetProfile& d : AllDatasetProfiles()) {
+    block |= d.cache_type == "block";
+    kv |= d.cache_type == "kv";
+    object |= d.cache_type == "object";
+  }
+  EXPECT_TRUE(block);
+  EXPECT_TRUE(kv);
+  EXPECT_TRUE(object);
+}
+
+TEST(DatasetProfilesTest, TraceGenerationIsDeterministic) {
+  const DatasetProfile& d = DatasetByName("twitter");
+  Trace a = GenerateDatasetTrace(d, 0, 0.1);
+  Trace b = GenerateDatasetTrace(d, 0, 0.1);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].id, b[i].id);
+  }
+}
+
+TEST(DatasetProfilesTest, DifferentInstancesDiffer) {
+  const DatasetProfile& d = DatasetByName("msr");
+  Trace a = GenerateDatasetTrace(d, 0, 0.1);
+  Trace b = GenerateDatasetTrace(d, 1, 0.1);
+  EXPECT_NE(a.Stats().num_objects, b.Stats().num_objects);
+}
+
+TEST(DatasetProfilesTest, ScaleControlsLength) {
+  const DatasetProfile& d = DatasetByName("wiki");
+  Trace small = GenerateDatasetTrace(d, 0, 0.05);
+  Trace large = GenerateDatasetTrace(d, 0, 0.2);
+  EXPECT_LT(small.size() * 2, large.size());
+}
+
+TEST(DatasetProfilesTest, KvProfilesAreLowOneHitWonder) {
+  // Table 1: Twitter 0.19, Social Network 0.17 full-trace one-hit-wonder —
+  // the KV profiles must land clearly below the CDN/block ones.
+  const double twitter =
+      GenerateDatasetTrace(DatasetByName("twitter"), 0, 0.25).Stats().one_hit_wonder_ratio;
+  const double meta_cdn =
+      GenerateDatasetTrace(DatasetByName("meta_cdn"), 0, 0.25).Stats().one_hit_wonder_ratio;
+  EXPECT_LT(twitter, 0.4);
+  EXPECT_GT(meta_cdn, twitter);
+}
+
+TEST(DatasetProfilesTest, ObjectProfilesCarrySizes) {
+  Trace t = GenerateDatasetTrace(DatasetByName("cdn1"), 0, 0.1);
+  bool varied = false;
+  const uint32_t first = t[0].size;
+  for (const Request& r : t.requests()) {
+    if (r.size != first) {
+      varied = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(varied);
+}
+
+}  // namespace
+}  // namespace s3fifo

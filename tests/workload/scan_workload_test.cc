@@ -1,0 +1,73 @@
+#include "src/workload/scan_workload.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+namespace s3fifo {
+namespace {
+
+TEST(ScanWorkloadTest, SequentialScanIsAllOneHitWonders) {
+  Trace t = GenerateSequentialScan(1000);
+  EXPECT_EQ(t.size(), 1000u);
+  EXPECT_EQ(t.Stats().num_objects, 1000u);
+  EXPECT_DOUBLE_EQ(t.Stats().one_hit_wonder_ratio, 1.0);
+}
+
+TEST(ScanWorkloadTest, LoopRepeatsRegion) {
+  Trace t = GenerateLoop(10, 100);
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_EQ(t.Stats().num_objects, 10u);
+  EXPECT_DOUBLE_EQ(t.Stats().one_hit_wonder_ratio, 0.0);
+}
+
+TEST(ScanWorkloadTest, LoopZeroRegionSafe) {
+  Trace t = GenerateLoop(0, 10);
+  EXPECT_EQ(t.Stats().num_objects, 1u);
+}
+
+TEST(ScanWorkloadTest, TwoHitPatternEveryObjectTwice) {
+  Trace t = GenerateTwoHitPattern(500, 50);
+  std::unordered_map<uint64_t, uint32_t> counts;
+  for (const Request& r : t.requests()) {
+    ++counts[r.id];
+  }
+  EXPECT_EQ(counts.size(), 500u);
+  for (const auto& [id, n] : counts) {
+    ASSERT_EQ(n, 2u) << "object " << id;
+  }
+}
+
+TEST(ScanWorkloadTest, TwoHitPatternReuseDistanceIsFixed) {
+  const uint64_t distance = 20;
+  Trace t = GenerateTwoHitPattern(200, distance);
+  std::unordered_map<uint64_t, uint64_t> first_seen_unique;
+  // Measure reuse distance in unique objects between the two accesses.
+  std::unordered_map<uint64_t, size_t> first_pos;
+  for (size_t i = 0; i < t.size(); ++i) {
+    const uint64_t id = t[i].id;
+    auto it = first_pos.find(id);
+    if (it == first_pos.end()) {
+      first_pos[id] = i;
+      continue;
+    }
+    // Count distinct other ids between the two accesses.
+    std::unordered_map<uint64_t, bool> between;
+    for (size_t j = it->second + 1; j < i; ++j) {
+      if (t[j].id != id) {
+        between[t[j].id] = true;
+      }
+    }
+    // The interleaving yields D distinct objects for the earliest ids and
+    // approaches 2D in steady state (firsts of the next D ids plus seconds
+    // of the previous D ids).
+    ASSERT_GE(between.size(), distance) << "object " << id;
+    ASSERT_LE(between.size(), 2 * distance) << "object " << id;
+    if (first_pos.size() > 60) {
+      break;  // checked enough of the prefix
+    }
+  }
+}
+
+}  // namespace
+}  // namespace s3fifo
