@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_eviction_freq.dir/fig04_eviction_freq.cc.o"
+  "CMakeFiles/bench_fig04_eviction_freq.dir/fig04_eviction_freq.cc.o.d"
+  "bench_fig04_eviction_freq"
+  "bench_fig04_eviction_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_eviction_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_percentiles.dir/fig06_percentiles.cc.o"
+  "CMakeFiles/bench_fig06_percentiles.dir/fig06_percentiles.cc.o.d"
+  "bench_fig06_percentiles"
+  "bench_fig06_percentiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_percentiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_flash.dir/fig09_flash.cc.o"
+  "CMakeFiles/bench_fig09_flash.dir/fig09_flash.cc.o.d"
+  "bench_fig09_flash"
+  "bench_fig09_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

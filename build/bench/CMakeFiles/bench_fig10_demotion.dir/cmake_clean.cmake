@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_demotion.dir/fig10_demotion.cc.o"
+  "CMakeFiles/bench_fig10_demotion.dir/fig10_demotion.cc.o.d"
+  "bench_fig10_demotion"
+  "bench_fig10_demotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_demotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

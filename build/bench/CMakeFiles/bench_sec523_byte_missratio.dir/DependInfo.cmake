@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec523_byte_missratio.cc" "bench/CMakeFiles/bench_sec523_byte_missratio.dir/sec523_byte_missratio.cc.o" "gcc" "bench/CMakeFiles/bench_sec523_byte_missratio.dir/sec523_byte_missratio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s3fifo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec523_byte_missratio.dir/sec523_byte_missratio.cc.o"
+  "CMakeFiles/bench_sec523_byte_missratio.dir/sec523_byte_missratio.cc.o.d"
+  "bench_sec523_byte_missratio"
+  "bench_sec523_byte_missratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec523_byte_missratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

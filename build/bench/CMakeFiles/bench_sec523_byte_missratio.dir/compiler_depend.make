@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_sec523_byte_missratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachesim_cli.dir/cachesim_cli.cc.o"
+  "CMakeFiles/cachesim_cli.dir/cachesim_cli.cc.o.d"
+  "cachesim_cli"
+  "cachesim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachesim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_cache.dir/concurrent_cache.cc.o"
+  "CMakeFiles/concurrent_cache.dir/concurrent_cache.cc.o.d"
+  "concurrent_cache"
+  "concurrent_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

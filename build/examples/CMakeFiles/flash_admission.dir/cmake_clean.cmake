@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_admission.dir/flash_admission.cc.o"
+  "CMakeFiles/flash_admission.dir/flash_admission.cc.o.d"
+  "flash_admission"
+  "flash_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrc_profiler.dir/mrc_profiler.cc.o"
+  "CMakeFiles/mrc_profiler.dir/mrc_profiler.cc.o.d"
+  "mrc_profiler"
+  "mrc_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrc_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/demotion.cc" "src/CMakeFiles/s3fifo_analysis.dir/analysis/demotion.cc.o" "gcc" "src/CMakeFiles/s3fifo_analysis.dir/analysis/demotion.cc.o.d"
+  "/root/repo/src/analysis/eviction_age.cc" "src/CMakeFiles/s3fifo_analysis.dir/analysis/eviction_age.cc.o" "gcc" "src/CMakeFiles/s3fifo_analysis.dir/analysis/eviction_age.cc.o.d"
+  "/root/repo/src/analysis/mrc.cc" "src/CMakeFiles/s3fifo_analysis.dir/analysis/mrc.cc.o" "gcc" "src/CMakeFiles/s3fifo_analysis.dir/analysis/mrc.cc.o.d"
+  "/root/repo/src/analysis/one_hit_wonder.cc" "src/CMakeFiles/s3fifo_analysis.dir/analysis/one_hit_wonder.cc.o" "gcc" "src/CMakeFiles/s3fifo_analysis.dir/analysis/one_hit_wonder.cc.o.d"
+  "/root/repo/src/analysis/shards.cc" "src/CMakeFiles/s3fifo_analysis.dir/analysis/shards.cc.o" "gcc" "src/CMakeFiles/s3fifo_analysis.dir/analysis/shards.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s3fifo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

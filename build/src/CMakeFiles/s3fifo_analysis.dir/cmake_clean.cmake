@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3fifo_analysis.dir/analysis/demotion.cc.o"
+  "CMakeFiles/s3fifo_analysis.dir/analysis/demotion.cc.o.d"
+  "CMakeFiles/s3fifo_analysis.dir/analysis/eviction_age.cc.o"
+  "CMakeFiles/s3fifo_analysis.dir/analysis/eviction_age.cc.o.d"
+  "CMakeFiles/s3fifo_analysis.dir/analysis/mrc.cc.o"
+  "CMakeFiles/s3fifo_analysis.dir/analysis/mrc.cc.o.d"
+  "CMakeFiles/s3fifo_analysis.dir/analysis/one_hit_wonder.cc.o"
+  "CMakeFiles/s3fifo_analysis.dir/analysis/one_hit_wonder.cc.o.d"
+  "CMakeFiles/s3fifo_analysis.dir/analysis/shards.cc.o"
+  "CMakeFiles/s3fifo_analysis.dir/analysis/shards.cc.o.d"
+  "libs3fifo_analysis.a"
+  "libs3fifo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3fifo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/concurrent/concurrent_clock.cc" "src/CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_clock.cc.o" "gcc" "src/CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_clock.cc.o.d"
+  "/root/repo/src/concurrent/concurrent_lru.cc" "src/CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_lru.cc.o" "gcc" "src/CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_lru.cc.o.d"
+  "/root/repo/src/concurrent/concurrent_s3fifo.cc" "src/CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_s3fifo.cc.o" "gcc" "src/CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_s3fifo.cc.o.d"
+  "/root/repo/src/concurrent/concurrent_s3fifo_ring.cc" "src/CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_s3fifo_ring.cc.o" "gcc" "src/CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_s3fifo_ring.cc.o.d"
+  "/root/repo/src/concurrent/concurrent_tinylfu.cc" "src/CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_tinylfu.cc.o" "gcc" "src/CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_tinylfu.cc.o.d"
+  "/root/repo/src/concurrent/replay.cc" "src/CMakeFiles/s3fifo_concurrent.dir/concurrent/replay.cc.o" "gcc" "src/CMakeFiles/s3fifo_concurrent.dir/concurrent/replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s3fifo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

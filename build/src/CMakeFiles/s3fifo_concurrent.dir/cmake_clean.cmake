@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_clock.cc.o"
+  "CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_clock.cc.o.d"
+  "CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_lru.cc.o"
+  "CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_lru.cc.o.d"
+  "CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_s3fifo.cc.o"
+  "CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_s3fifo.cc.o.d"
+  "CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_s3fifo_ring.cc.o"
+  "CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_s3fifo_ring.cc.o.d"
+  "CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_tinylfu.cc.o"
+  "CMakeFiles/s3fifo_concurrent.dir/concurrent/concurrent_tinylfu.cc.o.d"
+  "CMakeFiles/s3fifo_concurrent.dir/concurrent/replay.cc.o"
+  "CMakeFiles/s3fifo_concurrent.dir/concurrent/replay.cc.o.d"
+  "libs3fifo_concurrent.a"
+  "libs3fifo_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3fifo_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

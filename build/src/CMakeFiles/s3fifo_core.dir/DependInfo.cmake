@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache.cc" "src/CMakeFiles/s3fifo_core.dir/core/cache.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/core/cache.cc.o.d"
+  "/root/repo/src/core/cache_factory.cc" "src/CMakeFiles/s3fifo_core.dir/core/cache_factory.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/core/cache_factory.cc.o.d"
+  "/root/repo/src/policies/arc.cc" "src/CMakeFiles/s3fifo_core.dir/policies/arc.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/arc.cc.o.d"
+  "/root/repo/src/policies/belady.cc" "src/CMakeFiles/s3fifo_core.dir/policies/belady.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/belady.cc.o.d"
+  "/root/repo/src/policies/blru.cc" "src/CMakeFiles/s3fifo_core.dir/policies/blru.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/blru.cc.o.d"
+  "/root/repo/src/policies/cacheus.cc" "src/CMakeFiles/s3fifo_core.dir/policies/cacheus.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/cacheus.cc.o.d"
+  "/root/repo/src/policies/clock.cc" "src/CMakeFiles/s3fifo_core.dir/policies/clock.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/clock.cc.o.d"
+  "/root/repo/src/policies/fifo.cc" "src/CMakeFiles/s3fifo_core.dir/policies/fifo.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/fifo.cc.o.d"
+  "/root/repo/src/policies/fifo_merge.cc" "src/CMakeFiles/s3fifo_core.dir/policies/fifo_merge.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/fifo_merge.cc.o.d"
+  "/root/repo/src/policies/hyperbolic.cc" "src/CMakeFiles/s3fifo_core.dir/policies/hyperbolic.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/hyperbolic.cc.o.d"
+  "/root/repo/src/policies/lecar.cc" "src/CMakeFiles/s3fifo_core.dir/policies/lecar.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/lecar.cc.o.d"
+  "/root/repo/src/policies/lfu.cc" "src/CMakeFiles/s3fifo_core.dir/policies/lfu.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/lfu.cc.o.d"
+  "/root/repo/src/policies/lhd.cc" "src/CMakeFiles/s3fifo_core.dir/policies/lhd.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/lhd.cc.o.d"
+  "/root/repo/src/policies/lirs.cc" "src/CMakeFiles/s3fifo_core.dir/policies/lirs.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/lirs.cc.o.d"
+  "/root/repo/src/policies/lrb_lite.cc" "src/CMakeFiles/s3fifo_core.dir/policies/lrb_lite.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/lrb_lite.cc.o.d"
+  "/root/repo/src/policies/lru.cc" "src/CMakeFiles/s3fifo_core.dir/policies/lru.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/lru.cc.o.d"
+  "/root/repo/src/policies/lruk.cc" "src/CMakeFiles/s3fifo_core.dir/policies/lruk.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/lruk.cc.o.d"
+  "/root/repo/src/policies/random.cc" "src/CMakeFiles/s3fifo_core.dir/policies/random.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/random.cc.o.d"
+  "/root/repo/src/policies/s3fifo.cc" "src/CMakeFiles/s3fifo_core.dir/policies/s3fifo.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/s3fifo.cc.o.d"
+  "/root/repo/src/policies/s3fifo_d.cc" "src/CMakeFiles/s3fifo_core.dir/policies/s3fifo_d.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/s3fifo_d.cc.o.d"
+  "/root/repo/src/policies/sieve.cc" "src/CMakeFiles/s3fifo_core.dir/policies/sieve.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/sieve.cc.o.d"
+  "/root/repo/src/policies/slru.cc" "src/CMakeFiles/s3fifo_core.dir/policies/slru.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/slru.cc.o.d"
+  "/root/repo/src/policies/tinylfu.cc" "src/CMakeFiles/s3fifo_core.dir/policies/tinylfu.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/tinylfu.cc.o.d"
+  "/root/repo/src/policies/twoq.cc" "src/CMakeFiles/s3fifo_core.dir/policies/twoq.cc.o" "gcc" "src/CMakeFiles/s3fifo_core.dir/policies/twoq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s3fifo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3fifo_flash.dir/flash/admission.cc.o"
+  "CMakeFiles/s3fifo_flash.dir/flash/admission.cc.o.d"
+  "CMakeFiles/s3fifo_flash.dir/flash/flash_cache.cc.o"
+  "CMakeFiles/s3fifo_flash.dir/flash/flash_cache.cc.o.d"
+  "libs3fifo_flash.a"
+  "libs3fifo_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3fifo_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

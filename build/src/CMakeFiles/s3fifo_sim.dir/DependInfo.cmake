@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/s3fifo_sim.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/s3fifo_sim.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/s3fifo_sim.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/s3fifo_sim.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/s3fifo_sim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/s3fifo_sim.dir/sim/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s3fifo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3fifo_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/s3fifo_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/s3fifo_sim.dir/sim/runner.cc.o"
+  "CMakeFiles/s3fifo_sim.dir/sim/runner.cc.o.d"
+  "CMakeFiles/s3fifo_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/s3fifo_sim.dir/sim/simulator.cc.o.d"
+  "libs3fifo_sim.a"
+  "libs3fifo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3fifo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libs3fifo_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3fifo_trace.dir/trace/next_access.cc.o"
+  "CMakeFiles/s3fifo_trace.dir/trace/next_access.cc.o.d"
+  "CMakeFiles/s3fifo_trace.dir/trace/tenant_split.cc.o"
+  "CMakeFiles/s3fifo_trace.dir/trace/tenant_split.cc.o.d"
+  "CMakeFiles/s3fifo_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/s3fifo_trace.dir/trace/trace.cc.o.d"
+  "CMakeFiles/s3fifo_trace.dir/trace/trace_io.cc.o"
+  "CMakeFiles/s3fifo_trace.dir/trace/trace_io.cc.o.d"
+  "libs3fifo_trace.a"
+  "libs3fifo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3fifo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

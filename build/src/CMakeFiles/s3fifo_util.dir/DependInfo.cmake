@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bloom_filter.cc" "src/CMakeFiles/s3fifo_util.dir/util/bloom_filter.cc.o" "gcc" "src/CMakeFiles/s3fifo_util.dir/util/bloom_filter.cc.o.d"
+  "/root/repo/src/util/count_min_sketch.cc" "src/CMakeFiles/s3fifo_util.dir/util/count_min_sketch.cc.o" "gcc" "src/CMakeFiles/s3fifo_util.dir/util/count_min_sketch.cc.o.d"
+  "/root/repo/src/util/ghost_queue.cc" "src/CMakeFiles/s3fifo_util.dir/util/ghost_queue.cc.o" "gcc" "src/CMakeFiles/s3fifo_util.dir/util/ghost_queue.cc.o.d"
+  "/root/repo/src/util/ghost_table.cc" "src/CMakeFiles/s3fifo_util.dir/util/ghost_table.cc.o" "gcc" "src/CMakeFiles/s3fifo_util.dir/util/ghost_table.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/s3fifo_util.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/s3fifo_util.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/params.cc" "src/CMakeFiles/s3fifo_util.dir/util/params.cc.o" "gcc" "src/CMakeFiles/s3fifo_util.dir/util/params.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/s3fifo_util.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/s3fifo_util.dir/util/thread_pool.cc.o.d"
+  "/root/repo/src/util/zipf.cc" "src/CMakeFiles/s3fifo_util.dir/util/zipf.cc.o" "gcc" "src/CMakeFiles/s3fifo_util.dir/util/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3fifo_util.dir/util/bloom_filter.cc.o"
+  "CMakeFiles/s3fifo_util.dir/util/bloom_filter.cc.o.d"
+  "CMakeFiles/s3fifo_util.dir/util/count_min_sketch.cc.o"
+  "CMakeFiles/s3fifo_util.dir/util/count_min_sketch.cc.o.d"
+  "CMakeFiles/s3fifo_util.dir/util/ghost_queue.cc.o"
+  "CMakeFiles/s3fifo_util.dir/util/ghost_queue.cc.o.d"
+  "CMakeFiles/s3fifo_util.dir/util/ghost_table.cc.o"
+  "CMakeFiles/s3fifo_util.dir/util/ghost_table.cc.o.d"
+  "CMakeFiles/s3fifo_util.dir/util/histogram.cc.o"
+  "CMakeFiles/s3fifo_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/s3fifo_util.dir/util/params.cc.o"
+  "CMakeFiles/s3fifo_util.dir/util/params.cc.o.d"
+  "CMakeFiles/s3fifo_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/s3fifo_util.dir/util/thread_pool.cc.o.d"
+  "CMakeFiles/s3fifo_util.dir/util/zipf.cc.o"
+  "CMakeFiles/s3fifo_util.dir/util/zipf.cc.o.d"
+  "libs3fifo_util.a"
+  "libs3fifo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3fifo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset_profiles.cc" "src/CMakeFiles/s3fifo_workload.dir/workload/dataset_profiles.cc.o" "gcc" "src/CMakeFiles/s3fifo_workload.dir/workload/dataset_profiles.cc.o.d"
+  "/root/repo/src/workload/scan_workload.cc" "src/CMakeFiles/s3fifo_workload.dir/workload/scan_workload.cc.o" "gcc" "src/CMakeFiles/s3fifo_workload.dir/workload/scan_workload.cc.o.d"
+  "/root/repo/src/workload/zipf_workload.cc" "src/CMakeFiles/s3fifo_workload.dir/workload/zipf_workload.cc.o" "gcc" "src/CMakeFiles/s3fifo_workload.dir/workload/zipf_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s3fifo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3fifo_workload.dir/workload/dataset_profiles.cc.o"
+  "CMakeFiles/s3fifo_workload.dir/workload/dataset_profiles.cc.o.d"
+  "CMakeFiles/s3fifo_workload.dir/workload/scan_workload.cc.o"
+  "CMakeFiles/s3fifo_workload.dir/workload/scan_workload.cc.o.d"
+  "CMakeFiles/s3fifo_workload.dir/workload/zipf_workload.cc.o"
+  "CMakeFiles/s3fifo_workload.dir/workload/zipf_workload.cc.o.d"
+  "libs3fifo_workload.a"
+  "libs3fifo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3fifo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

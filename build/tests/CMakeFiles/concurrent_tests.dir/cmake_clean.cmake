@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_tests.dir/concurrent/concurrent_cache_test.cc.o"
+  "CMakeFiles/concurrent_tests.dir/concurrent/concurrent_cache_test.cc.o.d"
+  "CMakeFiles/concurrent_tests.dir/concurrent/mpmc_queue_test.cc.o"
+  "CMakeFiles/concurrent_tests.dir/concurrent/mpmc_queue_test.cc.o.d"
+  "CMakeFiles/concurrent_tests.dir/concurrent/replay_test.cc.o"
+  "CMakeFiles/concurrent_tests.dir/concurrent/replay_test.cc.o.d"
+  "CMakeFiles/concurrent_tests.dir/concurrent/striped_hash_map_test.cc.o"
+  "CMakeFiles/concurrent_tests.dir/concurrent/striped_hash_map_test.cc.o.d"
+  "concurrent_tests"
+  "concurrent_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

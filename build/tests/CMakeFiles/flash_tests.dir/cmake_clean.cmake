@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_tests.dir/flash/admission_test.cc.o"
+  "CMakeFiles/flash_tests.dir/flash/admission_test.cc.o.d"
+  "CMakeFiles/flash_tests.dir/flash/flash_cache_test.cc.o"
+  "CMakeFiles/flash_tests.dir/flash/flash_cache_test.cc.o.d"
+  "flash_tests"
+  "flash_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

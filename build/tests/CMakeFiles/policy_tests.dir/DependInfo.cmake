@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/policies/arc_lirs_test.cc" "tests/CMakeFiles/policy_tests.dir/policies/arc_lirs_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policies/arc_lirs_test.cc.o.d"
+  "/root/repo/tests/policies/belady_test.cc" "tests/CMakeFiles/policy_tests.dir/policies/belady_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policies/belady_test.cc.o.d"
+  "/root/repo/tests/policies/fifo_lru_clock_test.cc" "tests/CMakeFiles/policy_tests.dir/policies/fifo_lru_clock_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policies/fifo_lru_clock_test.cc.o.d"
+  "/root/repo/tests/policies/lrb_lite_test.cc" "tests/CMakeFiles/policy_tests.dir/policies/lrb_lite_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policies/lrb_lite_test.cc.o.d"
+  "/root/repo/tests/policies/misc_policies_test.cc" "tests/CMakeFiles/policy_tests.dir/policies/misc_policies_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policies/misc_policies_test.cc.o.d"
+  "/root/repo/tests/policies/policy_edge_test.cc" "tests/CMakeFiles/policy_tests.dir/policies/policy_edge_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policies/policy_edge_test.cc.o.d"
+  "/root/repo/tests/policies/policy_properties_test.cc" "tests/CMakeFiles/policy_tests.dir/policies/policy_properties_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policies/policy_properties_test.cc.o.d"
+  "/root/repo/tests/policies/s3fifo_d_test.cc" "tests/CMakeFiles/policy_tests.dir/policies/s3fifo_d_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policies/s3fifo_d_test.cc.o.d"
+  "/root/repo/tests/policies/s3fifo_test.cc" "tests/CMakeFiles/policy_tests.dir/policies/s3fifo_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policies/s3fifo_test.cc.o.d"
+  "/root/repo/tests/policies/sieve_slru_twoq_test.cc" "tests/CMakeFiles/policy_tests.dir/policies/sieve_slru_twoq_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policies/sieve_slru_twoq_test.cc.o.d"
+  "/root/repo/tests/policies/tinylfu_test.cc" "tests/CMakeFiles/policy_tests.dir/policies/tinylfu_test.cc.o" "gcc" "tests/CMakeFiles/policy_tests.dir/policies/tinylfu_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s3fifo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_tests.dir/policies/arc_lirs_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policies/arc_lirs_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policies/belady_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policies/belady_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policies/fifo_lru_clock_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policies/fifo_lru_clock_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policies/lrb_lite_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policies/lrb_lite_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policies/misc_policies_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policies/misc_policies_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policies/policy_edge_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policies/policy_edge_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policies/policy_properties_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policies/policy_properties_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policies/s3fifo_d_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policies/s3fifo_d_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policies/s3fifo_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policies/s3fifo_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policies/sieve_slru_twoq_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policies/sieve_slru_twoq_test.cc.o.d"
+  "CMakeFiles/policy_tests.dir/policies/tinylfu_test.cc.o"
+  "CMakeFiles/policy_tests.dir/policies/tinylfu_test.cc.o.d"
+  "policy_tests"
+  "policy_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/demotion_test.cc" "tests/CMakeFiles/sim_tests.dir/analysis/demotion_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/analysis/demotion_test.cc.o.d"
+  "/root/repo/tests/analysis/eviction_age_test.cc" "tests/CMakeFiles/sim_tests.dir/analysis/eviction_age_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/analysis/eviction_age_test.cc.o.d"
+  "/root/repo/tests/analysis/mrc_shards_test.cc" "tests/CMakeFiles/sim_tests.dir/analysis/mrc_shards_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/analysis/mrc_shards_test.cc.o.d"
+  "/root/repo/tests/analysis/one_hit_wonder_test.cc" "tests/CMakeFiles/sim_tests.dir/analysis/one_hit_wonder_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/analysis/one_hit_wonder_test.cc.o.d"
+  "/root/repo/tests/sim/metrics_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/metrics_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/metrics_test.cc.o.d"
+  "/root/repo/tests/sim/runner_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/runner_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/runner_test.cc.o.d"
+  "/root/repo/tests/sim/simulator_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/simulator_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/simulator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s3fifo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

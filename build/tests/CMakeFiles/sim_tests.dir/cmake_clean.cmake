@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/analysis/demotion_test.cc.o"
+  "CMakeFiles/sim_tests.dir/analysis/demotion_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/analysis/eviction_age_test.cc.o"
+  "CMakeFiles/sim_tests.dir/analysis/eviction_age_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/analysis/mrc_shards_test.cc.o"
+  "CMakeFiles/sim_tests.dir/analysis/mrc_shards_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/analysis/one_hit_wonder_test.cc.o"
+  "CMakeFiles/sim_tests.dir/analysis/one_hit_wonder_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/metrics_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/metrics_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/runner_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/runner_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/simulator_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/simulator_test.cc.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/next_access_test.cc" "tests/CMakeFiles/trace_tests.dir/trace/next_access_test.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/next_access_test.cc.o.d"
+  "/root/repo/tests/trace/tenant_split_test.cc" "tests/CMakeFiles/trace_tests.dir/trace/tenant_split_test.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/tenant_split_test.cc.o.d"
+  "/root/repo/tests/trace/trace_io_test.cc" "tests/CMakeFiles/trace_tests.dir/trace/trace_io_test.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/trace_io_test.cc.o.d"
+  "/root/repo/tests/trace/trace_test.cc" "tests/CMakeFiles/trace_tests.dir/trace/trace_test.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/trace_test.cc.o.d"
+  "/root/repo/tests/workload/dataset_profiles_test.cc" "tests/CMakeFiles/trace_tests.dir/workload/dataset_profiles_test.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/workload/dataset_profiles_test.cc.o.d"
+  "/root/repo/tests/workload/scan_workload_test.cc" "tests/CMakeFiles/trace_tests.dir/workload/scan_workload_test.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/workload/scan_workload_test.cc.o.d"
+  "/root/repo/tests/workload/zipf_workload_test.cc" "tests/CMakeFiles/trace_tests.dir/workload/zipf_workload_test.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/workload/zipf_workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s3fifo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

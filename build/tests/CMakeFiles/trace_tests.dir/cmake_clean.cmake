@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_tests.dir/trace/next_access_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/next_access_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/tenant_split_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/tenant_split_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/trace_io_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/trace_io_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/trace_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/trace_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/workload/dataset_profiles_test.cc.o"
+  "CMakeFiles/trace_tests.dir/workload/dataset_profiles_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/workload/scan_workload_test.cc.o"
+  "CMakeFiles/trace_tests.dir/workload/scan_workload_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/workload/zipf_workload_test.cc.o"
+  "CMakeFiles/trace_tests.dir/workload/zipf_workload_test.cc.o.d"
+  "trace_tests"
+  "trace_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

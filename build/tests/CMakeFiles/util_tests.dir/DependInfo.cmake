@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/bloom_filter_test.cc" "tests/CMakeFiles/util_tests.dir/util/bloom_filter_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/bloom_filter_test.cc.o.d"
+  "/root/repo/tests/util/count_min_sketch_test.cc" "tests/CMakeFiles/util_tests.dir/util/count_min_sketch_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/count_min_sketch_test.cc.o.d"
+  "/root/repo/tests/util/ghost_queue_test.cc" "tests/CMakeFiles/util_tests.dir/util/ghost_queue_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/ghost_queue_test.cc.o.d"
+  "/root/repo/tests/util/ghost_table_test.cc" "tests/CMakeFiles/util_tests.dir/util/ghost_table_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/ghost_table_test.cc.o.d"
+  "/root/repo/tests/util/hash_test.cc" "tests/CMakeFiles/util_tests.dir/util/hash_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/hash_test.cc.o.d"
+  "/root/repo/tests/util/histogram_test.cc" "tests/CMakeFiles/util_tests.dir/util/histogram_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/histogram_test.cc.o.d"
+  "/root/repo/tests/util/intrusive_list_test.cc" "tests/CMakeFiles/util_tests.dir/util/intrusive_list_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/intrusive_list_test.cc.o.d"
+  "/root/repo/tests/util/params_test.cc" "tests/CMakeFiles/util_tests.dir/util/params_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/params_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/thread_pool_test.cc" "tests/CMakeFiles/util_tests.dir/util/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/thread_pool_test.cc.o.d"
+  "/root/repo/tests/util/zipf_test.cc" "tests/CMakeFiles/util_tests.dir/util/zipf_test.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/zipf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s3fifo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_concurrent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s3fifo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

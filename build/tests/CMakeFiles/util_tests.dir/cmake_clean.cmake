@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/util/bloom_filter_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/bloom_filter_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/count_min_sketch_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/count_min_sketch_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/ghost_queue_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/ghost_queue_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/ghost_table_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/ghost_table_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/hash_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/hash_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/histogram_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/histogram_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/intrusive_list_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/intrusive_list_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/params_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/params_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/rng_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/rng_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/thread_pool_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/thread_pool_test.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/zipf_test.cc.o"
+  "CMakeFiles/util_tests.dir/util/zipf_test.cc.o.d"
+  "util_tests"
+  "util_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_tests "/root/repo/build/tests/util_tests")
+set_tests_properties(util_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;s3fifo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(trace_tests "/root/repo/build/tests/trace_tests")
+set_tests_properties(trace_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;23;s3fifo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(policy_tests "/root/repo/build/tests/policy_tests")
+set_tests_properties(policy_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;33;s3fifo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_tests "/root/repo/build/tests/sim_tests")
+set_tests_properties(sim_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;47;s3fifo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(concurrent_tests "/root/repo/build/tests/concurrent_tests")
+set_tests_properties(concurrent_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;57;s3fifo_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(flash_tests "/root/repo/build/tests/flash_tests")
+set_tests_properties(flash_tests PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;64;s3fifo_test;/root/repo/tests/CMakeLists.txt;0;")
