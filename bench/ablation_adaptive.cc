@@ -1,42 +1,47 @@
 // §6.2.2 ablation: static S3-FIFO vs adaptive S3-FIFO-D across all traces,
-// plus the adversarial pattern where adaptation is expected to help.
+// plus the adversarial pattern where adaptation is expected to help. The
+// dataset sweep runs on the sweep engine; the adversarial pair shares one
+// trace pass via MultiSimulate.
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "bench/sweep.h"
-#include "src/core/cache_factory.h"
 #include "src/sim/metrics.h"
-#include "src/sim/simulator.h"
+#include "src/sim/multi_sim.h"
 #include "src/workload/scan_workload.h"
 
 namespace s3fifo {
 namespace {
 
-void Run() {
+void Run(const BenchOptions& opts) {
   PrintHeader("Ablation: S3-FIFO vs S3-FIFO-D (adaptive queue sizes)", "§6.2.2");
   const double scale = BenchScale() * 0.25;
 
+  const std::vector<PolicyVariant> variants = {
+      {"s3fifo", "s3fifo", ""},
+      {"s3fifo-d", "s3fifo-d", ""},
+  };
   std::vector<double> delta;  // mr(s3fifo-d) - mr(s3fifo); negative = adaptive wins
   int adaptive_wins = 0, static_wins = 0, ties = 0;
-  ForEachSweepCase(scale, [&](const SweepCase& c) {
-    CacheConfig config;
-    config.capacity = c.large_capacity;
-    auto s3 = CreateCache("s3fifo", config);
-    auto s3d = CreateCache("s3fifo-d", config);
-    const double mr_s = Simulate(c.trace, *s3).MissRatio();
-    const double mr_d = Simulate(c.trace, *s3d).MissRatio();
-    delta.push_back(mr_d - mr_s);
-    if (mr_d + 1e-4 < mr_s) {
-      ++adaptive_wins;
-    } else if (mr_s + 1e-4 < mr_d) {
-      ++static_wins;
-    } else {
-      ++ties;
-    }
-  });
+  const SweepSummary summary = RunMissRatioSweep(
+      scale, variants, /*include_small=*/false,
+      [&](const SweepCell& c) {
+        const double mr_s = c.results[0].MissRatio();
+        const double mr_d = c.results[1].MissRatio();
+        delta.push_back(mr_d - mr_s);
+        if (mr_d + 1e-4 < mr_s) {
+          ++adaptive_wins;
+        } else if (mr_s + 1e-4 < mr_d) {
+          ++static_wins;
+        } else {
+          ++ties;
+        }
+      },
+      opts.threads);
   std::printf("across traces (large cache): adaptive wins %d, static wins %d, ties %d\n",
               adaptive_wins, static_wins, ties);
-  std::printf("%s\n", FormatPercentileRow("mr(D)-mr(S)", Percentiles(delta)).c_str());
+  const PercentileRow delta_row = Percentiles(delta);
+  std::printf("%s\n", FormatPercentileRow("mr(D)-mr(S)", delta_row).c_str());
 
   // The adversarial two-hit pattern (with warm M), where adaptation helps.
   std::vector<Request> out;
@@ -58,22 +63,44 @@ void Run() {
   Trace adversarial(std::move(out), "adversarial");
   CacheConfig config;
   config.capacity = 200;
-  auto s3 = CreateCache("s3fifo", config);
+  std::vector<std::unique_ptr<Cache>> pair;
+  pair.push_back(CreateCache("s3fifo", config));
   config.params = "adapt_ghost_ratio=0.5";
-  auto s3d = CreateCache("s3fifo-d", config);
+  pair.push_back(CreateCache("s3fifo-d", config));
+  const std::vector<SimResult> adv = MultiSimulate(adversarial, pair);
   std::printf("\nadversarial two-hit pattern: s3fifo mr=%.4f  s3fifo-d mr=%.4f\n",
-              Simulate(adversarial, *s3).MissRatio(), Simulate(adversarial, *s3d).MissRatio());
+              adv[0].MissRatio(), adv[1].MissRatio());
 
   std::printf("\npaper shape (§6.2.2): static S3-FIFO is at least as good as S3-FIFO-D\n"
               "on most traces; the adaptive variant only pays off on the rare\n"
               "adversarial tail (~2%% of traces), where it clearly reduces the miss\n"
               "ratio.\n");
+  PrintSweepSummary(summary);
+  WriteBenchJson("ablation_adaptive",
+                 JsonFields()
+                     .Add("scale", scale)
+                     .Add("threads", summary.threads)
+                     .Add("wall_ms", summary.wall_ms)
+                     .Add("simulated_requests", summary.simulated_requests)
+                     .Add("requests_per_sec", summary.requests_per_sec),
+                 {JsonFields()
+                      .Add("metric", "mr_delta_adaptive_minus_static")
+                      .Add("adaptive_wins", adaptive_wins)
+                      .Add("static_wins", static_wins)
+                      .Add("ties", ties)
+                      .Add("mean", delta_row.mean)
+                      .Add("p10", delta_row.p10)
+                      .Add("p90", delta_row.p90),
+                  JsonFields()
+                      .Add("metric", "adversarial_miss_ratio")
+                      .Add("s3fifo", adv[0].MissRatio())
+                      .Add("s3fifo_d", adv[1].MissRatio())});
 }
 
 }  // namespace
 }  // namespace s3fifo
 
-int main() {
-  s3fifo::Run();
+int main(int argc, char** argv) {
+  s3fifo::Run(s3fifo::ParseBenchArgs(argc, argv));
   return 0;
 }

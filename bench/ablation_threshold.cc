@@ -1,62 +1,74 @@
 // Ablation: the S->M move threshold. Algorithm 1 line 18 moves on freq > 1
 // (two accesses after insertion); the §4.1 prose reads "accessed more than
 // once", which several open-source implementations interpret as one access
-// (freq >= 1). This sweep quantifies the difference.
+// (freq >= 1). This sweep quantifies the difference, one shared trace pass
+// per cache size on the sweep engine.
 #include <cstdio>
 #include <map>
 
 #include "bench/bench_util.h"
 #include "bench/sweep.h"
-#include "src/core/cache_factory.h"
 #include "src/sim/metrics.h"
-#include "src/sim/simulator.h"
 
 namespace s3fifo {
 namespace {
 
-void Run() {
+void Run(const BenchOptions& opts) {
   PrintHeader("Ablation: S->M move threshold (Algorithm 1 line 18)", "§4.1 / Algorithm 1");
   const double scale = BenchScale() * 0.25;
 
-  std::map<int, std::vector<double>> red_large, red_small;
-  ForEachSweepCase(scale, [&](const SweepCase& c) {
-    for (const bool large : {true, false}) {
-      CacheConfig config;
-      config.capacity = large ? c.large_capacity : c.small_capacity;
-      auto fifo = CreateCache("fifo", config);
-      const double mr_fifo = Simulate(c.trace, *fifo).MissRatio();
-      for (int threshold : {1, 2, 3}) {
-        char params[48];
-        std::snprintf(params, sizeof(params), "move_to_main_threshold=%d", threshold);
-        CacheConfig c2 = config;
-        c2.params = params;
-        auto cache = CreateCache("s3fifo", c2);
-        (large ? red_large : red_small)[threshold].push_back(
-            MissRatioReduction(Simulate(c.trace, *cache).MissRatio(), mr_fifo));
-      }
-    }
-  });
+  std::vector<PolicyVariant> variants;
+  for (int threshold : {1, 2, 3}) {
+    char label[48], params[48];
+    std::snprintf(label, sizeof(label), "threshold=%d", threshold);
+    std::snprintf(params, sizeof(params), "move_to_main_threshold=%d", threshold);
+    variants.push_back({label, "s3fifo", params});
+  }
 
+  std::map<std::string, std::vector<double>> red_large, red_small;
+  const SweepSummary summary = RunMissRatioSweep(
+      scale, variants, /*include_small=*/true,
+      [&](const SweepCell& c) {
+        const double mr_fifo = c.fifo.MissRatio();
+        for (size_t vi = 0; vi < variants.size(); ++vi) {
+          (c.large ? red_large : red_small)[variants[vi].label].push_back(
+              MissRatioReduction(c.results[vi].MissRatio(), mr_fifo));
+        }
+      },
+      opts.threads);
+
+  std::vector<JsonFields> json_rows;
   for (const bool large : {true, false}) {
     std::printf("\n--- %s cache ---\n", large ? "large" : "small");
-    for (int threshold : {1, 2, 3}) {
-      char label[48];
-      std::snprintf(label, sizeof(label), "threshold=%d", threshold);
-      std::printf("%s\n",
-                  FormatPercentileRow(label,
-                                      Percentiles((large ? red_large : red_small)[threshold]))
-                      .c_str());
+    for (const PolicyVariant& v : variants) {
+      const PercentileRow row = Percentiles((large ? red_large : red_small)[v.label]);
+      std::printf("%s\n", FormatPercentileRow(v.label, row).c_str());
+      json_rows.push_back(JsonFields()
+                              .Add("variant", v.label)
+                              .Add("size", large ? "large" : "small")
+                              .Add("mean_reduction", row.mean)
+                              .Add("p10", row.p10)
+                              .Add("p90", row.p90));
     }
   }
   std::printf("\nexpectation: thresholds 1 and 2 are close on most traces (objects hot\n"
               "enough to be promoted usually collect 2+ hits in S anyway); threshold 3\n"
               "over-filters and starts losing at the tail.\n");
+  PrintSweepSummary(summary);
+  WriteBenchJson("ablation_threshold",
+                 JsonFields()
+                     .Add("scale", scale)
+                     .Add("threads", summary.threads)
+                     .Add("wall_ms", summary.wall_ms)
+                     .Add("simulated_requests", summary.simulated_requests)
+                     .Add("requests_per_sec", summary.requests_per_sec),
+                 json_rows);
 }
 
 }  // namespace
 }  // namespace s3fifo
 
-int main() {
-  s3fifo::Run();
+int main(int argc, char** argv) {
+  s3fifo::Run(s3fifo::ParseBenchArgs(argc, argv));
   return 0;
 }

@@ -2,11 +2,16 @@
 //
 // Every bench honours S3FIFO_BENCH_SCALE (a multiplier on trace lengths /
 // counts; default 1.0 = laptop scale, larger = closer to paper scale).
+// Sweep-driven benches additionally take --threads=N (0 = hardware
+// concurrency) and write a machine-readable BENCH_<name>.json next to the
+// human-readable table so the perf trajectory can be tracked across PRs.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -19,6 +24,29 @@ inline double BenchScale() {
   }
   const double v = std::atof(env);
   return v > 0 ? v : 1.0;
+}
+
+struct BenchOptions {
+  unsigned threads = 0;  // sweep parallelism; 0 = hardware concurrency
+};
+
+inline BenchOptions ParseBenchArgs(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      opts.threads = static_cast<unsigned>(std::atoi(arg + 10));
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      std::printf("usage: %s [--threads=N]\n"
+                  "  --threads=N   sweep-engine worker threads (0 = hardware concurrency)\n"
+                  "  env S3FIFO_BENCH_SCALE=X scales trace lengths (default 1.0)\n",
+                  argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "warning: ignoring unknown argument '%s'\n", arg);
+    }
+  }
+  return opts;
 }
 
 // The comparison set used by the miss-ratio figures (name, factory name).
@@ -36,6 +64,93 @@ inline void PrintHeader(const std::string& title, const std::string& paper_ref) 
   std::printf("reproduces: %s\n", paper_ref.c_str());
   std::printf("scale: %.2f (set S3FIFO_BENCH_SCALE to change)\n", BenchScale());
   std::printf("==============================================================\n");
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Minimal JSON object builder for the BENCH_<name>.json emitters. Values are
+// serialized immediately; insertion order is preserved.
+class JsonFields {
+ public:
+  JsonFields& Add(const std::string& key, const std::string& v) {
+    return AddRaw(key, "\"" + Escaped(v) + "\"");
+  }
+  JsonFields& Add(const std::string& key, const char* v) { return Add(key, std::string(v)); }
+  JsonFields& Add(const std::string& key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    return AddRaw(key, buf);
+  }
+  JsonFields& Add(const std::string& key, uint64_t v) { return AddRaw(key, std::to_string(v)); }
+  JsonFields& Add(const std::string& key, unsigned v) { return AddRaw(key, std::to_string(v)); }
+  JsonFields& Add(const std::string& key, int v) { return AddRaw(key, std::to_string(v)); }
+  JsonFields& Add(const std::string& key, bool v) { return AddRaw(key, v ? "true" : "false"); }
+
+  std::string Serialize() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) {
+        out += ", ";
+      }
+      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+  JsonFields& AddRaw(const std::string& key, std::string value) {
+    fields_.emplace_back(key, std::move(value));
+    return *this;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// Writes BENCH_<bench_name>.json into the working directory:
+// {"bench": ..., "summary": {...}, "rows": [{...}, ...]}.
+inline void WriteBenchJson(const std::string& bench_name, const JsonFields& summary,
+                           const std::vector<JsonFields>& rows) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"summary\": %s,\n  \"rows\": [", bench_name.c_str(),
+               summary.Serialize().c_str());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "%s\n    %s", i > 0 ? "," : "", rows[i].Serialize().c_str());
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("\n[bench] wrote %s\n", path.c_str());
 }
 
 }  // namespace s3fifo

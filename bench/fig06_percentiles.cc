@@ -1,40 +1,41 @@
 // Fig. 6: each algorithm's miss-ratio reduction relative to FIFO at
 // P10/P25/P50/mean/P75/P90 across all traces, at the large and small cache
-// sizes.
+// sizes. Runs on the sweep engine: each trace is generated once and streamed
+// once per cache size through all 14 policies.
 #include <cstdio>
 #include <map>
 
 #include "bench/bench_util.h"
 #include "bench/sweep.h"
-#include "src/core/cache_factory.h"
 #include "src/sim/metrics.h"
-#include "src/sim/simulator.h"
 
 namespace s3fifo {
 namespace {
 
-void Run() {
+void Run(const BenchOptions& opts) {
   PrintHeader("Fig. 6: miss-ratio reduction vs FIFO, percentiles across traces",
               "Fig. 6a (large = 10% footprint) and Fig. 6b (small = 1% footprint)");
   const double scale = BenchScale() * 0.25;
+  const std::vector<PolicyVariant> variants = VariantsFromPolicyNames(ComparisonPolicies());
 
   std::map<std::string, std::vector<double>> reductions_large, reductions_small;
+  std::map<std::string, std::vector<double>> missratios_large, missratios_small;
 
-  ForEachSweepCase(scale, [&](const SweepCase& c) {
-    for (const bool large : {true, false}) {
-      CacheConfig config;
-      config.capacity = large ? c.large_capacity : c.small_capacity;
-      auto fifo = CreateCache("fifo", config);
-      const double mr_fifo = Simulate(c.trace, *fifo).MissRatio();
-      for (const std::string& policy : ComparisonPolicies()) {
-        auto cache = CreateCache(policy, config);
-        const double mr = Simulate(c.trace, *cache).MissRatio();
-        auto& bucket = large ? reductions_large[policy] : reductions_small[policy];
-        bucket.push_back(MissRatioReduction(mr, mr_fifo));
-      }
-    }
-  });
+  const SweepSummary summary = RunMissRatioSweep(
+      scale, variants, /*include_small=*/true,
+      [&](const SweepCell& c) {
+        const double mr_fifo = c.fifo.MissRatio();
+        for (size_t vi = 0; vi < variants.size(); ++vi) {
+          const double mr = c.results[vi].MissRatio();
+          auto& bucket = c.large ? reductions_large[variants[vi].label]
+                                 : reductions_small[variants[vi].label];
+          bucket.push_back(MissRatioReduction(mr, mr_fifo));
+          (c.large ? missratios_large : missratios_small)[variants[vi].label].push_back(mr);
+        }
+      },
+      opts.threads);
 
+  std::vector<JsonFields> json_rows;
   for (const bool large : {true, false}) {
     std::printf("\n--- %s cache (%s of footprint) ---\n", large ? "large" : "small",
                 large ? "10%" : "1%");
@@ -46,19 +47,38 @@ void Run() {
     }
     std::sort(order.begin(), order.end());
     for (const auto& [neg_mean, policy] : order) {
-      std::printf("%s\n", FormatPercentileRow(policy, Percentiles(reductions.at(policy))).c_str());
+      const PercentileRow row = Percentiles(reductions.at(policy));
+      std::printf("%s\n", FormatPercentileRow(policy, row).c_str());
+      const auto& mrs = (large ? missratios_large : missratios_small).at(policy);
+      json_rows.push_back(JsonFields()
+                              .Add("policy", policy)
+                              .Add("size", large ? "large" : "small")
+                              .Add("mean_miss_ratio", Percentiles(mrs).mean)
+                              .Add("mean_reduction", row.mean)
+                              .Add("p10", row.p10)
+                              .Add("p50", row.p50)
+                              .Add("p90", row.p90));
     }
   }
   std::printf("\npaper shape (Fig. 6): s3fifo has the largest reductions across almost\n"
               "all percentiles at the large size (mean ~0.14, P90 > 0.32); tinylfu is\n"
               "the closest competitor but its P10 goes negative (worse than FIFO on\n"
               "~20%% of traces); blru sits at/below zero.\n");
+  PrintSweepSummary(summary);
+  WriteBenchJson("fig06_percentiles",
+                 JsonFields()
+                     .Add("scale", scale)
+                     .Add("threads", summary.threads)
+                     .Add("wall_ms", summary.wall_ms)
+                     .Add("simulated_requests", summary.simulated_requests)
+                     .Add("requests_per_sec", summary.requests_per_sec),
+                 json_rows);
 }
 
 }  // namespace
 }  // namespace s3fifo
 
-int main() {
-  s3fifo::Run();
+int main(int argc, char** argv) {
+  s3fifo::Run(s3fifo::ParseBenchArgs(argc, argv));
   return 0;
 }

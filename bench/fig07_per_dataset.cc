@@ -1,15 +1,14 @@
 // Fig. 7: the mean miss-ratio reduction (vs FIFO) per dataset, large and
 // small cache sizes, for the selected algorithms — plus the paper's
 // robustness headline: on how many datasets is each algorithm the best /
-// top-3?
+// top-3? Runs on the sweep engine: each trace is generated once and streamed
+// once per cache size through all policies.
 #include <cstdio>
 #include <map>
 
 #include "bench/bench_util.h"
 #include "bench/sweep.h"
-#include "src/core/cache_factory.h"
 #include "src/sim/metrics.h"
-#include "src/sim/simulator.h"
 
 namespace s3fifo {
 namespace {
@@ -20,29 +19,28 @@ const std::vector<std::string>& SelectedPolicies() {
   return *p;
 }
 
-void Run() {
+void Run(const BenchOptions& opts) {
   PrintHeader("Fig. 7: mean miss-ratio reduction per dataset", "Fig. 7a/7b");
   const double scale = BenchScale() * 0.25;
+  const std::vector<PolicyVariant> variants = VariantsFromPolicyNames(SelectedPolicies());
 
   // sums[large][policy][dataset] = (sum, count)
   std::map<std::string, std::map<std::string, std::pair<double, int>>> sum_large, sum_small;
 
-  ForEachSweepCase(scale, [&](const SweepCase& c) {
-    for (const bool large : {true, false}) {
-      CacheConfig config;
-      config.capacity = large ? c.large_capacity : c.small_capacity;
-      auto fifo = CreateCache("fifo", config);
-      const double mr_fifo = Simulate(c.trace, *fifo).MissRatio();
-      for (const std::string& policy : SelectedPolicies()) {
-        auto cache = CreateCache(policy, config);
-        const double red = MissRatioReduction(Simulate(c.trace, *cache).MissRatio(), mr_fifo);
-        auto& cell = (large ? sum_large : sum_small)[policy][c.dataset->name];
-        cell.first += red;
-        cell.second += 1;
-      }
-    }
-  });
+  const SweepSummary summary = RunMissRatioSweep(
+      scale, variants, /*include_small=*/true,
+      [&](const SweepCell& c) {
+        const double mr_fifo = c.fifo.MissRatio();
+        for (size_t vi = 0; vi < variants.size(); ++vi) {
+          const double red = MissRatioReduction(c.results[vi].MissRatio(), mr_fifo);
+          auto& cell = (c.large ? sum_large : sum_small)[variants[vi].label][c.dataset->name];
+          cell.first += red;
+          cell.second += 1;
+        }
+      },
+      opts.threads);
 
+  std::vector<JsonFields> json_rows;
   for (const bool large : {true, false}) {
     auto& sums = large ? sum_large : sum_small;
     std::printf("\n--- %s cache ---\n%-14s", large ? "large" : "small", "dataset");
@@ -59,6 +57,11 @@ void Run() {
         const double mean = cell.second ? cell.first / cell.second : 0.0;
         std::printf(" %+11.4f", mean);
         ranked.emplace_back(-mean, policy);
+        json_rows.push_back(JsonFields()
+                                .Add("policy", policy)
+                                .Add("dataset", d.name)
+                                .Add("size", large ? "large" : "small")
+                                .Add("mean_reduction", mean));
       }
       std::sort(ranked.begin(), ranked.end());
       best_count[ranked[0].second]++;
@@ -80,12 +83,21 @@ void Run() {
   std::printf("\npaper shape (Fig. 7 / §5.2.2): s3fifo is the best algorithm on 10/14\n"
               "datasets at the large size (7/14 at the small size) and top-3 on 13/14;\n"
               "no other algorithm is best on more than 3.\n");
+  PrintSweepSummary(summary);
+  WriteBenchJson("fig07_per_dataset",
+                 JsonFields()
+                     .Add("scale", scale)
+                     .Add("threads", summary.threads)
+                     .Add("wall_ms", summary.wall_ms)
+                     .Add("simulated_requests", summary.simulated_requests)
+                     .Add("requests_per_sec", summary.requests_per_sec),
+                 json_rows);
 }
 
 }  // namespace
 }  // namespace s3fifo
 
-int main() {
-  s3fifo::Run();
+int main(int argc, char** argv) {
+  s3fifo::Run(s3fifo::ParseBenchArgs(argc, argv));
   return 0;
 }

@@ -1,64 +1,76 @@
 // Fig. 11: S3-FIFO's miss-ratio-reduction percentiles across traces as a
 // function of the small-queue size (1% .. 40% of the cache), at large and
-// small cache sizes.
+// small cache sizes. Runs on the sweep engine: all seven small_ratio
+// variants share one pass over each trace.
 #include <cstdio>
 #include <map>
 
 #include "bench/bench_util.h"
 #include "bench/sweep.h"
-#include "src/core/cache_factory.h"
 #include "src/sim/metrics.h"
-#include "src/sim/simulator.h"
 
 namespace s3fifo {
 namespace {
 
 const double kSmallRatios[] = {0.01, 0.02, 0.05, 0.10, 0.20, 0.30, 0.40};
 
-void Run() {
+void Run(const BenchOptions& opts) {
   PrintHeader("Fig. 11: sensitivity to the small-queue size", "Fig. 11 (left/right)");
   const double scale = BenchScale() * 0.25;
 
-  std::map<double, std::vector<double>> red_large, red_small;
+  std::vector<PolicyVariant> variants;
+  for (double ratio : kSmallRatios) {
+    char label[32], params[48];
+    std::snprintf(label, sizeof(label), "S=%.0f%%", ratio * 100);
+    std::snprintf(params, sizeof(params), "small_ratio=%.2f", ratio);
+    variants.push_back({label, "s3fifo", params});
+  }
 
-  ForEachSweepCase(scale, [&](const SweepCase& c) {
-    for (const bool large : {true, false}) {
-      CacheConfig config;
-      config.capacity = large ? c.large_capacity : c.small_capacity;
-      auto fifo = CreateCache("fifo", config);
-      const double mr_fifo = Simulate(c.trace, *fifo).MissRatio();
-      for (double ratio : kSmallRatios) {
-        char params[48];
-        std::snprintf(params, sizeof(params), "small_ratio=%.2f", ratio);
-        CacheConfig c2 = config;
-        c2.params = params;
-        auto cache = CreateCache("s3fifo", c2);
-        (large ? red_large : red_small)[ratio].push_back(
-            MissRatioReduction(Simulate(c.trace, *cache).MissRatio(), mr_fifo));
-      }
-    }
-  });
+  std::map<std::string, std::vector<double>> red_large, red_small;
+  const SweepSummary summary = RunMissRatioSweep(
+      scale, variants, /*include_small=*/true,
+      [&](const SweepCell& c) {
+        const double mr_fifo = c.fifo.MissRatio();
+        for (size_t vi = 0; vi < variants.size(); ++vi) {
+          (c.large ? red_large : red_small)[variants[vi].label].push_back(
+              MissRatioReduction(c.results[vi].MissRatio(), mr_fifo));
+        }
+      },
+      opts.threads);
 
+  std::vector<JsonFields> json_rows;
   for (const bool large : {true, false}) {
     std::printf("\n--- %s cache ---\n", large ? "large" : "small");
-    for (double ratio : kSmallRatios) {
-      char label[32];
-      std::snprintf(label, sizeof(label), "S=%.0f%%", ratio * 100);
-      std::printf("%s\n",
-                  FormatPercentileRow(label, Percentiles((large ? red_large : red_small)[ratio]))
-                      .c_str());
+    for (const PolicyVariant& v : variants) {
+      const PercentileRow row = Percentiles((large ? red_large : red_small)[v.label]);
+      std::printf("%s\n", FormatPercentileRow(v.label, row).c_str());
+      json_rows.push_back(JsonFields()
+                              .Add("small_ratio", v.params)
+                              .Add("size", large ? "large" : "small")
+                              .Add("mean_reduction", row.mean)
+                              .Add("p10", row.p10)
+                              .Add("p90", row.p90));
     }
   }
   std::printf("\npaper shape (Fig. 11): smaller S gives the largest reductions at the\n"
               "top percentiles (P90 peaks near S=1-2%%) but drags the bottom percentile\n"
               "down (more traces worse than FIFO); the curve is flat between 5%% and\n"
               "20%% for most traces — 10%% is a robust default (§6.2.1).\n");
+  PrintSweepSummary(summary);
+  WriteBenchJson("fig11_queue_size",
+                 JsonFields()
+                     .Add("scale", scale)
+                     .Add("threads", summary.threads)
+                     .Add("wall_ms", summary.wall_ms)
+                     .Add("simulated_requests", summary.simulated_requests)
+                     .Add("requests_per_sec", summary.requests_per_sec),
+                 json_rows);
 }
 
 }  // namespace
 }  // namespace s3fifo
 
-int main() {
-  s3fifo::Run();
+int main(int argc, char** argv) {
+  s3fifo::Run(s3fifo::ParseBenchArgs(argc, argv));
   return 0;
 }

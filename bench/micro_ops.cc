@@ -3,12 +3,16 @@
 // structures, sketch, MPMC ring). Supports the §4.3 overhead analysis.
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+
 #include "src/concurrent/mpmc_queue.h"
 #include "src/core/cache_factory.h"
 #include "src/util/count_min_sketch.h"
+#include "src/util/flat_map.h"
 #include "src/util/ghost_queue.h"
 #include "src/util/ghost_table.h"
 #include "src/util/hash.h"
+#include "src/util/intrusive_list.h"
 #include "src/util/rng.h"
 #include "src/util/zipf.h"
 
@@ -74,6 +78,82 @@ void BM_MpmcQueue(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MpmcQueue);
+
+// FlatMap vs std::unordered_map on the S3-FIFO table access pattern: Zipf
+// lookups (mostly hits), miss -> insert, FIFO-ordered erase at capacity —
+// the exact find/emplace/erase mix the policies' hot path issues. The entry
+// mirrors S3FifoCache::Entry (intrusive hook and all) so both tables move
+// the same bytes.
+struct ChurnEntry {
+  uint64_t id = 0;
+  uint64_t size = 1;
+  uint32_t freq = 0;
+  uint32_t hits = 0;
+  bool in_small = true;
+  uint64_t insert_time = 0;
+  uint64_t stage_enter_time = 0;
+  uint64_t last_access_time = 0;
+  ListHook hook;
+};
+
+template <typename Table>
+void HashChurn(benchmark::State& state, Table& table) {
+  constexpr uint64_t kObjects = 1 << 16;
+  constexpr size_t kCapacity = kObjects / 10;
+  ZipfDistribution zipf(kObjects, 1.0);
+  Rng rng(7);
+  std::vector<uint64_t> fifo(kCapacity, 0);  // ring of resident ids, FIFO order
+  size_t head = 0, resident = 0;
+  uint64_t tick = 0;
+  for (auto _ : state) {
+    const uint64_t id = zipf.Sample(rng);
+    ++tick;
+    if constexpr (std::is_same_v<Table, FlatMap<ChurnEntry>>) {
+      if (ChurnEntry* e = table.Find(id)) {
+        ++e->freq;
+        e->last_access_time = tick;
+        continue;
+      }
+      if (resident == kCapacity) {
+        table.Erase(fifo[head]);
+        --resident;
+      }
+      ChurnEntry& e = *table.Emplace(id);
+      e.id = id;
+      e.insert_time = tick;
+    } else {
+      auto it = table.find(id);
+      if (it != table.end()) {
+        ++it->second.freq;
+        it->second.last_access_time = tick;
+        continue;
+      }
+      if (resident == kCapacity) {
+        table.erase(fifo[head]);
+        --resident;
+      }
+      ChurnEntry& e = table[id];
+      e.id = id;
+      e.insert_time = tick;
+    }
+    fifo[head] = id;
+    head = (head + 1) % kCapacity;
+    ++resident;
+  }
+  benchmark::DoNotOptimize(resident);
+}
+
+void BM_FlatMapChurn(benchmark::State& state) {
+  FlatMap<ChurnEntry> table;
+  HashChurn(state, table);
+}
+BENCHMARK(BM_FlatMapChurn);
+
+void BM_UnorderedMapChurn(benchmark::State& state) {
+  std::unordered_map<uint64_t, ChurnEntry> table;
+  HashChurn(state, table);
+}
+BENCHMARK(BM_UnorderedMapChurn);
 
 // Per-request cost of each policy on a Zipf(1.0) stream, cache = 10% of the
 // universe (≈90% hit ratio: dominated by the hit path, as in production).

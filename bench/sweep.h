@@ -1,20 +1,35 @@
-// Shared trace-sweep driver for the miss-ratio figures (Fig. 6, 7, 11 and
-// the ablations): iterates every trace of every dataset profile, handing the
-// caller the trace plus the paper's two cache sizes.
+// Shared trace-sweep drivers for the miss-ratio figures (Fig. 6, 7, 11 and
+// the ablations).
 //
 // Cache sizes: the paper uses 10% ("large") and 0.1% ("small") of the trace
 // footprint, skipping traces where the small cache would hold under 1000
 // objects. Our scaled-down footprints are ~1000x smaller than production
 // traces, so we use 10% and 1% — keeping the small cache's *absolute* object
 // count in the same regime as the paper's 0.1% of a production footprint.
+//
+// Two drivers:
+//   * ForEachSweepCase — the original serial path: generates each trace and
+//     hands it to the caller, which simulates one cache per pass. Kept as
+//     the baseline the sweep-speedup bench measures against.
+//   * RunMissRatioSweep — the sweep-engine path: every (trace, cache-size)
+//     pair becomes one SweepUnit that streams the trace once through FIFO
+//     plus all requested policy variants (MultiSimulate), units fan out over
+//     the RunTasks thread pool, and each trace is generated once and shared.
+//     Results are collected in deterministic case order regardless of the
+//     thread count, and are bit-identical to the serial path.
 #ifndef BENCH_SWEEP_H_
 #define BENCH_SWEEP_H_
 
 #include <algorithm>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "src/core/cache_factory.h"
+#include "src/sim/sweep_engine.h"
 #include "src/workload/dataset_profiles.h"
 
 namespace s3fifo {
@@ -27,20 +42,147 @@ struct SweepCase {
   uint64_t small_capacity;  // 1% of footprint
 };
 
+inline uint64_t SweepCapacity(uint64_t footprint, bool large) {
+  return std::max<uint64_t>(large ? footprint / 10 : footprint / 100, 10);
+}
+
 inline void ForEachSweepCase(double scale, const std::function<void(const SweepCase&)>& fn,
                              bool progress = true) {
   for (const DatasetProfile& d : AllDatasetProfiles()) {
     for (uint32_t i = 0; i < d.num_traces; ++i) {
       SweepCase c{&d, i, GenerateDatasetTrace(d, i, scale), 0, 0};
       const uint64_t footprint = c.trace.Stats().num_objects;
-      c.large_capacity = std::max<uint64_t>(footprint / 10, 10);
-      c.small_capacity = std::max<uint64_t>(footprint / 100, 10);
+      c.large_capacity = SweepCapacity(footprint, true);
+      c.small_capacity = SweepCapacity(footprint, false);
       fn(c);
     }
     if (progress) {
       std::fprintf(stderr, "  [sweep] %s done\n", d.name.c_str());
     }
   }
+}
+
+// One policy configuration simulated against the FIFO baseline.
+struct PolicyVariant {
+  std::string label;   // row label in the figure
+  std::string policy;  // factory name
+  std::string params;  // CacheConfig::params
+};
+
+inline std::vector<PolicyVariant> VariantsFromPolicyNames(const std::vector<std::string>& names) {
+  std::vector<PolicyVariant> variants;
+  for (const std::string& name : names) {
+    variants.push_back({name, name, ""});
+  }
+  return variants;
+}
+
+// Results for one (dataset trace, cache size) cell of the sweep.
+struct SweepCell {
+  const DatasetProfile* dataset = nullptr;
+  uint32_t trace_index = 0;
+  bool large = true;
+  uint64_t capacity = 0;
+  SimResult fifo;                  // the FIFO baseline at this capacity
+  std::vector<SimResult> results;  // index-aligned with the variant list
+};
+
+struct SweepSummary {
+  double wall_ms = 0;
+  uint64_t simulated_requests = 0;  // Σ trace length × caches per unit
+  double requests_per_sec = 0;
+  unsigned threads = 0;
+  bool ok = true;  // false if any unit failed after retries
+};
+
+// Streams every dataset trace once per cache size through FIFO + all
+// variants on the sweep engine. `collect` runs on the calling thread after
+// the sweep, once per cell, in deterministic dataset/trace/size order.
+inline SweepSummary RunMissRatioSweep(double scale, const std::vector<PolicyVariant>& variants,
+                                      bool include_small,
+                                      const std::function<void(const SweepCell&)>& collect,
+                                      unsigned threads = 0, bool progress = true) {
+  struct UnitMeta {
+    const DatasetProfile* dataset;
+    uint32_t trace_index;
+    bool large;
+  };
+  std::vector<SweepUnit> units;
+  std::vector<UnitMeta> metas;
+  // Capacities are derived from trace stats on the workers; this vector is
+  // index-aligned with `units` and each slot is written by exactly one unit.
+  auto capacities = std::make_shared<std::vector<uint64_t>>();
+  std::vector<bool> sizes = include_small ? std::vector<bool>{true, false}
+                                          : std::vector<bool>{true};
+  for (const DatasetProfile& d : AllDatasetProfiles()) {
+    for (uint32_t i = 0; i < d.num_traces; ++i) {
+      SharedTracePtr shared = SweepEngine::MakeSharedDatasetTrace(d, i, scale);
+      for (const bool large : sizes) {
+        const size_t unit_index = units.size();
+        SweepUnit unit;
+        unit.label = d.name + "/" + std::to_string(i) + (large ? "/large" : "/small");
+        unit.trace = shared;
+        unit.make_caches = [&variants, large, unit_index, capacities](const Trace& trace) {
+          const uint64_t capacity = SweepCapacity(trace.Stats().num_objects, large);
+          (*capacities)[unit_index] = capacity;
+          CacheConfig config;
+          config.capacity = capacity;
+          std::vector<std::unique_ptr<Cache>> caches;
+          caches.reserve(variants.size() + 1);
+          caches.push_back(CreateCache("fifo", config));
+          for (const PolicyVariant& v : variants) {
+            CacheConfig variant_config = config;
+            variant_config.params = v.params;
+            caches.push_back(CreateCache(v.policy, variant_config));
+          }
+          return caches;
+        };
+        units.push_back(std::move(unit));
+        metas.push_back({&d, i, large});
+      }
+    }
+  }
+  capacities->resize(units.size(), 0);
+
+  RunnerOptions runner_options;
+  runner_options.num_threads = threads;
+  SweepEngine engine(runner_options);
+  SweepSummary summary;
+  summary.threads = threads != 0 ? threads : std::max(1u, std::thread::hardware_concurrency());
+  if (progress) {
+    std::fprintf(stderr, "  [sweep] %zu units (%zu caches each) on %u threads\n", units.size(),
+                 variants.size() + 1, summary.threads);
+  }
+  WallTimer timer;
+  const std::vector<SweepUnitResult> results = engine.Run(units);
+  summary.wall_ms = timer.ElapsedMs();
+  summary.simulated_requests = engine.last_simulated_requests();
+  summary.requests_per_sec =
+      summary.wall_ms > 0 ? summary.simulated_requests / (summary.wall_ms / 1000.0) : 0;
+
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok) {
+      std::fprintf(stderr, "  [sweep] unit %s FAILED after %u attempts: %s\n",
+                   results[i].label.c_str(), results[i].attempts, results[i].error.c_str());
+      summary.ok = false;
+      continue;
+    }
+    SweepCell cell;
+    cell.dataset = metas[i].dataset;
+    cell.trace_index = metas[i].trace_index;
+    cell.large = metas[i].large;
+    cell.capacity = (*capacities)[i];
+    cell.fifo = results[i].results.front();
+    cell.results.assign(results[i].results.begin() + 1, results[i].results.end());
+    collect(cell);
+  }
+  return summary;
+}
+
+inline void PrintSweepSummary(const SweepSummary& s) {
+  std::printf("\nsweep: %.0f ms wall, %llu simulated requests, %.2fM req/s, %u threads%s\n",
+              s.wall_ms, static_cast<unsigned long long>(s.simulated_requests),
+              s.requests_per_sec / 1e6, s.threads, s.ok ? "" : "  [UNITS FAILED]");
 }
 
 }  // namespace s3fifo

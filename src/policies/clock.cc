@@ -12,12 +12,11 @@ ClockCache::ClockCache(const CacheConfig& config) : Cache(config) {
   max_ref_ = (1u << bits) - 1;
 }
 
-bool ClockCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+bool ClockCache::Contains(uint64_t id) const { return table_.Contains(id); }
 
 void ClockCache::Remove(uint64_t id) {
-  auto it = table_.find(id);
-  if (it != table_.end()) {
-    RemoveEntry(&it->second, /*explicit_delete=*/true);
+  if (Entry* e = table_.Find(id)) {
+    RemoveEntry(e, /*explicit_delete=*/true);
   }
 }
 
@@ -32,7 +31,7 @@ void ClockCache::RemoveEntry(Entry* entry, bool explicit_delete) {
   ev.explicit_delete = explicit_delete;
   queue_.Remove(entry);
   SubOccupied(entry->size);
-  table_.erase(entry->id);
+  table_.Erase(entry->id);
   NotifyEviction(ev);
 }
 
@@ -52,9 +51,8 @@ void ClockCache::EvictOne() {
 
 bool ClockCache::Access(const Request& req) {
   const uint64_t need = SizeOf(req);
-  auto it = table_.find(req.id);
-  if (it != table_.end()) {
-    Entry& e = it->second;
+  if (Entry* found = table_.Find(req.id)) {
+    Entry& e = *found;
     ++e.hits;
     e.ref = std::min(e.ref + 1, max_ref_);
     e.last_access_time = clock();
@@ -74,7 +72,7 @@ bool ClockCache::Access(const Request& req) {
   while (occupied() + need > capacity()) {
     EvictOne();
   }
-  Entry& e = table_[req.id];
+  Entry& e = *table_.Emplace(req.id);
   e.id = req.id;
   e.size = need;
   e.insert_time = clock();

@@ -8,9 +8,8 @@
 #ifndef SRC_POLICIES_CLOCK_H_
 #define SRC_POLICIES_CLOCK_H_
 
-#include <unordered_map>
-
 #include "src/core/cache.h"
+#include "src/util/flat_map.h"
 #include "src/util/intrusive_list.h"
 
 namespace s3fifo {
@@ -41,7 +40,7 @@ class ClockCache : public Cache {
   void RemoveEntry(Entry* entry, bool explicit_delete);
 
   uint32_t max_ref_;
-  std::unordered_map<uint64_t, Entry> table_;
+  FlatMap<Entry> table_;
   IntrusiveList<Entry, &Entry::hook> queue_;
 };
 

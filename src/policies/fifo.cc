@@ -4,12 +4,11 @@ namespace s3fifo {
 
 FifoCache::FifoCache(const CacheConfig& config) : Cache(config) {}
 
-bool FifoCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+bool FifoCache::Contains(uint64_t id) const { return table_.Contains(id); }
 
 void FifoCache::Remove(uint64_t id) {
-  auto it = table_.find(id);
-  if (it != table_.end()) {
-    RemoveEntry(&it->second, /*explicit_delete=*/true);
+  if (Entry* e = table_.Find(id)) {
+    RemoveEntry(e, /*explicit_delete=*/true);
   }
 }
 
@@ -24,7 +23,7 @@ void FifoCache::RemoveEntry(Entry* entry, bool explicit_delete) {
   ev.explicit_delete = explicit_delete;
   queue_.Remove(entry);
   SubOccupied(entry->size);
-  table_.erase(entry->id);
+  table_.Erase(entry->id);
   NotifyEviction(ev);
 }
 
@@ -37,9 +36,8 @@ void FifoCache::EvictOne() {
 
 bool FifoCache::Access(const Request& req) {
   const uint64_t need = SizeOf(req);
-  auto it = table_.find(req.id);
-  if (it != table_.end()) {
-    Entry& e = it->second;
+  if (Entry* found = table_.Find(req.id)) {
+    Entry& e = *found;
     ++e.hits;
     e.last_access_time = clock();
     if (!count_based() && e.size != need) {
@@ -59,7 +57,7 @@ bool FifoCache::Access(const Request& req) {
   while (occupied() + need > capacity()) {
     EvictOne();
   }
-  Entry& e = table_[req.id];
+  Entry& e = *table_.Emplace(req.id);
   e.id = req.id;
   e.size = need;
   e.insert_time = clock();

@@ -3,9 +3,8 @@
 #ifndef SRC_POLICIES_FIFO_H_
 #define SRC_POLICIES_FIFO_H_
 
-#include <unordered_map>
-
 #include "src/core/cache.h"
+#include "src/util/flat_map.h"
 #include "src/util/intrusive_list.h"
 
 namespace s3fifo {
@@ -34,7 +33,7 @@ class FifoCache : public Cache {
   void EvictOne();
   void RemoveEntry(Entry* entry, bool explicit_delete);
 
-  std::unordered_map<uint64_t, Entry> table_;
+  FlatMap<Entry> table_;
   IntrusiveList<Entry, &Entry::hook> queue_;
 };
 

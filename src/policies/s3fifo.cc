@@ -40,7 +40,7 @@ void S3FifoCache::set_small_target(uint64_t target) {
   main_target_ = capacity() - small_target_;
 }
 
-bool S3FifoCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+bool S3FifoCache::Contains(uint64_t id) const { return table_.Contains(id); }
 
 bool S3FifoCache::GhostContains(uint64_t id) const {
   return ghost_exact_ ? ghost_exact_->Contains(id) : ghost_table_->Contains(id);
@@ -93,11 +93,11 @@ void S3FifoCache::NotifyDemotion(const Entry& e, bool promoted) {
 }
 
 void S3FifoCache::Remove(uint64_t id) {
-  auto it = table_.find(id);
-  if (it == table_.end()) {
+  Entry* found = table_.Find(id);
+  if (found == nullptr) {
     return;
   }
-  Entry& e = it->second;
+  Entry& e = *found;
   if (e.in_small) {
     small_.Remove(&e);
     small_occ_ -= e.size;
@@ -110,7 +110,7 @@ void S3FifoCache::Remove(uint64_t id) {
   }
   SubOccupied(e.size);
   FireEviction(e, /*explicit_delete=*/true);
-  table_.erase(it);
+  table_.Erase(id);
 }
 
 void S3FifoCache::EvictFromSmall() {
@@ -140,7 +140,7 @@ void S3FifoCache::EvictFromSmall() {
     ++stats_.demoted_to_ghost;
     FireEviction(*t, /*explicit_delete=*/false);
     OnDemotionToGhost(t->id);
-    table_.erase(t->id);
+    table_.Erase(t->id);
   }
 }
 
@@ -167,7 +167,7 @@ void S3FifoCache::EvictFromMain() {
     ++stats_.main_evictions;
     FireEviction(*t, /*explicit_delete=*/false);
     OnMainEviction(t->id);
-    table_.erase(t->id);
+    table_.Erase(t->id);
     return;
   }
   // FIFO-reinsertion: terminates because every reinsertion decrements freq.
@@ -183,7 +183,7 @@ void S3FifoCache::EvictFromMain() {
       ++stats_.main_evictions;
       FireEviction(*t, /*explicit_delete=*/false);
       OnMainEviction(t->id);
-      table_.erase(t->id);
+      table_.Erase(t->id);
       return;
     }
   }
@@ -204,9 +204,8 @@ void S3FifoCache::EnsureFree(uint64_t need) {
 
 bool S3FifoCache::Access(const Request& req) {
   const uint64_t need = SizeOf(req);
-  auto it = table_.find(req.id);
-  if (it != table_.end()) {
-    Entry& e = it->second;
+  if (Entry* found = table_.Find(req.id)) {
+    Entry& e = *found;
     e.freq = std::min(e.freq + 1, max_freq_);
     ++e.hits;
     e.last_access_time = clock();
@@ -237,7 +236,7 @@ bool S3FifoCache::Access(const Request& req) {
   }
   EnsureFree(need);
   const bool ghost_hit = GhostHitAndErase(req.id);
-  Entry& e = table_[req.id];
+  Entry& e = *table_.Emplace(req.id);
   e.id = req.id;
   e.size = need;
   e.freq = 0;

@@ -36,10 +36,10 @@
 #define SRC_POLICIES_S3FIFO_H_
 
 #include <memory>
-#include <unordered_map>
 
 #include "src/core/cache.h"
 #include "src/core/demotion.h"
+#include "src/util/flat_map.h"
 #include "src/util/ghost_queue.h"
 #include "src/util/ghost_table.h"
 #include "src/util/intrusive_list.h"
@@ -119,7 +119,7 @@ class S3FifoCache : public Cache {
   bool main_sieve_;
   Entry* sieve_hand_ = nullptr;  // M's hand when main_sieve_ is set
 
-  std::unordered_map<uint64_t, Entry> table_;
+  FlatMap<Entry> table_;
   Queue small_;
   Queue main_;
   uint64_t small_occ_ = 0;

@@ -4,12 +4,11 @@ namespace s3fifo {
 
 SieveCache::SieveCache(const CacheConfig& config) : Cache(config) {}
 
-bool SieveCache::Contains(uint64_t id) const { return table_.count(id) != 0; }
+bool SieveCache::Contains(uint64_t id) const { return table_.Contains(id); }
 
 void SieveCache::Remove(uint64_t id) {
-  auto it = table_.find(id);
-  if (it != table_.end()) {
-    RemoveEntry(&it->second, /*explicit_delete=*/true);
+  if (Entry* e = table_.Find(id)) {
+    RemoveEntry(e, /*explicit_delete=*/true);
   }
 }
 
@@ -27,7 +26,7 @@ void SieveCache::RemoveEntry(Entry* entry, bool explicit_delete) {
   ev.explicit_delete = explicit_delete;
   queue_.Remove(entry);
   SubOccupied(entry->size);
-  table_.erase(entry->id);
+  table_.Erase(entry->id);
   NotifyEviction(ev);
 }
 
@@ -51,9 +50,8 @@ void SieveCache::EvictOne() {
 
 bool SieveCache::Access(const Request& req) {
   const uint64_t need = SizeOf(req);
-  auto it = table_.find(req.id);
-  if (it != table_.end()) {
-    Entry& e = it->second;
+  if (Entry* found = table_.Find(req.id)) {
+    Entry& e = *found;
     ++e.hits;
     e.visited = true;
     e.last_access_time = clock();
@@ -73,7 +71,7 @@ bool SieveCache::Access(const Request& req) {
   while (occupied() + need > capacity()) {
     EvictOne();
   }
-  Entry& e = table_[req.id];
+  Entry& e = *table_.Emplace(req.id);
   e.id = req.id;
   e.size = need;
   e.insert_time = clock();

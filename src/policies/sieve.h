@@ -5,9 +5,8 @@
 #ifndef SRC_POLICIES_SIEVE_H_
 #define SRC_POLICIES_SIEVE_H_
 
-#include <unordered_map>
-
 #include "src/core/cache.h"
+#include "src/util/flat_map.h"
 #include "src/util/intrusive_list.h"
 
 namespace s3fifo {
@@ -37,7 +36,7 @@ class SieveCache : public Cache {
   void EvictOne();
   void RemoveEntry(Entry* entry, bool explicit_delete);
 
-  std::unordered_map<uint64_t, Entry> table_;
+  FlatMap<Entry> table_;
   IntrusiveList<Entry, &Entry::hook> queue_;
   Entry* hand_ = nullptr;
 };

@@ -7,24 +7,21 @@
 
 namespace s3fifo {
 
-std::vector<SimJobResult> RunJobs(const std::vector<SimJob>& jobs, const RunnerOptions& options) {
-  std::vector<SimJobResult> results(jobs.size());
+std::vector<TaskOutcome> RunTasks(size_t num_tasks, const std::function<void(size_t)>& task,
+                                  const RunnerOptions& options) {
+  std::vector<TaskOutcome> outcomes(num_tasks);
   unsigned threads = options.num_threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   ThreadPool pool(threads);
-  for (size_t i = 0; i < jobs.size(); ++i) {
-    pool.Submit([&jobs, &results, &options, i] {
-      const SimJob& job = jobs[i];
-      SimJobResult& out = results[i];
-      out.label = job.label;
+  for (size_t i = 0; i < num_tasks; ++i) {
+    pool.Submit([&task, &outcomes, &options, i] {
+      TaskOutcome& out = outcomes[i];
       for (uint32_t attempt = 0; attempt <= options.max_retries; ++attempt) {
         out.attempts = attempt + 1;
         try {
-          Trace trace = job.make_trace();
-          std::unique_ptr<Cache> cache = job.make_cache();
-          out.result = Simulate(trace, *cache, job.options);
+          task(i);
           out.ok = true;
           return;
         } catch (const std::exception& e) {
@@ -36,6 +33,26 @@ std::vector<SimJobResult> RunJobs(const std::vector<SimJob>& jobs, const RunnerO
     });
   }
   pool.Wait();
+  return outcomes;
+}
+
+std::vector<SimJobResult> RunJobs(const std::vector<SimJob>& jobs, const RunnerOptions& options) {
+  std::vector<SimJobResult> results(jobs.size());
+  const std::vector<TaskOutcome> outcomes = RunTasks(
+      jobs.size(),
+      [&jobs, &results](size_t i) {
+        const SimJob& job = jobs[i];
+        Trace trace = job.make_trace();
+        std::unique_ptr<Cache> cache = job.make_cache();
+        results[i].result = Simulate(trace, *cache, job.options);
+      },
+      options);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    results[i].label = jobs[i].label;
+    results[i].ok = outcomes[i].ok;
+    results[i].attempts = outcomes[i].attempts;
+    results[i].error = outcomes[i].error;
+  }
   return results;
 }
 

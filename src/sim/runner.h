@@ -36,6 +36,20 @@ struct RunnerOptions {
   uint32_t max_retries = 2;
 };
 
+// Outcome of one fault-tolerant task (see RunTasks).
+struct TaskOutcome {
+  bool ok = false;
+  uint32_t attempts = 0;
+  std::string error;
+};
+
+// The generic fault-tolerant parallel runner underlying RunJobs and the
+// sweep engine: executes task(i) for every i in [0, num_tasks) on a thread
+// pool, retrying a throwing task up to max_retries times without affecting
+// the others. Outcomes are index-aligned with the task indices.
+std::vector<TaskOutcome> RunTasks(size_t num_tasks, const std::function<void(size_t)>& task,
+                                  const RunnerOptions& options = {});
+
 // Runs all jobs; the result vector is index-aligned with `jobs`.
 std::vector<SimJobResult> RunJobs(const std::vector<SimJob>& jobs,
                                   const RunnerOptions& options = {});

@@ -1,0 +1,65 @@
+#include "src/sim/sweep_engine.h"
+
+namespace s3fifo {
+
+std::shared_ptr<const Trace> SharedTrace::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (trace_ == nullptr) {
+    auto generated = std::make_shared<Trace>(generate_());
+    // Warm the stats cache while we still have exclusive access; afterwards
+    // concurrent Stats() calls are pure reads.
+    generated->Stats();
+    trace_ = std::move(generated);
+  }
+  return trace_;
+}
+
+void SharedTrace::AddUser() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pending_users_;
+}
+
+void SharedTrace::ReleaseUser() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--pending_users_ <= 0) {
+    trace_.reset();
+  }
+}
+
+SharedTracePtr SweepEngine::MakeSharedDatasetTrace(const DatasetProfile& profile,
+                                                   uint32_t trace_index, double scale) {
+  // Copy the profile: the generator outlives the caller's reference.
+  return MakeSharedTrace(
+      [profile, trace_index, scale] { return GenerateDatasetTrace(profile, trace_index, scale); });
+}
+
+std::vector<SweepUnitResult> SweepEngine::Run(const std::vector<SweepUnit>& units) {
+  simulated_requests_ = 0;
+  for (const SweepUnit& unit : units) {
+    unit.trace->AddUser();
+  }
+  std::vector<SweepUnitResult> results(units.size());
+  const std::vector<TaskOutcome> outcomes = RunTasks(
+      units.size(),
+      [this, &units, &results](size_t i) {
+        const SweepUnit& unit = units[i];
+        const std::shared_ptr<const Trace> trace = unit.trace->Acquire();
+        std::vector<std::unique_ptr<Cache>> caches = unit.make_caches(*trace);
+        results[i].results = MultiSimulate(*trace, caches, unit.options);
+        simulated_requests_ += trace->size() * caches.size();
+        // Only a successful unit releases its claim; a permanently failing
+        // one keeps the trace cached, which at worst delays the release
+        // until the SharedTrace itself is destroyed.
+        unit.trace->ReleaseUser();
+      },
+      options_);
+  for (size_t i = 0; i < units.size(); ++i) {
+    results[i].label = units[i].label;
+    results[i].ok = outcomes[i].ok;
+    results[i].attempts = outcomes[i].attempts;
+    results[i].error = outcomes[i].error;
+  }
+  return results;
+}
+
+}  // namespace s3fifo

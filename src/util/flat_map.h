@@ -1,0 +1,229 @@
+// Open-addressing hash map keyed by uint64_t object ids — the request
+// hot-path replacement for node-based std::unordered_map in the policies.
+//
+// Layout: a power-of-two slot array (linear probing, Mix64-hashed, backward-
+// shift deletion so no tombstones accumulate) holds {key, index} pairs; the
+// values live in a slab pool of fixed-size chunks with a LIFO free list.
+// Consequences the policies rely on:
+//
+//   * value addresses are STABLE — rehashing moves only the slot array, never
+//     a value, so intrusive-list hooks embedded in entries stay valid;
+//   * lookups touch one contiguous slot array (one cache line for most
+//     probes) instead of chasing a bucket list node per hit;
+//   * erase returns the slab slot to the free list; the next Emplace reuses
+//     it with a freshly value-initialized V.
+//
+// Not thread-safe. ForEach must not insert or erase.
+#ifndef SRC_UTIL_FLAT_MAP_H_
+#define SRC_UTIL_FLAT_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "src/util/hash.h"
+
+namespace s3fifo {
+
+template <typename V>
+class FlatMap {
+ public:
+  FlatMap() = default;
+  ~FlatMap() { Clear(); }
+
+  FlatMap(const FlatMap&) = delete;
+  FlatMap& operator=(const FlatMap&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  V* Find(uint64_t key) {
+    const size_t pos = FindSlot(key);
+    return pos == kNotFound ? nullptr : EntryAt(slots_[pos].idx);
+  }
+  const V* Find(uint64_t key) const {
+    const size_t pos = FindSlot(key);
+    return pos == kNotFound ? nullptr : EntryAt(slots_[pos].idx);
+  }
+  bool Contains(uint64_t key) const { return FindSlot(key) != kNotFound; }
+
+  // Returns the value for `key`, value-initializing a fresh V on insertion
+  // (also when the slab slot is recycled). The pointer stays valid until the
+  // key is erased, across any number of rehashes.
+  V* Emplace(uint64_t key, bool* inserted = nullptr) {
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
+      Rehash(slots_.empty() ? kMinSlots : slots_.size() * 2);
+    }
+    size_t pos = Mix64(key) & Mask();
+    while (slots_[pos].idx != kEmpty) {
+      if (slots_[pos].key == key) {
+        if (inserted != nullptr) {
+          *inserted = false;
+        }
+        return EntryAt(slots_[pos].idx);
+      }
+      pos = (pos + 1) & Mask();
+    }
+    const uint32_t idx = AllocEntry();
+    slots_[pos] = Slot{key, idx};
+    ++size_;
+    if (inserted != nullptr) {
+      *inserted = true;
+    }
+    return EntryAt(idx);
+  }
+
+  bool Erase(uint64_t key) {
+    const size_t pos = FindSlot(key);
+    if (pos == kNotFound) {
+      return false;
+    }
+    FreeEntry(slots_[pos].idx);
+    ShiftBackFrom(pos);
+    --size_;
+    return true;
+  }
+
+  // Visits every (key, value) pair. Order is deterministic for a given
+  // operation history but otherwise unspecified.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (const Slot& s : slots_) {
+      if (s.idx != kEmpty) {
+        fn(s.key, *EntryAt(s.idx));
+      }
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.idx != kEmpty) {
+        fn(s.key, *EntryAt(s.idx));
+      }
+    }
+  }
+
+  void Reserve(size_t n) {
+    size_t want = kMinSlots;
+    while (n * 4 > want * 3) {
+      want *= 2;
+    }
+    if (want > slots_.size()) {
+      Rehash(want);
+    }
+  }
+
+  void Clear() {
+    for (const Slot& s : slots_) {
+      if (s.idx != kEmpty) {
+        EntryAt(s.idx)->~V();
+      }
+    }
+    slots_.clear();
+    chunks_.clear();
+    free_.clear();
+    allocated_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+  static constexpr size_t kNotFound = static_cast<size_t>(-1);
+  static constexpr size_t kMinSlots = 16;
+  static constexpr uint32_t kChunkShift = 10;  // 1024 values per slab chunk
+  static constexpr uint32_t kChunkSize = 1u << kChunkShift;
+
+  struct Slot {
+    uint64_t key = 0;
+    uint32_t idx = kEmpty;
+  };
+
+  size_t Mask() const { return slots_.size() - 1; }
+
+  V* EntryAt(uint32_t idx) {
+    return reinterpret_cast<V*>(chunks_[idx >> kChunkShift].get()) + (idx & (kChunkSize - 1));
+  }
+  const V* EntryAt(uint32_t idx) const {
+    return reinterpret_cast<const V*>(chunks_[idx >> kChunkShift].get()) +
+           (idx & (kChunkSize - 1));
+  }
+
+  size_t FindSlot(uint64_t key) const {
+    if (slots_.empty()) {
+      return kNotFound;
+    }
+    size_t pos = Mix64(key) & Mask();
+    while (slots_[pos].idx != kEmpty) {
+      if (slots_[pos].key == key) {
+        return pos;
+      }
+      pos = (pos + 1) & Mask();
+    }
+    return kNotFound;
+  }
+
+  uint32_t AllocEntry() {
+    uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+    } else {
+      if ((allocated_ >> kChunkShift) == chunks_.size()) {
+        chunks_.emplace_back(new std::byte[sizeof(V) * kChunkSize]);
+      }
+      idx = allocated_++;
+    }
+    ::new (static_cast<void*>(EntryAt(idx))) V{};
+    return idx;
+  }
+
+  void FreeEntry(uint32_t idx) {
+    EntryAt(idx)->~V();
+    free_.push_back(idx);
+  }
+
+  // Backward-shift deletion: pull displaced successors into the hole so every
+  // remaining probe chain stays gap-free.
+  void ShiftBackFrom(size_t hole) {
+    size_t cur = (hole + 1) & Mask();
+    while (slots_[cur].idx != kEmpty) {
+      const size_t ideal = Mix64(slots_[cur].key) & Mask();
+      if (((cur - ideal) & Mask()) >= ((cur - hole) & Mask())) {
+        slots_[hole] = slots_[cur];
+        hole = cur;
+      }
+      cur = (cur + 1) & Mask();
+    }
+    slots_[hole].idx = kEmpty;
+  }
+
+  void Rehash(size_t new_slots) {
+    assert((new_slots & (new_slots - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_slots, Slot{});
+    for (const Slot& s : old) {
+      if (s.idx == kEmpty) {
+        continue;
+      }
+      size_t pos = Mix64(s.key) & Mask();
+      while (slots_[pos].idx != kEmpty) {
+        pos = (pos + 1) & Mask();
+      }
+      slots_[pos] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::vector<uint32_t> free_;
+  uint32_t allocated_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_UTIL_FLAT_MAP_H_
