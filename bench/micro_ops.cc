@@ -5,7 +5,11 @@
 
 #include <unordered_map>
 
+#include "src/concurrent/concurrent_s3fifo.h"
+#include "src/concurrent/ebr.h"
+#include "src/concurrent/lockfree_hash_map.h"
 #include "src/concurrent/mpmc_queue.h"
+#include "src/concurrent/striped_hash_map.h"
 #include "src/core/cache_factory.h"
 #include "src/util/count_min_sketch.h"
 #include "src/util/flat_map.h"
@@ -154,6 +158,90 @@ void BM_UnorderedMapChurn(benchmark::State& state) {
   HashChurn(state, table);
 }
 BENCHMARK(BM_UnorderedMapChurn);
+
+// Concurrent Get-hit path (§5.3): the index probe dominates a cache hit, so
+// compare the seed's mutex-per-read StripedHashMap against the lock-free
+// LockFreeHashMap on an identical all-hit Zipf probe stream, single-threaded
+// (pure per-op cost) and at 4 threads (lock handoff / shared-line cost —
+// on a box with fewer cores this measures contention overhead, not scaling).
+struct IndexEntry {
+  explicit IndexEntry(uint64_t k) : key(k) {}
+  uint64_t key;
+};
+constexpr uint64_t kIndexObjects = 1 << 16;
+
+void BM_StripedMapGetHit(benchmark::State& state) {
+  static StripedHashMap<IndexEntry*>* map = [] {
+    auto* m = new StripedHashMap<IndexEntry*>(64, kIndexObjects / 64 + 1);
+    for (uint64_t k = 0; k < kIndexObjects; ++k) {
+      m->InsertIfAbsent(k, new IndexEntry(k));
+    }
+    return m;
+  }();
+  ZipfDistribution zipf(kIndexObjects, 1.0);
+  Rng rng(100 + state.thread_index());
+  for (auto _ : state) {
+    const uint64_t id = zipf.Sample(rng) - 1;  // zipf ranks are 1-based
+    uint64_t key = 0;
+    map->WithValue(id, [&](IndexEntry** slot) {
+      if (slot != nullptr) {
+        key = (*slot)->key;
+      }
+      return true;
+    });
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_StripedMapGetHit)->Threads(1);
+BENCHMARK(BM_StripedMapGetHit)->Threads(4);
+
+void BM_LockFreeMapGetHit(benchmark::State& state) {
+  static LockFreeHashMap<IndexEntry*>* map = [] {
+    auto* m = new LockFreeHashMap<IndexEntry*>(kIndexObjects, 64);
+    for (uint64_t k = 0; k < kIndexObjects; ++k) {
+      m->InsertIfAbsent(k, new IndexEntry(k));
+    }
+    return m;
+  }();
+  ZipfDistribution zipf(kIndexObjects, 1.0);
+  Rng rng(100 + state.thread_index());
+  for (auto _ : state) {
+    const uint64_t id = zipf.Sample(rng) - 1;
+    EbrDomain::Guard guard;
+    uint64_t key = 0;
+    if (IndexEntry* e = map->Find(id)) {
+      key = e->key;
+    }
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_LockFreeMapGetHit)->Threads(1);
+BENCHMARK(BM_LockFreeMapGetHit)->Threads(4);
+
+// Full ConcurrentS3Fifo Get on a hit-dominated Zipf stream (cache = 10% of
+// the universe, pre-warmed): the end-to-end cost the lock-free read path buys
+// down — EBR pin, index probe, capped freq increment, payload touch.
+void BM_ConcurrentS3FifoGet(benchmark::State& state) {
+  static ConcurrentS3Fifo* cache = [] {
+    ConcurrentCacheConfig config;
+    config.capacity_objects = kIndexObjects / 10;
+    config.value_size = 64;
+    auto* c = new ConcurrentS3Fifo(config);
+    ZipfDistribution zipf(kIndexObjects, 1.0);
+    Rng rng(7);
+    for (uint64_t i = 0; i < kIndexObjects * 4; ++i) {
+      c->Get(zipf.Sample(rng));
+    }
+    return c;
+  }();
+  ZipfDistribution zipf(kIndexObjects, 1.0);
+  Rng rng(100 + state.thread_index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache->Get(zipf.Sample(rng)));
+  }
+}
+BENCHMARK(BM_ConcurrentS3FifoGet)->Threads(1);
+BENCHMARK(BM_ConcurrentS3FifoGet)->Threads(4);
 
 // Per-request cost of each policy on a Zipf(1.0) stream, cache = 10% of the
 // universe (≈90% hit ratio: dominated by the hit path, as in production).

@@ -13,7 +13,20 @@ namespace s3fifo {
 struct ConcurrentCacheConfig {
   uint64_t capacity_objects = 1 << 16;
   uint32_t value_size = 64;  // bytes materialised per object
+  // Writer-lock shards inside each sub-cache's hash index (reads are
+  // lock-free and unaffected).
   unsigned hash_shards = 64;
+  // Sub-cache partitions: each owns an independent index, queues, ghost
+  // state and eviction lock. Clamped against capacity (PickCacheShards);
+  // 1 reproduces the unsharded seed semantics exactly.
+  unsigned cache_shards = 8;
+};
+
+// Cache-side request counters, aggregated from per-thread stripes at read
+// time; approximate only while requests are in flight.
+struct ConcurrentCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
 };
 
 class ConcurrentCache {
@@ -25,6 +38,7 @@ class ConcurrentCache {
   virtual std::string Name() const = 0;
   // Approximate resident object count (for tests).
   virtual uint64_t ApproxSize() const = 0;
+  virtual ConcurrentCacheStats Stats() const { return {}; }
 };
 
 }  // namespace s3fifo

@@ -1,87 +1,106 @@
 #include "src/concurrent/concurrent_clock.h"
 
-#include <cstring>
-#include <vector>
+#include <algorithm>
+
+#include "src/concurrent/value_payload.h"
 
 namespace s3fifo {
-namespace {
-
-std::unique_ptr<char[]> MakeValue(uint64_t id, uint32_t size) {
-  auto value = std::make_unique<char[]>(size);
-  std::memset(value.get(), static_cast<int>(id & 0xFF), size);
-  return value;
-}
-
-uint64_t ReadValue(const char* value) {
-  uint64_t v = 0;
-  std::memcpy(&v, value, sizeof(v));
-  return v;
-}
-
-}  // namespace
 
 ConcurrentClock::ConcurrentClock(const ConcurrentCacheConfig& config)
     : config_(config),
-      index_(config.hash_shards, config.capacity_objects / config.hash_shards + 1) {}
-
-ConcurrentClock::~ConcurrentClock() {
-  std::lock_guard<std::mutex> lock(list_mu_);
-  while (Entry* e = list_.PopBack()) {
-    delete e;
+      num_shards_(PickCacheShards(config.cache_shards, config.capacity_objects)) {
+  const unsigned index_shards = std::max(1u, config.hash_shards / num_shards_);
+  shards_.reserve(num_shards_);
+  for (unsigned i = 0; i < num_shards_; ++i) {
+    const uint64_t capacity = config.capacity_objects / num_shards_ +
+                              (i < config.capacity_objects % num_shards_ ? 1 : 0);
+    shards_.push_back(std::make_unique<Shard>(capacity, index_shards,
+                                              /*pending_capacity=*/256));
   }
 }
 
+ConcurrentClock::~ConcurrentClock() {
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    s.gate.WithLock([&s] {
+      Entry* e = nullptr;
+      while (s.gate.pending().TryPop(&e)) {
+        delete e;
+      }
+      while (Entry* x = s.list.PopBack()) {
+        delete x;
+      }
+    });
+  }
+}
+
+void ConcurrentClock::RetireEntry(Entry* e) {
+  EbrDomain::Instance().Retire(e, [](void* p) { delete static_cast<Entry*>(p); });
+}
+
 bool ConcurrentClock::Get(uint64_t id) {
-  const bool hit = index_.WithValue(id, [&](Entry** slot) {
-    if (slot == nullptr) {
-      return false;
-    }
-    Entry* e = *slot;
-    // The whole hit path: one relaxed store.
+  Shard& s = ShardFor(id);
+  EbrDomain::Guard guard;
+  if (Entry* e = s.index.Find(id)) {
+    // The whole hit path: one wait-free probe and one relaxed store.
     e->ref.store(1, std::memory_order_relaxed);
-    (void)ReadValue(e->value.get());
-    return true;
-  });
-  if (hit) {
+    (void)ReadValuePayload(e->value.get(), config_.value_size);
+    hits_.Add(1);
     return true;
   }
 
   Entry* e = new Entry;
   e->id = id;
-  e->value = MakeValue(id, config_.value_size);
-  if (!index_.InsertIfAbsent(id, e)) {
+  e->value = MakeValuePayload(id, config_.value_size);
+  if (!s.index.InsertIfAbsent(id, e)) {
     delete e;
+    misses_.Add(1);
     return false;
   }
+  s.resident.fetch_add(1, std::memory_order_relaxed);
+  misses_.Add(1);
 
   std::vector<Entry*> victims;
-  {
-    std::lock_guard<std::mutex> lock(list_mu_);
-    list_.PushFront(e);
-    uint64_t resident = resident_.fetch_add(1, std::memory_order_relaxed) + 1;
-    while (resident > config_.capacity_objects && !list_.empty()) {
-      Entry* hand = list_.Back();
-      if (hand == nullptr || hand == e) {
-        break;
-      }
-      if (hand->ref.exchange(0, std::memory_order_relaxed) != 0) {
-        list_.MoveToFront(hand);  // second chance
-        continue;
-      }
-      list_.Remove(hand);
-      victims.push_back(hand);
-      resident = resident_.fetch_sub(1, std::memory_order_relaxed) - 1;
-    }
-  }
+  s.gate.Submit(e, [this, &s, &victims] { DrainLocked(s, victims); });
   for (Entry* victim : victims) {
-    index_.EraseIf(victim->id, [victim](Entry* v) { return v == victim; });
-    delete victim;
+    s.index.EraseIf(victim->id, [victim](Entry* v) { return v == victim; });
+    RetireEntry(victim);
   }
   return false;
 }
 
+void ConcurrentClock::DrainLocked(Shard& s, std::vector<Entry*>& victims) {
+  Entry* e = nullptr;
+  while (s.gate.pending().TryPop(&e)) {
+    s.list.PushFront(e);
+    ++s.linked;
+    while (s.linked > s.capacity_objects && !s.list.empty()) {
+      Entry* hand = s.list.Back();
+      if (hand == nullptr || hand == e) {
+        break;  // pathological capacity-1 shard
+      }
+      if (hand->ref.exchange(0, std::memory_order_relaxed) != 0) {
+        s.list.MoveToFront(hand);  // second chance
+        continue;
+      }
+      s.list.Remove(hand);
+      --s.linked;
+      s.resident.fetch_sub(1, std::memory_order_relaxed);
+      victims.push_back(hand);
+    }
+  }
+}
+
 uint64_t ConcurrentClock::ApproxSize() const {
-  return resident_.load(std::memory_order_relaxed);
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->resident.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+ConcurrentCacheStats ConcurrentClock::Stats() const {
+  return {static_cast<uint64_t>(hits_.Sum()), static_cast<uint64_t>(misses_.Sum())};
 }
 
 }  // namespace s3fifo

@@ -1,15 +1,18 @@
 // Concurrent CLOCK (the MemC3 / RocksDB HyperClockCache approach, paper
-// §2.2/§7): hits only set an atomic reference bit — no lock, no queue
-// mutation; misses advance the clock hand under a single eviction mutex.
+// §2.2/§7), sharded + lock-free read path: hits are a wait-free index probe
+// plus one relaxed ref-bit store — no lock; misses touch only the owning
+// sub-cache's clock list through its try-lock-and-delegate eviction gate.
 #ifndef SRC_CONCURRENT_CONCURRENT_CLOCK_H_
 #define SRC_CONCURRENT_CONCURRENT_CLOCK_H_
 
 #include <atomic>
 #include <memory>
-#include <mutex>
+#include <vector>
 
 #include "src/concurrent/concurrent_cache.h"
-#include "src/concurrent/striped_hash_map.h"
+#include "src/concurrent/lockfree_hash_map.h"
+#include "src/concurrent/sharded_cache.h"
+#include "src/concurrent/striped_counter.h"
 #include "src/util/intrusive_list.h"
 
 namespace s3fifo {
@@ -22,6 +25,7 @@ class ConcurrentClock : public ConcurrentCache {
   bool Get(uint64_t id) override;
   std::string Name() const override { return "clock"; }
   uint64_t ApproxSize() const override;
+  ConcurrentCacheStats Stats() const override;
 
  private:
   struct Entry {
@@ -30,12 +34,29 @@ class ConcurrentClock : public ConcurrentCache {
     std::unique_ptr<char[]> value;
     ListHook hook;
   };
+  using Queue = IntrusiveList<Entry, &Entry::hook>;
+
+  struct alignas(64) Shard {
+    Shard(uint64_t capacity, unsigned index_shards, uint64_t pending_capacity)
+        : capacity_objects(capacity), index(capacity, index_shards), gate(pending_capacity) {}
+
+    const uint64_t capacity_objects;
+    LockFreeHashMap<Entry*> index;
+    EvictionGate<Entry*> gate;
+    Queue list;  // guarded by the gate lock; FIFO order, back = oldest
+    uint64_t linked = 0;
+    std::atomic<uint64_t> resident{0};
+  };
+
+  Shard& ShardFor(uint64_t id) { return *shards_[CacheShardFor(id, num_shards_)]; }
+  void DrainLocked(Shard& s, std::vector<Entry*>& victims);
+  static void RetireEntry(Entry* e);
 
   const ConcurrentCacheConfig config_;
-  StripedHashMap<Entry*> index_;
-  std::mutex list_mu_;
-  IntrusiveList<Entry, &Entry::hook> list_;  // FIFO order; back = oldest
-  std::atomic<uint64_t> resident_{0};
+  unsigned num_shards_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  StripedCounter hits_;
+  StripedCounter misses_;
 };
 
 }  // namespace s3fifo

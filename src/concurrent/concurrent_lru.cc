@@ -1,24 +1,10 @@
 #include "src/concurrent/concurrent_lru.h"
 
-#include <cstring>
+#include <algorithm>
+
+#include "src/concurrent/value_payload.h"
 
 namespace s3fifo {
-namespace {
-
-std::unique_ptr<char[]> MakeValue(uint64_t id, uint32_t size) {
-  auto value = std::make_unique<char[]>(size);
-  std::memset(value.get(), static_cast<int>(id & 0xFF), size);
-  return value;
-}
-
-// Touch the payload so the compiler cannot elide the "use" of a hit.
-uint64_t ReadValue(const char* value) {
-  uint64_t v = 0;
-  std::memcpy(&v, value, sizeof(v));
-  return v;
-}
-
-}  // namespace
 
 ConcurrentLruStrict::ConcurrentLruStrict(const ConcurrentCacheConfig& config)
     : config_(config) {
@@ -32,7 +18,8 @@ bool ConcurrentLruStrict::Get(uint64_t id) {
   auto it = table_.find(id);
   if (it != table_.end()) {
     list_.MoveToFront(&it->second);
-    (void)ReadValue(it->second.value.get());
+    (void)ReadValuePayload(it->second.value.get(), config_.value_size);
+    ++hits_;
     return true;
   }
   while (table_.size() >= config_.capacity_objects && !list_.empty()) {
@@ -41,8 +28,9 @@ bool ConcurrentLruStrict::Get(uint64_t id) {
   }
   Entry& e = table_[id];
   e.id = id;
-  e.value = MakeValue(id, config_.value_size);
+  e.value = MakeValuePayload(id, config_.value_size);
   list_.PushFront(&e);
+  ++misses_;
   return false;
 }
 
@@ -51,83 +39,113 @@ uint64_t ConcurrentLruStrict::ApproxSize() const {
   return table_.size();
 }
 
+ConcurrentCacheStats ConcurrentLruStrict::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {hits_, misses_};
+}
+
 ConcurrentLruOptimized::ConcurrentLruOptimized(const ConcurrentCacheConfig& config,
                                                uint64_t refresh_ops)
     : config_(config),
       refresh_ops_(refresh_ops),
-      index_(config.hash_shards, config.capacity_objects / config.hash_shards + 1) {}
-
-ConcurrentLruOptimized::~ConcurrentLruOptimized() {
-  std::lock_guard<std::mutex> lock(list_mu_);
-  while (Entry* e = list_.PopBack()) {
-    delete e;
+      num_shards_(PickCacheShards(config.cache_shards, config.capacity_objects)) {
+  const unsigned index_shards = std::max(1u, config.hash_shards / num_shards_);
+  shards_.reserve(num_shards_);
+  for (unsigned i = 0; i < num_shards_; ++i) {
+    const uint64_t capacity = config.capacity_objects / num_shards_ +
+                              (i < config.capacity_objects % num_shards_ ? 1 : 0);
+    shards_.push_back(std::make_unique<Shard>(capacity, index_shards,
+                                              /*pending_capacity=*/256));
   }
 }
 
-bool ConcurrentLruOptimized::Get(uint64_t id) {
-  const uint64_t now = op_counter_.fetch_add(1, std::memory_order_relaxed);
-
-  const bool hit = index_.WithValue(id, [&](Entry** slot) {
-    if (slot == nullptr) {
-      return false;
-    }
-    Entry* e = *slot;
-    (void)ReadValue(e->value.get());
-    // Delayed promotion: refresh at most once per refresh_ops_ accesses, and
-    // only if the list lock is immediately available (try-lock promotion).
-    const uint64_t last = e->last_promote.load(std::memory_order_relaxed);
-    if (now - last >= refresh_ops_) {
-      if (list_mu_.try_lock()) {
-        if (e->hook.linked()) {  // not concurrently evicted
-          list_.MoveToFront(e);
-          e->last_promote.store(now, std::memory_order_relaxed);
-        }
-        list_mu_.unlock();
+ConcurrentLruOptimized::~ConcurrentLruOptimized() {
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    s.gate.WithLock([&s] {
+      Entry* e = nullptr;
+      while (s.gate.pending().TryPop(&e)) {
+        delete e;
       }
+      while (Entry* x = s.list.PopBack()) {
+        delete x;
+      }
+    });
+  }
+}
+
+void ConcurrentLruOptimized::RetireEntry(Entry* e) {
+  EbrDomain::Instance().Retire(e, [](void* p) { delete static_cast<Entry*>(p); });
+}
+
+bool ConcurrentLruOptimized::Get(uint64_t id) {
+  Shard& s = ShardFor(id);
+  EbrDomain::Guard guard;
+  if (Entry* e = s.index.Find(id)) {
+    (void)ReadValuePayload(e->value.get(), config_.value_size);
+    // Delayed promotion: at most once per refresh_ops_ accesses to this
+    // entry, and only if the list lock is immediately available (try-lock
+    // promotion — skipped outright under contention).
+    if (e->accesses.fetch_add(1, std::memory_order_relaxed) + 1 >= refresh_ops_) {
+      s.gate.TryWithLock([&s, e] {
+        if (e->hook.linked()) {  // not concurrently evicted
+          s.list.MoveToFront(e);
+          e->accesses.store(0, std::memory_order_relaxed);
+        }
+      });
     }
-    return true;
-  });
-  if (hit) {
+    hits_.Add(1);
     return true;
   }
 
-  // Miss: publish to the index first (so a racing inserter of the same id
-  // loses cleanly while its entry is still private), then link into the list
-  // and shed victims.
   Entry* e = new Entry;
   e->id = id;
-  e->last_promote.store(now, std::memory_order_relaxed);
-  e->value = MakeValue(id, config_.value_size);
-  if (!index_.InsertIfAbsent(id, e)) {
+  e->value = MakeValuePayload(id, config_.value_size);
+  if (!s.index.InsertIfAbsent(id, e)) {
     delete e;  // another thread admitted this id concurrently
+    misses_.Add(1);
     return false;
   }
+  s.resident.fetch_add(1, std::memory_order_relaxed);
+  misses_.Add(1);
 
   std::vector<Entry*> victims;
-  {
-    std::lock_guard<std::mutex> lock(list_mu_);
-    list_.PushFront(e);
-    uint64_t resident = resident_.fetch_add(1, std::memory_order_relaxed) + 1;
-    while (resident > config_.capacity_objects && !list_.empty()) {
-      Entry* victim = list_.PopBack();
-      if (victim == e) {  // pathological capacity=1 case
-        list_.PushBack(victim);
-        break;
-      }
-      victims.push_back(victim);
-      resident = resident_.fetch_sub(1, std::memory_order_relaxed) - 1;
-    }
-  }
+  s.gate.Submit(e, [this, &s, &victims] { DrainLocked(s, victims); });
   for (Entry* victim : victims) {
-    // EraseIf: never remove a same-id successor raced in by another thread.
-    index_.EraseIf(victim->id, [victim](Entry* v) { return v == victim; });
-    delete victim;
+    s.index.EraseIf(victim->id, [victim](Entry* v) { return v == victim; });
+    RetireEntry(victim);
   }
   return false;
 }
 
+void ConcurrentLruOptimized::DrainLocked(Shard& s, std::vector<Entry*>& victims) {
+  Entry* e = nullptr;
+  while (s.gate.pending().TryPop(&e)) {
+    s.list.PushFront(e);
+    ++s.linked;
+    while (s.linked > s.capacity_objects && !s.list.empty()) {
+      Entry* victim = s.list.Back();
+      if (victim == nullptr || victim == e) {
+        break;  // pathological capacity-1 shard
+      }
+      s.list.Remove(victim);
+      --s.linked;
+      s.resident.fetch_sub(1, std::memory_order_relaxed);
+      victims.push_back(victim);
+    }
+  }
+}
+
 uint64_t ConcurrentLruOptimized::ApproxSize() const {
-  return resident_.load(std::memory_order_relaxed);
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->resident.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+ConcurrentCacheStats ConcurrentLruOptimized::Stats() const {
+  return {static_cast<uint64_t>(hits_.Sum()), static_cast<uint64_t>(misses_.Sum())};
 }
 
 }  // namespace s3fifo

@@ -1,150 +1,153 @@
 #include "src/concurrent/concurrent_s3fifo.h"
 
 #include <algorithm>
-#include <cstring>
-#include <vector>
+
+#include "src/concurrent/value_payload.h"
 
 namespace s3fifo {
-namespace {
-
-std::unique_ptr<char[]> MakeValue(uint64_t id, uint32_t size) {
-  auto value = std::make_unique<char[]>(size);
-  std::memset(value.get(), static_cast<int>(id & 0xFF), size);
-  return value;
-}
-
-uint64_t ReadValue(const char* value) {
-  uint64_t v = 0;
-  std::memcpy(&v, value, sizeof(v));
-  return v;
-}
-
-}  // namespace
 
 ConcurrentS3Fifo::ConcurrentS3Fifo(const ConcurrentCacheConfig& config, double small_ratio,
                                    uint32_t move_threshold, uint32_t max_freq)
     : config_(config),
-      small_target_(std::max<uint64_t>(
-          static_cast<uint64_t>(config.capacity_objects * small_ratio), 1)),
       move_threshold_(move_threshold),
       max_freq_(max_freq),
-      index_(config.hash_shards, config.capacity_objects / config.hash_shards + 1),
-      ghost_(std::max<uint64_t>(config.capacity_objects - small_target_, 1)) {}
-
-ConcurrentS3Fifo::~ConcurrentS3Fifo() {
-  std::lock_guard<std::mutex> lock(evict_mu_);
-  while (Entry* e = small_.PopBack()) {
-    delete e;
-  }
-  while (Entry* e = main_.PopBack()) {
-    delete e;
+      num_shards_(PickCacheShards(config.cache_shards, config.capacity_objects)) {
+  const unsigned index_shards = std::max(1u, config.hash_shards / num_shards_);
+  shards_.reserve(num_shards_);
+  for (unsigned i = 0; i < num_shards_; ++i) {
+    const uint64_t capacity = config.capacity_objects / num_shards_ +
+                              (i < config.capacity_objects % num_shards_ ? 1 : 0);
+    const uint64_t small_target = std::max<uint64_t>(
+        static_cast<uint64_t>(capacity * small_ratio), 1);
+    shards_.push_back(std::make_unique<Shard>(capacity, small_target, index_shards,
+                                              /*pending_capacity=*/256));
   }
 }
 
+ConcurrentS3Fifo::~ConcurrentS3Fifo() {
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    s.gate.WithLock([&s] {
+      Entry* e = nullptr;
+      while (s.gate.pending().TryPop(&e)) {
+        delete e;
+      }
+      while (Entry* x = s.small.PopBack()) {
+        delete x;
+      }
+      while (Entry* x = s.main.PopBack()) {
+        delete x;
+      }
+    });
+  }
+}
+
+void ConcurrentS3Fifo::RetireEntry(Entry* e) {
+  EbrDomain::Instance().Retire(e, [](void* p) { delete static_cast<Entry*>(p); });
+}
+
 bool ConcurrentS3Fifo::Get(uint64_t id) {
-  const bool hit = index_.WithValue(id, [&](Entry** slot) {
-    if (slot == nullptr) {
-      return false;
-    }
-    Entry* e = *slot;
+  Shard& s = ShardFor(id);
+  EbrDomain::Guard guard;
+  if (Entry* e = s.index.Find(id)) {
     // Lock-free hit path: capped increment; popular objects (freq already at
     // the cap) need no store at all (§4.3.1).
     uint8_t f = e->freq.load(std::memory_order_relaxed);
     while (f < max_freq_ &&
            !e->freq.compare_exchange_weak(f, f + 1, std::memory_order_relaxed)) {
     }
-    (void)ReadValue(e->value.get());
-    return true;
-  });
-  if (hit) {
+    (void)ReadValuePayload(e->value.get(), config_.value_size);
+    hits_.Add(1);
     return true;
   }
 
   Entry* e = new Entry;
   e->id = id;
-  e->value = MakeValue(id, config_.value_size);
-  if (!index_.InsertIfAbsent(id, e)) {
-    delete e;
+  e->value = MakeValuePayload(id, config_.value_size);
+  if (!s.index.InsertIfAbsent(id, e)) {
+    delete e;  // another thread admitted this id concurrently
+    misses_.Add(1);
     return false;
   }
+  s.resident.fetch_add(1, std::memory_order_relaxed);
+  misses_.Add(1);
 
   std::vector<Entry*> victims;
-  {
-    std::lock_guard<std::mutex> lock(evict_mu_);
-    if (resident_.load(std::memory_order_relaxed) >= config_.capacity_objects) {
-      MakeRoom(victims);
-    }
-    if (ghost_.Contains(id)) {
-      ghost_.Remove(id);
-      e->in_small = false;
-      main_.PushFront(e);
-      ++main_count_;
-    } else {
-      e->in_small = true;
-      small_.PushFront(e);
-      ++small_count_;
-    }
-    resident_.fetch_add(1, std::memory_order_relaxed);
-  }
+  s.gate.Submit(e, [this, &s, &victims] { DrainLocked(s, victims); });
   for (Entry* victim : victims) {
-    index_.EraseIf(victim->id, [victim](Entry* v) { return v == victim; });
-    delete victim;
+    s.index.EraseIf(victim->id, [victim](Entry* v) { return v == victim; });
+    RetireEntry(victim);
   }
   return false;
 }
 
-void ConcurrentS3Fifo::MakeRoom(std::vector<Entry*>& victims) {
-  const size_t before = victims.size();
-  while (victims.size() == before &&
-         resident_.load(std::memory_order_relaxed) >= config_.capacity_objects) {
-    if ((small_count_ > small_target_ && !small_.empty()) || main_.empty()) {
-      EvictFromSmall(victims);
-    } else {
-      EvictFromMain(victims);
+// Under the gate lock: link every pending entry, making room first so the
+// Algorithm-1 transition order (evict, then ghost-check, then insert) matches
+// the unsharded seed exactly — at cache_shards=1 the replayed decision
+// sequence is identical to the seed implementation's.
+void ConcurrentS3Fifo::DrainLocked(Shard& s, std::vector<Entry*>& victims) {
+  Entry* e = nullptr;
+  while (s.gate.pending().TryPop(&e)) {
+    while (s.small_count + s.main_count >= s.capacity_objects) {
+      if ((s.small_count > s.small_target && !s.small.empty()) || s.main.empty()) {
+        EvictFromSmall(s, victims);
+      } else {
+        EvictFromMain(s, victims);
+      }
+      if (s.small.empty() && s.main.empty()) {
+        break;
+      }
     }
-    if (small_.empty() && main_.empty()) {
-      return;
+    if (s.ghost.Contains(e->id)) {
+      s.ghost.Remove(e->id);
+      e->in_small = false;
+      s.main.PushFront(e);
+      ++s.main_count;
+    } else {
+      e->in_small = true;
+      s.small.PushFront(e);
+      ++s.small_count;
     }
   }
 }
 
-void ConcurrentS3Fifo::EvictFromSmall(std::vector<Entry*>& victims) {
-  Entry* t = small_.Back();
+void ConcurrentS3Fifo::EvictFromSmall(Shard& s, std::vector<Entry*>& victims) {
+  Entry* t = s.small.Back();
   if (t == nullptr) {
     return;
   }
   if (t->freq.load(std::memory_order_relaxed) >= move_threshold_) {
-    small_.Remove(t);
-    --small_count_;
+    s.small.Remove(t);
+    --s.small_count;
     t->in_small = false;
     t->freq.store(0, std::memory_order_relaxed);
-    main_.PushFront(t);
-    ++main_count_;
-    while (main_count_ > config_.capacity_objects - small_target_) {
-      EvictFromMain(victims);
-      if (main_.empty()) {
+    s.main.PushFront(t);
+    ++s.main_count;
+    while (s.main_count > s.capacity_objects - s.small_target) {
+      EvictFromMain(s, victims);
+      if (s.main.empty()) {
         break;
       }
     }
   } else {
-    small_.Remove(t);
-    --small_count_;
-    ghost_.Insert(t->id);
-    resident_.fetch_sub(1, std::memory_order_relaxed);
+    s.small.Remove(t);
+    --s.small_count;
+    s.ghost.Insert(t->id);
+    s.resident.fetch_sub(1, std::memory_order_relaxed);
     victims.push_back(t);
   }
 }
 
-void ConcurrentS3Fifo::EvictFromMain(std::vector<Entry*>& victims) {
-  while (Entry* t = main_.Back()) {
-    uint8_t f = t->freq.load(std::memory_order_relaxed);
+void ConcurrentS3Fifo::EvictFromMain(Shard& s, std::vector<Entry*>& victims) {
+  while (Entry* t = s.main.Back()) {
+    const uint8_t f = t->freq.load(std::memory_order_relaxed);
     if (f > 0) {
       t->freq.store(f - 1, std::memory_order_relaxed);
-      main_.MoveToFront(t);
+      s.main.MoveToFront(t);
     } else {
-      main_.Remove(t);
-      --main_count_;
-      resident_.fetch_sub(1, std::memory_order_relaxed);
+      s.main.Remove(t);
+      --s.main_count;
+      s.resident.fetch_sub(1, std::memory_order_relaxed);
       victims.push_back(t);
       return;
     }
@@ -152,7 +155,15 @@ void ConcurrentS3Fifo::EvictFromMain(std::vector<Entry*>& victims) {
 }
 
 uint64_t ConcurrentS3Fifo::ApproxSize() const {
-  return resident_.load(std::memory_order_relaxed);
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->resident.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+ConcurrentCacheStats ConcurrentS3Fifo::Stats() const {
+  return {static_cast<uint64_t>(hits_.Sum()), static_cast<uint64_t>(misses_.Sum())};
 }
 
 }  // namespace s3fifo

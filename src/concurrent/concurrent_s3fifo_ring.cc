@@ -1,24 +1,11 @@
 #include "src/concurrent/concurrent_s3fifo_ring.h"
 
 #include <algorithm>
-#include <cstring>
+
+#include "src/concurrent/ebr.h"
+#include "src/concurrent/value_payload.h"
 
 namespace s3fifo {
-namespace {
-
-std::unique_ptr<char[]> MakeValue(uint64_t id, uint32_t size) {
-  auto value = std::make_unique<char[]>(size);
-  std::memset(value.get(), static_cast<int>(id & 0xFF), size);
-  return value;
-}
-
-uint64_t ReadValue(const char* value) {
-  uint64_t v = 0;
-  std::memcpy(&v, value, sizeof(v));
-  return v;
-}
-
-}  // namespace
 
 ConcurrentS3FifoRing::ConcurrentS3FifoRing(const ConcurrentCacheConfig& config,
                                            double small_ratio, uint32_t move_threshold,
@@ -28,7 +15,7 @@ ConcurrentS3FifoRing::ConcurrentS3FifoRing(const ConcurrentCacheConfig& config,
           static_cast<uint64_t>(config.capacity_objects * small_ratio), 1)),
       move_threshold_(move_threshold),
       max_freq_(max_freq),
-      index_(config.hash_shards, config.capacity_objects / config.hash_shards + 1),
+      index_(config.capacity_objects, config.hash_shards),
       // Rings sized to the full capacity: transient over-occupancy during
       // racing inserts stays bounded by the thread count.
       small_(config.capacity_objects + 64),
@@ -46,29 +33,26 @@ ConcurrentS3FifoRing::~ConcurrentS3FifoRing() {
 }
 
 bool ConcurrentS3FifoRing::Get(uint64_t id) {
-  const bool hit = index_.WithValue(id, [&](Entry** slot) {
-    if (slot == nullptr) {
-      return false;
-    }
-    Entry* e = *slot;
+  EbrDomain::Guard guard;
+  if (Entry* e = index_.Find(id)) {
     uint8_t f = e->freq.load(std::memory_order_relaxed);
     while (f < max_freq_ &&
            !e->freq.compare_exchange_weak(f, f + 1, std::memory_order_relaxed)) {
     }
-    (void)ReadValue(e->value.get());
-    return true;
-  });
-  if (hit) {
+    (void)ReadValuePayload(e->value.get(), config_.value_size);
+    hits_.Add(1);
     return true;
   }
 
   Entry* e = new Entry;
   e->id = id;
-  e->value = MakeValue(id, config_.value_size);
+  e->value = MakeValuePayload(id, config_.value_size);
   if (!index_.InsertIfAbsent(id, e)) {
     delete e;
+    misses_.Add(1);
     return false;
   }
+  misses_.Add(1);
 
   while (resident_.load(std::memory_order_relaxed) >= config_.capacity_objects) {
     EvictOne();
@@ -106,7 +90,7 @@ void ConcurrentS3FifoRing::EvictOne() {
 void ConcurrentS3FifoRing::Discard(Entry* e) {
   index_.EraseIf(e->id, [e](Entry* v) { return v == e; });
   resident_.fetch_sub(1, std::memory_order_relaxed);
-  delete e;
+  EbrDomain::Instance().Retire(e, [](void* p) { delete static_cast<Entry*>(p); });
 }
 
 void ConcurrentS3FifoRing::EvictFromSmallOnce() {
@@ -163,6 +147,10 @@ void ConcurrentS3FifoRing::EvictFromMainOnce() {
 
 uint64_t ConcurrentS3FifoRing::ApproxSize() const {
   return resident_.load(std::memory_order_relaxed);
+}
+
+ConcurrentCacheStats ConcurrentS3FifoRing::Stats() const {
+  return {static_cast<uint64_t>(hits_.Sum()), static_cast<uint64_t>(misses_.Sum())};
 }
 
 }  // namespace s3fifo

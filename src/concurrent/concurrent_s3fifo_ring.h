@@ -2,10 +2,11 @@
 // scalability: S and M are lock-free bounded MPMC rings ("eviction requires
 // bumping the tail pointer in the ring buffer"), so the miss path needs no
 // queue mutex either; the only lock left is a short mutex around the ghost
-// fingerprint table. Hits remain a single capped atomic increment.
+// fingerprint table. Hits are a wait-free probe of the lock-free index plus
+// a capped atomic increment; entry lifetime is protected by EBR.
 //
-// Compared to ConcurrentS3Fifo (linked lists under an eviction mutex), the
-// ring variant trades exactness for concurrency:
+// Compared to ConcurrentS3Fifo (sharded linked lists behind eviction gates),
+// the ring variant trades exactness for concurrency:
 //   * eviction dispatch reads approximate queue counters;
 //   * a reinsertion whose push races against a full ring falls back to
 //     eviction (bounded, rare).
@@ -18,8 +19,9 @@
 #include <mutex>
 
 #include "src/concurrent/concurrent_cache.h"
+#include "src/concurrent/lockfree_hash_map.h"
 #include "src/concurrent/mpmc_queue.h"
-#include "src/concurrent/striped_hash_map.h"
+#include "src/concurrent/striped_counter.h"
 #include "src/util/ghost_table.h"
 
 namespace s3fifo {
@@ -33,6 +35,7 @@ class ConcurrentS3FifoRing : public ConcurrentCache {
   bool Get(uint64_t id) override;
   std::string Name() const override { return "s3fifo-ring"; }
   uint64_t ApproxSize() const override;
+  ConcurrentCacheStats Stats() const override;
 
  private:
   struct Entry {
@@ -46,14 +49,16 @@ class ConcurrentS3FifoRing : public ConcurrentCache {
   void EvictFromMainOnce();
   // Pushes into M, evicting from M as needed to make room. Takes ownership.
   void PushMain(Entry* e);
-  void Discard(Entry* e);  // erase from index + delete (popper-owned entry)
+  // Erase from index + EBR-retire (popper-owned entry; racing readers may
+  // still hold the pointer, so the free is epoch-deferred).
+  void Discard(Entry* e);
 
   const ConcurrentCacheConfig config_;
   const uint64_t small_target_;
   const uint32_t move_threshold_;
   const uint32_t max_freq_;
 
-  StripedHashMap<Entry*> index_;
+  LockFreeHashMap<Entry*> index_;
   MpmcQueue<Entry*> small_;
   MpmcQueue<Entry*> main_;
   std::atomic<uint64_t> small_count_{0};
@@ -62,6 +67,9 @@ class ConcurrentS3FifoRing : public ConcurrentCache {
 
   std::mutex ghost_mu_;
   GhostTable ghost_;
+
+  StripedCounter hits_;
+  StripedCounter misses_;
 };
 
 }  // namespace s3fifo

@@ -1,8 +1,8 @@
 #include "src/concurrent/concurrent_tinylfu.h"
 
 #include <algorithm>
-#include <cstring>
 
+#include "src/concurrent/value_payload.h"
 #include "src/util/hash.h"
 
 namespace s3fifo {
@@ -10,18 +10,6 @@ namespace {
 
 constexpr uint64_t kRowSeeds[4] = {0x9e3779b97f4a7c15ULL, 0xc2b2ae3d27d4eb4fULL,
                                    0x165667b19e3779f9ULL, 0xd6e8feb86659fd93ULL};
-
-std::unique_ptr<char[]> MakeValue(uint64_t id, uint32_t size) {
-  auto value = std::make_unique<char[]>(size);
-  std::memset(value.get(), static_cast<int>(id & 0xFF), size);
-  return value;
-}
-
-uint64_t ReadValue(const char* value) {
-  uint64_t v = 0;
-  std::memcpy(&v, value, sizeof(v));
-  return v;
-}
 
 uint64_t NextPow2(uint64_t x) {
   uint64_t p = 1;
@@ -35,25 +23,48 @@ uint64_t NextPow2(uint64_t x) {
 
 ConcurrentTinyLfu::ConcurrentTinyLfu(const ConcurrentCacheConfig& config, double window_ratio)
     : config_(config),
-      sketch_(NextPow2(std::max<uint64_t>(config.capacity_objects * 4, 64)) * 4),
-      index_(config.hash_shards, config.capacity_objects / config.hash_shards + 1) {
-  window_capacity_ = std::max<uint64_t>(
-      static_cast<uint64_t>(config.capacity_objects * window_ratio), 1);
-  const uint64_t main_capacity =
-      std::max<uint64_t>(config.capacity_objects - window_capacity_, 2);
-  probation_capacity_ = std::max<uint64_t>(main_capacity / 5, 1);
-  protected_capacity_ = std::max<uint64_t>(main_capacity - probation_capacity_, 1);
+      num_shards_(PickCacheShards(config.cache_shards, config.capacity_objects)),
+      sketch_(NextPow2(std::max<uint64_t>(config.capacity_objects * 4, 64)) * 4) {
   sketch_mask_ = sketch_.size() / 4 - 1;
   sample_period_ = std::max<uint64_t>(config.capacity_objects * 10, 64);
+  next_age_at_.store(sample_period_, std::memory_order_relaxed);
+
+  const unsigned index_shards = std::max(1u, config.hash_shards / num_shards_);
+  shards_.reserve(num_shards_);
+  for (unsigned i = 0; i < num_shards_; ++i) {
+    const uint64_t capacity = config.capacity_objects / num_shards_ +
+                              (i < config.capacity_objects % num_shards_ ? 1 : 0);
+    const uint64_t window_capacity = std::max<uint64_t>(
+        static_cast<uint64_t>(capacity * window_ratio), 1);
+    const uint64_t main_capacity = std::max<uint64_t>(capacity - window_capacity, 2);
+    const uint64_t probation_capacity = std::max<uint64_t>(main_capacity / 5, 1);
+    const uint64_t protected_capacity =
+        std::max<uint64_t>(main_capacity - probation_capacity, 1);
+    shards_.push_back(std::make_unique<Shard>(window_capacity, probation_capacity,
+                                              protected_capacity, capacity, index_shards,
+                                              /*pending_capacity=*/256));
+  }
 }
 
 ConcurrentTinyLfu::~ConcurrentTinyLfu() {
-  std::lock_guard<std::mutex> lock(list_mu_);
-  for (Queue* q : {&window_, &probation_, &protected_}) {
-    while (Entry* e = q->PopBack()) {
-      delete e;
-    }
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    s.gate.WithLock([&s] {
+      Entry* e = nullptr;
+      while (s.gate.pending().TryPop(&e)) {
+        delete e;
+      }
+      for (Queue* q : {&s.window, &s.probation, &s.protected_q}) {
+        while (Entry* x = q->PopBack()) {
+          delete x;
+        }
+      }
+    });
   }
+}
+
+void ConcurrentTinyLfu::RetireEntry(Entry* e) {
+  EbrDomain::Instance().Retire(e, [](void* p) { delete static_cast<Entry*>(p); });
 }
 
 void ConcurrentTinyLfu::SketchIncrement(uint64_t id) {
@@ -65,12 +76,23 @@ void ConcurrentTinyLfu::SketchIncrement(uint64_t id) {
       counter.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  const uint64_t n = accesses_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (n % sample_period_ == 0) {
-    // Aging: halve all counters. Relaxed halving races with increments but
-    // the estimate only needs to be approximate.
-    for (auto& counter : sketch_) {
-      counter.store(counter.load(std::memory_order_relaxed) / 2, std::memory_order_relaxed);
+  accesses_.Add(1);
+  // Sampled aging check: only every 64th local access reads the striped sum,
+  // and a CAS elects the single thread that halves the sketch. No per-access
+  // shared counter remains on the hot path.
+  thread_local uint32_t tick = 0;
+  if ((++tick & 63u) == 0) {
+    const uint64_t n = static_cast<uint64_t>(accesses_.Sum());
+    uint64_t expected = next_age_at_.load(std::memory_order_relaxed);
+    if (n >= expected &&
+        next_age_at_.compare_exchange_strong(expected, n + sample_period_,
+                                             std::memory_order_relaxed)) {
+      // Relaxed halving races with increments but the estimate only needs to
+      // be approximate.
+      for (auto& counter : sketch_) {
+        counter.store(counter.load(std::memory_order_relaxed) / 2,
+                      std::memory_order_relaxed);
+      }
     }
   }
 }
@@ -88,119 +110,133 @@ uint32_t ConcurrentTinyLfu::SketchEstimate(uint64_t id) const {
 bool ConcurrentTinyLfu::Get(uint64_t id) {
   SketchIncrement(id);
 
-  // Hits need the list lock for SLRU promotions — the cost the paper calls
-  // out. Resolve presence and promote atomically under the shard+list locks.
-  const bool hit = index_.WithValue(id, [&](Entry** slot) {
-    if (slot == nullptr) {
-      return false;
-    }
-    Entry* e = *slot;
-    (void)ReadValue(e->value.get());
-    std::lock_guard<std::mutex> lock(list_mu_);
-    if (!e->hook.linked()) {
-      return true;  // being evicted concurrently; still a hit for the caller
-    }
-    switch (e->where) {
-      case Where::kWindow:
-        window_.MoveToFront(e);
-        break;
-      case Where::kProbation:
-        probation_.Remove(e);
-        --probation_count_;
-        e->where = Where::kProtected;
-        protected_.PushFront(e);
-        ++protected_count_;
-        while (protected_count_ > protected_capacity_) {
-          Entry* tail = protected_.PopBack();
-          if (tail == nullptr) {
-            break;
-          }
-          --protected_count_;
-          tail->where = Where::kProbation;
-          probation_.PushFront(tail);
-          ++probation_count_;
-        }
-        break;
-      case Where::kProtected:
-        protected_.MoveToFront(e);
-        break;
-    }
-    return true;
-  });
-  if (hit) {
+  Shard& s = ShardFor(id);
+  EbrDomain::Guard guard;
+  if (Entry* e = s.index.Find(id)) {
+    (void)ReadValuePayload(e->value.get(), config_.value_size);
+    // Hits need the list lock for SLRU promotions — the cost the paper calls
+    // out; sharding shrinks the critical section's scope but not its nature.
+    s.gate.WithLock([this, &s, e] {
+      if (e->hook.linked()) {  // not concurrently evicted
+        PromoteLocked(s, e);
+      }
+    });
+    hits_.Add(1);
     return true;
   }
 
   Entry* e = new Entry;
   e->id = id;
-  e->value = MakeValue(id, config_.value_size);
-  if (!index_.InsertIfAbsent(id, e)) {
+  e->value = MakeValuePayload(id, config_.value_size);
+  if (!s.index.InsertIfAbsent(id, e)) {
     delete e;
+    misses_.Add(1);
     return false;
   }
+  s.resident.fetch_add(1, std::memory_order_relaxed);
+  misses_.Add(1);
 
   std::vector<Entry*> victims;
-  {
-    std::lock_guard<std::mutex> lock(list_mu_);
-    e->where = Where::kWindow;
-    window_.PushFront(e);
-    ++window_count_;
-    resident_.fetch_add(1, std::memory_order_relaxed);
-    HandleOverflow(victims);
-  }
+  s.gate.Submit(e, [this, &s, &victims] { DrainLocked(s, victims); });
   for (Entry* victim : victims) {
-    index_.EraseIf(victim->id, [victim](Entry* v) { return v == victim; });
-    delete victim;
+    s.index.EraseIf(victim->id, [victim](Entry* v) { return v == victim; });
+    RetireEntry(victim);
   }
   return false;
 }
 
-void ConcurrentTinyLfu::HandleOverflow(std::vector<Entry*>& victims) {
-  while (window_count_ > window_capacity_) {
-    Entry* candidate = window_.Back();
+void ConcurrentTinyLfu::PromoteLocked(Shard& s, Entry* e) {
+  switch (e->where) {
+    case Where::kWindow:
+      s.window.MoveToFront(e);
+      break;
+    case Where::kProbation:
+      s.probation.Remove(e);
+      --s.probation_count;
+      e->where = Where::kProtected;
+      s.protected_q.PushFront(e);
+      ++s.protected_count;
+      while (s.protected_count > s.protected_capacity) {
+        Entry* tail = s.protected_q.PopBack();
+        if (tail == nullptr) {
+          break;
+        }
+        --s.protected_count;
+        tail->where = Where::kProbation;
+        s.probation.PushFront(tail);
+        ++s.probation_count;
+      }
+      break;
+    case Where::kProtected:
+      s.protected_q.MoveToFront(e);
+      break;
+  }
+}
+
+void ConcurrentTinyLfu::DrainLocked(Shard& s, std::vector<Entry*>& victims) {
+  Entry* e = nullptr;
+  while (s.gate.pending().TryPop(&e)) {
+    e->where = Where::kWindow;
+    s.window.PushFront(e);
+    ++s.window_count;
+    HandleOverflowLocked(s, victims);
+  }
+}
+
+void ConcurrentTinyLfu::HandleOverflowLocked(Shard& s, std::vector<Entry*>& victims) {
+  while (s.window_count > s.window_capacity) {
+    Entry* candidate = s.window.Back();
     if (candidate == nullptr) {
       return;
     }
-    window_.Remove(candidate);
-    --window_count_;
-    if (probation_count_ + protected_count_ <
-        probation_capacity_ + protected_capacity_) {
+    s.window.Remove(candidate);
+    --s.window_count;
+    if (s.probation_count + s.protected_count <
+        s.probation_capacity + s.protected_capacity) {
       candidate->where = Where::kProbation;
-      probation_.PushFront(candidate);
-      ++probation_count_;
+      s.probation.PushFront(candidate);
+      ++s.probation_count;
       continue;
     }
-    Entry* victim = probation_.Back();
+    Entry* victim = s.probation.Back();
     if (victim == nullptr) {
-      victim = protected_.Back();
+      victim = s.protected_q.Back();
     }
     if (victim == nullptr) {
-      resident_.fetch_sub(1, std::memory_order_relaxed);
+      s.resident.fetch_sub(1, std::memory_order_relaxed);
       victims.push_back(candidate);
       continue;
     }
     if (SketchEstimate(candidate->id) > SketchEstimate(victim->id)) {
       if (victim->where == Where::kProbation) {
-        probation_.Remove(victim);
-        --probation_count_;
+        s.probation.Remove(victim);
+        --s.probation_count;
       } else {
-        protected_.Remove(victim);
-        --protected_count_;
+        s.protected_q.Remove(victim);
+        --s.protected_count;
       }
-      resident_.fetch_sub(1, std::memory_order_relaxed);
+      s.resident.fetch_sub(1, std::memory_order_relaxed);
       victims.push_back(victim);
       candidate->where = Where::kProbation;
-      probation_.PushFront(candidate);
-      ++probation_count_;
+      s.probation.PushFront(candidate);
+      ++s.probation_count;
     } else {
-      resident_.fetch_sub(1, std::memory_order_relaxed);
+      s.resident.fetch_sub(1, std::memory_order_relaxed);
       victims.push_back(candidate);
     }
   }
 }
 
 uint64_t ConcurrentTinyLfu::ApproxSize() const {
-  return resident_.load(std::memory_order_relaxed);
+  uint64_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->resident.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+ConcurrentCacheStats ConcurrentTinyLfu::Stats() const {
+  return {static_cast<uint64_t>(hits_.Sum()), static_cast<uint64_t>(misses_.Sum())};
 }
 
 }  // namespace s3fifo

@@ -1,0 +1,160 @@
+#include "src/concurrent/ebr.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace s3fifo {
+
+struct EbrDomain::ThreadRec {
+  int slot = -1;
+  int depth = 0;
+  unsigned retires_since_reclaim = 0;
+  std::vector<Retired> retired;
+};
+
+// Thread-exit hook: returns the slot to the pool and hands any not-yet-freed
+// garbage to the orphan list.
+struct ThreadRecHolder {
+  EbrDomain::ThreadRec rec;
+  ~ThreadRecHolder() {
+    EbrDomain& d = EbrDomain::Instance();
+    if (!rec.retired.empty()) {
+      std::lock_guard<std::mutex> lock(d.orphan_mu_);
+      d.orphans_.insert(d.orphans_.end(), rec.retired.begin(), rec.retired.end());
+      rec.retired.clear();
+    }
+    d.ReleaseSlot(rec);
+  }
+};
+
+EbrDomain& EbrDomain::Instance() {
+  static EbrDomain* domain = new EbrDomain();  // leaked: see header
+  return *domain;
+}
+
+EbrDomain::ThreadRec& EbrDomain::LocalRec() {
+  thread_local ThreadRecHolder holder;
+  return holder.rec;
+}
+
+int EbrDomain::AcquireSlot() {
+  for (int i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (!slots_[i].in_use.load(std::memory_order_relaxed) &&
+        slots_[i].in_use.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      slots_[i].epoch.store(kIdle, std::memory_order_seq_cst);
+      return i;
+    }
+  }
+  std::fprintf(stderr, "EbrDomain: more than %d concurrent threads\n", kMaxThreads);
+  std::abort();
+}
+
+void EbrDomain::ReleaseSlot(ThreadRec& rec) {
+  if (rec.slot < 0) {
+    return;
+  }
+  slots_[rec.slot].epoch.store(kIdle, std::memory_order_seq_cst);
+  slots_[rec.slot].in_use.store(false, std::memory_order_release);
+  rec.slot = -1;
+}
+
+void EbrDomain::Pin(ThreadRec& rec) {
+  if (rec.depth++ > 0) {
+    return;
+  }
+  if (rec.slot < 0) {
+    rec.slot = AcquireSlot();
+  }
+  // seq_cst RMW: the pin is globally ordered before this thread's subsequent
+  // index reads, and extends the slot's release sequence across slot reuse.
+  slots_[rec.slot].epoch.exchange(global_epoch_.load(std::memory_order_seq_cst),
+                                  std::memory_order_seq_cst);
+}
+
+void EbrDomain::Unpin(ThreadRec& rec) {
+  if (--rec.depth > 0) {
+    return;
+  }
+  slots_[rec.slot].epoch.store(kIdle, std::memory_order_seq_cst);
+}
+
+EbrDomain::Guard::Guard() { Instance().Pin(LocalRec()); }
+EbrDomain::Guard::~Guard() { Instance().Unpin(LocalRec()); }
+
+void EbrDomain::Retire(void* p, void (*deleter)(void*)) {
+  ThreadRec& rec = LocalRec();
+  rec.retired.push_back(Retired{p, deleter, global_epoch_.load(std::memory_order_seq_cst)});
+  limbo_count_.fetch_add(1, std::memory_order_relaxed);
+  if (++rec.retires_since_reclaim >= kReclaimPeriod) {
+    rec.retires_since_reclaim = 0;
+    Reclaim(rec);
+  }
+}
+
+uint64_t EbrDomain::AdvanceAndCollectFloor() {
+  uint64_t g = global_epoch_.load(std::memory_order_seq_cst);
+  bool can_advance = true;
+  for (int i = 0; i < kMaxThreads; ++i) {
+    if (!slots_[i].in_use.load(std::memory_order_acquire)) {
+      continue;
+    }
+    const uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (e != kIdle && e != g) {
+      can_advance = false;  // a reader is still pinned in the previous epoch
+    }
+  }
+  if (can_advance) {
+    if (global_epoch_.compare_exchange_strong(g, g + 1, std::memory_order_seq_cst)) {
+      g = g + 1;
+    }
+  }
+  // A node retired at epoch e is unreachable for readers pinned at >= e + 1;
+  // the epoch can only have advanced to e + 2 once no reader was left at
+  // e + 1 or below, so everything retired before g - 1 is free-able.
+  return g - 1;
+}
+
+void EbrDomain::FreeEligible(std::vector<Retired>& list, uint64_t safe_before) {
+  size_t kept = 0;
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (list[i].epoch < safe_before) {
+      list[i].deleter(list[i].p);
+    } else {
+      list[kept++] = list[i];
+    }
+  }
+  list.resize(kept);
+}
+
+void EbrDomain::Reclaim(ThreadRec& rec) {
+  const uint64_t safe_before = AdvanceAndCollectFloor();
+  const size_t before = rec.retired.size();
+  FreeEligible(rec.retired, safe_before);
+  uint64_t freed = before - rec.retired.size();
+  // Opportunistically drain garbage from exited threads.
+  if (orphan_mu_.try_lock()) {
+    const size_t orphans_before = orphans_.size();
+    FreeEligible(orphans_, safe_before);
+    freed += orphans_before - orphans_.size();
+    orphan_mu_.unlock();
+  }
+  limbo_count_.fetch_sub(freed, std::memory_order_relaxed);
+}
+
+void EbrDomain::ReclaimAll(bool force) {
+  ThreadRec& rec = LocalRec();
+  const uint64_t safe_before = force ? ~0ull : AdvanceAndCollectFloor();
+  std::lock_guard<std::mutex> lock(orphan_mu_);
+  const size_t before = rec.retired.size() + orphans_.size();
+  FreeEligible(rec.retired, safe_before);
+  FreeEligible(orphans_, safe_before);
+  limbo_count_.fetch_sub(before - rec.retired.size() - orphans_.size(),
+                         std::memory_order_relaxed);
+}
+
+uint64_t EbrDomain::ApproxLimboSize() const {
+  return limbo_count_.load(std::memory_order_relaxed);
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,96 @@
+// Epoch-based reclamation (EBR) for the lock-free read path: readers pin the
+// global epoch around each access to index-published entries; evictors retire
+// entries instead of deleting them, and retired memory is freed only once the
+// global epoch has advanced twice past the retire epoch — by which point no
+// pinned reader can still hold a reference. This is the standard scheme
+// (Fraser's EBR; crossbeam-epoch; Cachelib's delayed-destruction readers) that
+// lets Get() hits dereference entries without taking any lock.
+//
+// Design notes:
+//   * A fixed pool of cache-line-padded thread slots (kMaxThreads); each
+//     thread lazily claims a slot on first use and releases it at thread exit.
+//   * Pinning is a single seq_cst exchange on the thread's own slot — no
+//     shared cache line is written, so pins scale with cores.
+//   * Retired nodes accumulate in a per-thread list (no lock on the retire
+//     path); every kReclaimPeriod retires the owning thread tries to advance
+//     the epoch and frees its eligible nodes. Threads that exit with garbage
+//     hand it to a mutex-protected orphan list drained by later reclaims.
+//   * All synchronization is via atomics (no standalone fences), so the
+//     scheme is exactly modeled by TSan.
+#ifndef SRC_CONCURRENT_EBR_H_
+#define SRC_CONCURRENT_EBR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace s3fifo {
+
+class EbrDomain {
+ public:
+  static constexpr int kMaxThreads = 256;
+
+  // Process-wide domain shared by all concurrent caches. Intentionally leaked
+  // (function-local static pointer) so thread-exit hooks never race static
+  // destruction; remaining garbage stays reachable for LeakSanitizer.
+  static EbrDomain& Instance();
+
+  // RAII pin. Cheap enough for the per-Get hot path; nests.
+  class Guard {
+   public:
+    Guard();
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+  };
+
+  // Defers destruction of `p` until no pinned reader can reference it. The
+  // caller must have already unpublished `p` (no new reader can find it).
+  void Retire(void* p, void (*deleter)(void*));
+
+  // Testing / shutdown aid: drain every retired node whose epoch allows it;
+  // with `force`, frees everything (caller asserts no concurrent readers).
+  void ReclaimAll(bool force = false);
+
+  uint64_t ApproxLimboSize() const;
+
+ private:
+  struct Retired {
+    void* p;
+    void (*deleter)(void*);
+    uint64_t epoch;
+  };
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+    std::atomic<bool> in_use{false};
+  };
+  struct ThreadRec;
+  static constexpr uint64_t kIdle = ~0ull;
+  static constexpr int kReclaimPeriod = 64;
+
+  EbrDomain() = default;
+  friend struct ThreadRecHolder;
+
+  static ThreadRec& LocalRec();
+  int AcquireSlot();
+  void ReleaseSlot(ThreadRec& rec);
+  void Pin(ThreadRec& rec);
+  void Unpin(ThreadRec& rec);
+
+  // Returns the epoch below which retired nodes are safe to free.
+  uint64_t AdvanceAndCollectFloor();
+  void Reclaim(ThreadRec& rec);
+  static void FreeEligible(std::vector<Retired>& list, uint64_t safe_before);
+
+  std::atomic<uint64_t> global_epoch_{2};  // start >= lag so floor never wraps
+  Slot slots_[kMaxThreads];
+
+  mutable std::mutex orphan_mu_;
+  std::vector<Retired> orphans_;
+  std::atomic<uint64_t> limbo_count_{0};
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_CONCURRENT_EBR_H_

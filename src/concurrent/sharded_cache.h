@@ -1,0 +1,95 @@
+// Building blocks for the sharded concurrent prototypes: every cache is
+// hash-partitioned into independent sub-caches (each with its own index,
+// queues, ghost state and eviction lock), and each sub-cache's miss-path
+// mutations go through a try-lock-and-delegate EvictionGate so no thread
+// ever blocks on another shard-mate's eviction.
+#ifndef SRC_CONCURRENT_SHARDED_CACHE_H_
+#define SRC_CONCURRENT_SHARDED_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "src/concurrent/mpmc_queue.h"
+#include "src/util/hash.h"
+
+namespace s3fifo {
+
+// How many sub-caches to create: the requested count, clamped so each shard
+// keeps a meaningful population (tiny test caches degenerate to one shard,
+// which preserves the seed's exact single-queue semantics). Power of two.
+inline unsigned PickCacheShards(unsigned requested, uint64_t capacity_objects) {
+  constexpr uint64_t kMinObjectsPerShard = 32;
+  uint64_t limit = capacity_objects / kMinObjectsPerShard;
+  unsigned shards = 1;
+  while (shards * 2 <= requested && static_cast<uint64_t>(shards) * 2 <= limit) {
+    shards <<= 1;
+  }
+  return shards;
+}
+
+// Sub-cache id for an object: high hash bits, independent from both the index
+// probe position (low bits) and the index's internal shard pick (bits 48+).
+inline unsigned CacheShardFor(uint64_t id, unsigned num_shards) {
+  return static_cast<unsigned>((Mix64(id) >> 32) & (num_shards - 1));
+}
+
+// Try-lock-and-delegate work gate (one per sub-cache). A missing thread
+// enqueues its link/evict work and only processes it if the shard's eviction
+// lock is free; a thread that loses the try_lock race returns immediately —
+// the current lock holder re-checks the queue after unlocking, so queued work
+// is always drained by *somebody* without anyone blocking. Misses therefore
+// batch naturally: one lock acquisition links and evicts for every request
+// that arrived while the previous holder was inside.
+template <typename Work>
+class EvictionGate {
+ public:
+  explicit EvictionGate(uint64_t pending_capacity) : pending_(pending_capacity) {}
+
+  // Enqueues `w`; `drain()` is invoked under the gate lock and must pop and
+  // process everything in pending(). Never blocks unless the ring is full
+  // (pathological backlog), in which case it helps by draining synchronously.
+  template <typename DrainFn>
+  void Submit(const Work& w, DrainFn&& drain) {
+    while (!pending_.TryPush(w)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      drain();
+    }
+    while (mu_.try_lock()) {
+      drain();
+      mu_.unlock();
+      if (pending_.ApproxSize() == 0) {
+        return;
+      }
+    }
+    // try_lock failed: the current holder's post-unlock re-check owns our work.
+  }
+
+  // Runs fn under the gate lock (destructors, maintenance).
+  template <typename Fn>
+  void WithLock(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn();
+  }
+
+  // Non-blocking promotion attempt (optimized-LRU style): runs fn only if the
+  // lock is immediately available. Returns whether fn ran.
+  template <typename Fn>
+  bool TryWithLock(Fn&& fn) {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+    fn();
+    mu_.unlock();
+    return true;
+  }
+
+  MpmcQueue<Work>& pending() { return pending_; }
+
+ private:
+  std::mutex mu_;
+  MpmcQueue<Work> pending_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_CONCURRENT_SHARDED_CACHE_H_

@@ -1,0 +1,30 @@
+// On-demand-fill payload helpers shared by every concurrent prototype. The
+// read side is careful to copy at most `size` bytes: the old per-cache copies
+// unconditionally memcpy'd 8 bytes, reading out of bounds whenever
+// ConcurrentCacheConfig::value_size < 8.
+#ifndef SRC_CONCURRENT_VALUE_PAYLOAD_H_
+#define SRC_CONCURRENT_VALUE_PAYLOAD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+namespace s3fifo {
+
+inline std::unique_ptr<char[]> MakeValuePayload(uint64_t id, uint32_t size) {
+  auto value = std::make_unique<char[]>(size);
+  std::memset(value.get(), static_cast<int>(id & 0xFF), size);
+  return value;
+}
+
+// Touch the payload so the compiler cannot elide the "use" of a hit.
+inline uint64_t ReadValuePayload(const char* value, uint32_t size) {
+  uint64_t v = 0;
+  std::memcpy(&v, value, std::min<size_t>(sizeof(v), size));
+  return v;
+}
+
+}  // namespace s3fifo
+
+#endif  // SRC_CONCURRENT_VALUE_PAYLOAD_H_

@@ -109,6 +109,36 @@ TEST_P(ConcurrentCacheTest, MultiThreadStress) {
   EXPECT_TRUE(cache->Get(1 << 30));
 }
 
+// Regression for an OOB read: values smaller than 8 bytes used to be read
+// with an unconditional 8-byte memcpy. ASan/valgrind would flag the
+// overread; here we just exercise the path for every prototype.
+TEST_P(ConcurrentCacheTest, SmallValuesAreReadSafely) {
+  ConcurrentCacheConfig config;
+  config.capacity_objects = 32;
+  config.value_size = 3;  // smaller than the 8-byte read window
+  auto cache = MakeCache(GetParam(), config);
+  for (uint64_t i = 0; i < 500; ++i) {
+    cache->Get(i % 40);
+  }
+  EXPECT_TRUE(cache->Get(1));
+}
+
+TEST_P(ConcurrentCacheTest, StatsCountEveryRequest) {
+  ConcurrentCacheConfig config;
+  config.capacity_objects = 64;
+  auto cache = MakeCache(GetParam(), config);
+  constexpr uint64_t kRequests = 5000;
+  uint64_t observed_hits = 0;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    if (cache->Get(i % 100)) {
+      ++observed_hits;
+    }
+  }
+  const ConcurrentCacheStats stats = cache->Stats();
+  EXPECT_EQ(stats.hits, observed_hits);
+  EXPECT_EQ(stats.hits + stats.misses, kRequests);
+}
+
 TEST_P(ConcurrentCacheTest, ConcurrentSameKeyInsertRace) {
   ConcurrentCacheConfig config;
   config.capacity_objects = 64;
@@ -166,6 +196,7 @@ TEST(PrototypeConsistencyTest, S3FifoPrototypeMatchesSimulator) {
   ConcurrentCacheConfig cc;
   cc.capacity_objects = kCapacity;
   cc.value_size = 16;
+  cc.cache_shards = 1;  // unsharded: decision sequence matches the simulator
   ConcurrentS3Fifo prototype(cc);
 
   CacheConfig sc;
@@ -200,6 +231,7 @@ TEST(PrototypeConsistencyTest, ClockPrototypeMatchesSimulator) {
   ConcurrentCacheConfig cc;
   cc.capacity_objects = kCapacity;
   cc.value_size = 16;
+  cc.cache_shards = 1;  // unsharded: decision sequence matches the simulator
   ConcurrentClock prototype(cc);
 
   CacheConfig sc;
@@ -223,6 +255,42 @@ TEST(PrototypeConsistencyTest, ClockPrototypeMatchesSimulator) {
   const double proto_mr = 1.0 - static_cast<double>(proto_hits) / kRequests;
   const double sim_mr = 1.0 - static_cast<double>(sim_hits) / kRequests;
   EXPECT_NEAR(proto_mr, sim_mr, 0.01);
+}
+
+// Sharding determinism: a single-threaded replay through the sharded cache
+// must land within a small tolerance of the unsharded (shards=1) hit ratio —
+// hash partitioning redistributes capacity but must not change behaviour
+// qualitatively.
+TEST(PrototypeConsistencyTest, ShardedReplayMatchesUnsharded) {
+  constexpr uint64_t kObjects = 20000;
+  constexpr uint64_t kRequests = 200000;
+  constexpr uint64_t kCapacity = 2000;
+
+  ConcurrentCacheConfig sharded_cfg;
+  sharded_cfg.capacity_objects = kCapacity;
+  sharded_cfg.value_size = 16;
+  sharded_cfg.cache_shards = 8;
+  ConcurrentS3Fifo sharded(sharded_cfg);
+
+  ConcurrentCacheConfig flat_cfg = sharded_cfg;
+  flat_cfg.cache_shards = 1;
+  ConcurrentS3Fifo flat(flat_cfg);
+
+  ZipfDistribution zipf(kObjects, 1.0);
+  Rng rng(47);
+  uint64_t sharded_hits = 0, flat_hits = 0;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    const uint64_t id = zipf.Sample(rng);
+    if (sharded.Get(id)) {
+      ++sharded_hits;
+    }
+    if (flat.Get(id)) {
+      ++flat_hits;
+    }
+  }
+  const double sharded_ratio = static_cast<double>(sharded_hits) / kRequests;
+  const double flat_ratio = static_cast<double>(flat_hits) / kRequests;
+  EXPECT_NEAR(sharded_ratio, flat_ratio, 0.02);
 }
 
 TEST(ConcurrentClockTest, RefBitGivesSecondChance) {

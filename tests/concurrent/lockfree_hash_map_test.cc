@@ -1,0 +1,196 @@
+// LockFreeHashMap + EbrDomain: single-thread semantics (insert / find /
+// tombstone erase / rebuild) and lock-free readers racing a writer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/concurrent/ebr.h"
+#include "src/concurrent/lockfree_hash_map.h"
+
+namespace s3fifo {
+namespace {
+
+struct Node {
+  explicit Node(uint64_t k) : key(k) {}
+  uint64_t key;
+};
+
+void RetireNode(Node* n) {
+  EbrDomain::Instance().Retire(n, [](void* p) { delete static_cast<Node*>(p); });
+}
+
+TEST(LockFreeHashMapTest, InsertFindErase) {
+  LockFreeHashMap<Node*> map(64, 4);
+  EbrDomain::Guard guard;
+  EXPECT_EQ(map.Find(7), nullptr);
+
+  Node* n = new Node(7);
+  EXPECT_TRUE(map.InsertIfAbsent(7, n));
+  EXPECT_FALSE(map.InsertIfAbsent(7, n));  // live entry already present
+  EXPECT_EQ(map.Find(7), n);
+  EXPECT_EQ(map.Size(), 1u);
+
+  EXPECT_TRUE(map.Erase(7));
+  EXPECT_EQ(map.Find(7), nullptr);
+  EXPECT_EQ(map.Size(), 0u);
+  EXPECT_FALSE(map.Erase(7));
+  RetireNode(n);
+}
+
+TEST(LockFreeHashMapTest, EraseIfOnlyRemovesMatchingValue) {
+  LockFreeHashMap<Node*> map(64, 1);
+  EbrDomain::Guard guard;
+  Node* a = new Node(11);
+  ASSERT_TRUE(map.InsertIfAbsent(11, a));
+  Node other(11);
+  EXPECT_FALSE(map.EraseIf(11, [&](Node* v) { return v == &other; }));
+  EXPECT_EQ(map.Find(11), a);
+  EXPECT_TRUE(map.EraseIf(11, [&](Node* v) { return v == a; }));
+  EXPECT_EQ(map.Find(11), nullptr);
+  RetireNode(a);
+}
+
+TEST(LockFreeHashMapTest, TombstoneSlotIsReused) {
+  LockFreeHashMap<Node*> map(64, 1);
+  EbrDomain::Guard guard;
+  Node* a = new Node(5);
+  ASSERT_TRUE(map.InsertIfAbsent(5, a));
+  ASSERT_TRUE(map.Erase(5));
+  RetireNode(a);
+  Node* b = new Node(5);
+  EXPECT_TRUE(map.InsertIfAbsent(5, b));
+  EXPECT_EQ(map.Find(5), b);
+  ASSERT_TRUE(map.Erase(5));
+  RetireNode(b);
+}
+
+// Sized for 4 entries but loaded with 4096: growth happens through repeated
+// occupancy-triggered rebuilds, which must preserve every live entry.
+TEST(LockFreeHashMapTest, RebuildPreservesEntriesUnderGrowth) {
+  LockFreeHashMap<Node*> map(4, 1);
+  EbrDomain::Guard guard;
+  std::vector<Node*> nodes;
+  constexpr uint64_t kN = 4096;
+  for (uint64_t k = 0; k < kN; ++k) {
+    nodes.push_back(new Node(k));
+    ASSERT_TRUE(map.InsertIfAbsent(k, nodes.back()));
+  }
+  EXPECT_EQ(map.Size(), kN);
+  for (uint64_t k = 0; k < kN; ++k) {
+    ASSERT_EQ(map.Find(k), nodes[k]) << k;
+  }
+  // Churn: erase the even keys, confirm odd survive further rebuilds.
+  for (uint64_t k = 0; k < kN; k += 2) {
+    ASSERT_TRUE(map.Erase(k));
+    RetireNode(nodes[k]);
+  }
+  for (uint64_t k = kN; k < kN + 512; ++k) {
+    nodes.push_back(new Node(k));
+    ASSERT_TRUE(map.InsertIfAbsent(k, nodes.back()));
+  }
+  for (uint64_t k = 1; k < kN; k += 2) {
+    ASSERT_EQ(map.Find(k), nodes[k]) << k;
+  }
+  for (uint64_t k = 1; k < kN; k += 2) {
+    ASSERT_TRUE(map.Erase(k));
+    RetireNode(nodes[k]);
+  }
+  for (uint64_t k = kN; k < kN + 512; ++k) {
+    ASSERT_TRUE(map.Erase(k));
+    RetireNode(nodes[k]);
+  }
+}
+
+// Readers probe lock-free while a writer churns the same keyspace through
+// inserts, erases and rebuilds. A found value must always match its key —
+// the publication order (value release-published last, read first) makes a
+// torn (key, value) pairing impossible.
+TEST(LockFreeHashMapTest, LockFreeReadersRacingWriterSeeConsistentPairs) {
+  LockFreeHashMap<Node*> map(32, 2);
+  constexpr uint64_t kKeys = 256;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> found{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      uint64_t local_found = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (uint64_t k = 0; k < kKeys; ++k) {
+          EbrDomain::Guard guard;
+          if (Node* n = map.Find(k)) {
+            ASSERT_EQ(n->key, k);
+            ++local_found;
+          }
+        }
+      }
+      found.fetch_add(local_found);
+    });
+  }
+
+  std::thread writer([&] {
+    for (int round = 0; round < 400; ++round) {
+      for (uint64_t k = 0; k < kKeys; ++k) {
+        Node* n = new Node(k);
+        if (!map.InsertIfAbsent(k, n)) {
+          delete n;
+        }
+      }
+      for (uint64_t k = round % 2; k < kKeys; k += 2) {
+        Node* victim = nullptr;
+        {
+          EbrDomain::Guard guard;
+          victim = map.Find(k);
+        }
+        if (victim != nullptr &&
+            map.EraseIf(k, [victim](Node* v) { return v == victim; })) {
+          RetireNode(victim);
+        }
+      }
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+
+  writer.join();
+  for (auto& r : readers) {
+    r.join();
+  }
+  EXPECT_GT(found.load(), 0u);
+
+  EbrDomain::Guard guard;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    if (Node* n = map.Find(k)) {
+      ASSERT_TRUE(map.EraseIf(k, [n](Node* v) { return v == n; }));
+      RetireNode(n);
+    }
+  }
+}
+
+TEST(EbrDomainTest, RetireDefersUntilReclaim) {
+  static std::atomic<int> frees{0};
+  struct Tracked {};
+  const int before = frees.load();
+  EbrDomain::Instance().Retire(new Tracked, [](void* p) {
+    delete static_cast<Tracked*>(p);
+    frees.fetch_add(1);
+  });
+  EbrDomain::Instance().ReclaimAll(/*force=*/true);
+  EXPECT_GE(frees.load(), before + 1);
+}
+
+TEST(EbrDomainTest, GuardNests) {
+  EbrDomain::Guard outer;
+  {
+    EbrDomain::Guard inner;
+  }
+  // Still pinned here; retire + force-reclaim from another thread must not
+  // free under us — exercised implicitly by TSan/ASan builds of the racing
+  // test above. This test just checks nesting doesn't crash or unpin early.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace s3fifo
