@@ -1,0 +1,142 @@
+// Reproducer tool for the differential correctness harness.
+//
+//   check_replay <file.repro>
+//       Re-runs a saved reproducer (see src/check/replay_file.h) and prints
+//       the divergence. Exit code 1 if the divergence still reproduces.
+//
+//   check_replay --fuzz <policy> [options]
+//       Fuzzes the policy against its reference oracle. On divergence the
+//       trace is shrunk and written next to the cwd as <policy>.repro.
+//
+//       --seed S        fuzzer seed (default 1)
+//       --requests N    requests per run (default 100000)
+//       --capacity C    cache capacity (default 64)
+//       --bytes         byte-based instead of count-based
+//       --params P      CacheConfig params string (default "")
+//       --out FILE      reproducer path (default <policy>.repro)
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/check/differential.h"
+#include "src/check/replay_file.h"
+#include "src/check/shrinker.h"
+#include "src/check/trace_fuzzer.h"
+
+namespace {
+
+using s3fifo::CacheConfig;
+using s3fifo::Request;
+using s3fifo::check::Divergence;
+using s3fifo::check::FuzzConfig;
+using s3fifo::check::GenerateFuzzRequests;
+using s3fifo::check::ReplayCase;
+using s3fifo::check::RunDifferential;
+using s3fifo::check::ShrinkStats;
+using s3fifo::check::ShrinkTrace;
+
+int Replay(const std::string& path) {
+  const ReplayCase replay = s3fifo::check::ReadReplayFile(path);
+  std::cout << "replaying " << replay.requests.size() << " requests against '"
+            << replay.policy << "' (capacity=" << replay.config.capacity
+            << (replay.config.count_based ? ", objects" : ", bytes") << ")\n";
+  const Divergence div = RunDifferential(replay.requests, replay.policy, replay.config);
+  if (!div) {
+    std::cout << "no divergence: the optimized policy matches its oracle.\n";
+    return 0;
+  }
+  std::cout << "DIVERGENCE " << div.what << "\n";
+  return 1;
+}
+
+int Fuzz(const std::string& policy, const FuzzConfig& fuzz, const CacheConfig& config,
+         const std::string& out_path) {
+  const std::vector<Request> requests = GenerateFuzzRequests(fuzz);
+  std::cout << "fuzzing '" << policy << "': " << requests.size() << " requests, seed "
+            << fuzz.seed << "\n";
+  const Divergence div = RunDifferential(requests, policy, config);
+  if (!div) {
+    std::cout << "ok: no divergence.\n";
+    return 0;
+  }
+  std::cout << "DIVERGENCE " << div.what << "\nshrinking...\n";
+
+  // Only the prefix up to the divergence matters; shrink from there.
+  std::vector<Request> prefix(requests.begin(), requests.begin() + div.index + 1);
+  ShrinkStats stats;
+  const std::vector<Request> shrunk = ShrinkTrace(
+      prefix,
+      [&](const std::vector<Request>& candidate) {
+        return RunDifferential(candidate, policy, config).found;
+      },
+      20000, &stats);
+  std::cout << "shrunk " << stats.initial_size << " -> " << stats.final_size << " requests in "
+            << stats.probes << " probes\n";
+
+  ReplayCase replay;
+  replay.policy = policy;
+  replay.config = config;
+  replay.fuzz_seed = fuzz.seed;
+  replay.requests = shrunk;
+  s3fifo::check::WriteReplayFile(replay, out_path);
+  std::cout << "reproducer written to " << out_path << "\n";
+  std::cout << RunDifferential(shrunk, policy, config).what << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cerr << "usage: check_replay <file.repro> | check_replay --fuzz <policy> [options]\n";
+    return 2;
+  }
+
+  try {
+    if (args[0] != "--fuzz") {
+      return Replay(args[0]);
+    }
+    if (args.size() < 2) {
+      std::cerr << "--fuzz requires a policy name\n";
+      return 2;
+    }
+    const std::string policy = args[1];
+    FuzzConfig fuzz;
+    fuzz.num_requests = 100000;
+    CacheConfig config;
+    config.capacity = 64;
+    std::string out_path = policy + ".repro";
+    for (size_t i = 2; i < args.size(); ++i) {
+      auto next = [&]() -> std::string {
+        if (i + 1 >= args.size()) {
+          throw std::invalid_argument(args[i] + " requires a value");
+        }
+        return args[++i];
+      };
+      if (args[i] == "--seed") {
+        fuzz.seed = std::stoull(next());
+      } else if (args[i] == "--requests") {
+        fuzz.num_requests = std::stoull(next());
+      } else if (args[i] == "--capacity") {
+        config.capacity = std::stoull(next());
+      } else if (args[i] == "--bytes") {
+        config.count_based = false;
+      } else if (args[i] == "--params") {
+        config.params = next();
+      } else if (args[i] == "--out") {
+        out_path = next();
+      } else {
+        throw std::invalid_argument("unknown option: " + args[i]);
+      }
+    }
+    fuzz.capacity = config.capacity;
+    fuzz.count_based = config.count_based;
+    return Fuzz(policy, fuzz, config, out_path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,89 @@
+#include "src/check/differential.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/core/cache_factory.h"
+
+namespace s3fifo {
+namespace check {
+namespace {
+
+std::string IdList(const std::vector<uint64_t>& ids) {
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < ids.size(); ++i) {
+    out << (i == 0 ? "" : ",") << ids[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string Describe(const Request& req) {
+  std::ostringstream out;
+  switch (req.op) {
+    case OpType::kGet:
+      out << "get";
+      break;
+    case OpType::kSet:
+      out << "set";
+      break;
+    case OpType::kDelete:
+      out << "del";
+      break;
+  }
+  out << " id=" << req.id << " size=" << req.size;
+  return out.str();
+}
+
+}  // namespace
+
+Divergence RunDifferential(const std::vector<Request>& requests, Cache& cache,
+                           ReferenceModel& oracle) {
+  std::vector<uint64_t> cache_evicted;
+  cache.set_eviction_listener(
+      [&cache_evicted](const EvictionEvent& event) { cache_evicted.push_back(event.id); });
+
+  Divergence div;
+  for (uint64_t i = 0; i < requests.size(); ++i) {
+    const Request& req = requests[i];
+    cache_evicted.clear();
+    const bool cache_hit = cache.Get(req);
+    const StepOutcome oracle_out = oracle.Step(req);
+    std::sort(cache_evicted.begin(), cache_evicted.end());
+
+    std::ostringstream what;
+    if (cache_hit != oracle_out.hit) {
+      what << "hit: cache=" << cache_hit << " oracle=" << oracle_out.hit;
+    } else if (cache_evicted != oracle_out.evicted) {
+      what << "evicted: cache=" << IdList(cache_evicted)
+           << " oracle=" << IdList(oracle_out.evicted);
+    } else if (cache.occupied() != oracle_out.occupied) {
+      what << "occupied: cache=" << cache.occupied() << " oracle=" << oracle_out.occupied;
+    } else if (cache.Contains(req.id) != oracle.Contains(req.id)) {
+      what << "contains(" << req.id << "): cache=" << cache.Contains(req.id)
+           << " oracle=" << oracle.Contains(req.id);
+    } else {
+      continue;
+    }
+    div.found = true;
+    div.index = i;
+    div.request = req;
+    what << " after request " << i << " (" << Describe(req) << ")";
+    div.what = what.str();
+    break;
+  }
+
+  cache.set_eviction_listener(nullptr);
+  return div;
+}
+
+Divergence RunDifferential(const std::vector<Request>& requests, std::string_view policy,
+                           const CacheConfig& config) {
+  auto cache = CreateCache(policy, config);
+  auto oracle = CreateReferenceModel(policy, config);
+  return RunDifferential(requests, *cache, *oracle);
+}
+
+}  // namespace check
+}  // namespace s3fifo

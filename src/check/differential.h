@@ -1,0 +1,52 @@
+// Differential driver: replays one request stream simultaneously through an
+// optimized policy (src/policies/, via the Cache interface) and its naive
+// reference oracle, comparing after every request:
+//
+//   * the hit/miss decision,
+//   * the set of ids that left residency (collected from the cache's
+//     eviction listener, order-insensitive),
+//   * the occupied units, and
+//   * residency of the requested id.
+//
+// The run stops at the first divergence, which records enough context (index,
+// request, human-readable description) for the shrinker to minimize and the
+// replay file to reproduce.
+#ifndef SRC_CHECK_DIFFERENTIAL_H_
+#define SRC_CHECK_DIFFERENTIAL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/check/reference_model.h"
+#include "src/core/cache.h"
+#include "src/trace/request.h"
+
+namespace s3fifo {
+namespace check {
+
+struct Divergence {
+  bool found = false;
+  uint64_t index = 0;  // request index of the first divergence
+  Request request;
+  std::string what;  // e.g. "occupied: cache=65 oracle=64"
+
+  explicit operator bool() const { return found; }
+};
+
+// Low-level entry point: both sides are provided by the caller (the mutation
+// smoke test pairs a sabotaged cache with a healthy oracle this way). The
+// cache's eviction listener is claimed for the duration of the run and reset
+// on return. Both sides must be freshly constructed.
+Divergence RunDifferential(const std::vector<Request>& requests, Cache& cache,
+                           ReferenceModel& oracle);
+
+// Convenience: builds the optimized cache and the oracle from the factory
+// name + config. Throws std::invalid_argument if the policy has no oracle.
+Divergence RunDifferential(const std::vector<Request>& requests, std::string_view policy,
+                           const CacheConfig& config);
+
+}  // namespace check
+}  // namespace s3fifo
+
+#endif  // SRC_CHECK_DIFFERENTIAL_H_

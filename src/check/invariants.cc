@@ -1,0 +1,137 @@
+#include "src/check/invariants.h"
+
+#include <sstream>
+
+#include "src/core/cache_factory.h"
+#include "src/policies/s3fifo.h"
+#include "src/sim/simulator.h"
+#include "src/trace/next_access.h"
+#include "src/trace/trace.h"
+
+namespace s3fifo {
+namespace check {
+namespace {
+
+std::string At(uint64_t index, const Request& req) {
+  std::ostringstream out;
+  out << " at request " << index << " (id=" << req.id << " size=" << req.size
+      << " op=" << static_cast<int>(req.op) << ")";
+  return out.str();
+}
+
+}  // namespace
+
+InvariantReport CheckRequestInvariants(std::string_view policy, const CacheConfig& config,
+                                       const std::vector<Request>& requests,
+                                       uint64_t max_violations) {
+  auto cache = CreateCache(policy, config);
+  auto* s3 = dynamic_cast<S3FifoCache*>(cache.get());
+
+  InvariantReport report;
+  auto violate = [&](const std::string& message) {
+    if (report.violations.size() < max_violations) {
+      report.violations.push_back(message);
+    }
+  };
+
+  for (uint64_t i = 0; i < requests.size(); ++i) {
+    const Request& req = requests[i];
+    const bool hit = cache->Get(req);
+
+    if (req.op == OpType::kDelete) {
+      if (hit) {
+        violate("delete reported as hit" + At(i, req));
+      }
+      if (cache->Contains(req.id)) {
+        violate("object resident after explicit delete" + At(i, req));
+      }
+    } else {
+      ++report.requests;
+      if (hit) {
+        ++report.hits;
+        // With uniform sizes a hit never triggers eviction, so the object
+        // must still be resident. (Byte mode: a size change on hit may evict
+        // anything, including the accessed object itself.)
+        if (config.count_based && !cache->Contains(req.id)) {
+          violate("object non-resident after count-based hit" + At(i, req));
+        }
+      } else {
+        ++report.misses;
+      }
+    }
+
+    if (cache->occupied() > cache->capacity()) {
+      std::ostringstream out;
+      out << "occupied " << cache->occupied() << " exceeds capacity " << cache->capacity()
+          << At(i, req);
+      violate(out.str());
+    }
+    if (s3 != nullptr && s3->ghost_size() > s3->ghost_capacity_entries()) {
+      std::ostringstream out;
+      out << "ghost entries " << s3->ghost_size() << " exceed bound "
+          << s3->ghost_capacity_entries() << At(i, req);
+      violate(out.str());
+    }
+  }
+
+  if (report.hits + report.misses != report.requests) {
+    violate("hit/miss conservation broken");  // unreachable by construction
+  }
+  return report;
+}
+
+std::string CheckDeterministicReplay(std::string_view policy, const CacheConfig& config,
+                                     const std::vector<Request>& requests) {
+  uint64_t occupied[2] = {0, 0};
+  std::vector<bool> hits[2];
+  for (int run = 0; run < 2; ++run) {
+    auto cache = CreateCache(policy, config);
+    hits[run].reserve(requests.size());
+    for (const Request& req : requests) {
+      hits[run].push_back(cache->Get(req));
+    }
+    occupied[run] = cache->occupied();
+  }
+  if (hits[0] != hits[1]) {
+    for (uint64_t i = 0; i < requests.size(); ++i) {
+      if (hits[0][i] != hits[1][i]) {
+        return "replay diverged" + At(i, requests[i]);
+      }
+    }
+  }
+  if (occupied[0] != occupied[1]) {
+    std::ostringstream out;
+    out << "replay final occupancy differs: " << occupied[0] << " vs " << occupied[1];
+    return out.str();
+  }
+  return "";
+}
+
+std::string CheckBeladyLowerBound(std::string_view policy, const CacheConfig& config,
+                                  const std::vector<Request>& requests) {
+  if (!config.count_based) {
+    return "belady bound requires a count-based config";
+  }
+  for (const Request& req : requests) {
+    if (req.op == OpType::kDelete) {
+      return "belady bound requires a get/set-only trace";
+    }
+  }
+  Trace trace(requests, "belady-bound");
+  AnnotateNextAccess(trace);
+
+  auto belady = CreateCache("belady", config);
+  auto subject = CreateCache(policy, config);
+  const SimResult opt = Simulate(trace, *belady);
+  const SimResult got = Simulate(trace, *subject);
+  if (opt.misses > got.misses) {
+    std::ostringstream out;
+    out << "belady missed more than " << policy << ": " << opt.misses << " > " << got.misses
+        << " (optimality violated)";
+    return out.str();
+  }
+  return "";
+}
+
+}  // namespace check
+}  // namespace s3fifo

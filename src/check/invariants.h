@@ -1,0 +1,60 @@
+// Metamorphic invariants: properties that must hold for every policy on
+// every trace, independent of any reference oracle. The fuzz tests run these
+// alongside the differential comparison, and they are the only line of
+// defense for the policies that have no naive oracle (arc, lirs, tinylfu,
+// lecar, ...).
+//
+//   * occupancy never exceeds capacity after any request;
+//   * an explicit delete leaves the object non-resident;
+//   * a (count-based) hit leaves the object resident;
+//   * hits + misses == measured requests (conservation, via SimResult);
+//   * S3-FIFO's ghost queue never holds more than its configured entries;
+//   * replaying the identical trace on a fresh cache is deterministic;
+//   * Belady's MIN is a lower bound on the miss count (count-based,
+//     get-only traces — the optimality argument needs uniform sizes and no
+//     invalidation).
+#ifndef SRC_CHECK_INVARIANTS_H_
+#define SRC_CHECK_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/trace/request.h"
+
+namespace s3fifo {
+namespace check {
+
+struct InvariantReport {
+  std::vector<std::string> violations;  // empty == every invariant held
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Streams `requests` through a fresh cache of the given policy, checking the
+// per-request invariants after every step. Stops collecting after
+// `max_violations` (the run itself continues so the counts stay complete).
+InvariantReport CheckRequestInvariants(std::string_view policy, const CacheConfig& config,
+                                       const std::vector<Request>& requests,
+                                       uint64_t max_violations = 10);
+
+// Replays the trace twice on fresh caches; returns "" when both runs agree
+// on every hit/miss decision and the final occupancy, else a description.
+std::string CheckDeterministicReplay(std::string_view policy, const CacheConfig& config,
+                                     const std::vector<Request>& requests);
+
+// Runs Belady and the policy on the same trace; returns "" when
+// belady_misses <= policy_misses. Requirements: count-based config, get-only
+// requests. The trace is annotated internally.
+std::string CheckBeladyLowerBound(std::string_view policy, const CacheConfig& config,
+                                  const std::vector<Request>& requests);
+
+}  // namespace check
+}  // namespace s3fifo
+
+#endif  // SRC_CHECK_INVARIANTS_H_

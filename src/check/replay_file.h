@@ -1,0 +1,49 @@
+// Text format for differential-failure reproducers.
+//
+// A replay file pins everything needed to re-run one divergence: the policy
+// name, the full CacheConfig, the fuzzer seed it came from (informational),
+// and the (usually shrunk) request list. The harness writes one on failure;
+// `check_replay <file>` re-runs it and prints the divergence.
+//
+// Format (line-oriented, '#' comments, whitespace-separated):
+//
+//   policy s3fifo
+//   capacity 64
+//   count_based 1
+//   params small_ratio=0.1,ghost_ratio=0.9
+//   seed 42
+//   fuzz_seed 1337
+//   req get 17 1
+//   req set 9 4096
+//   req del 17 0
+#ifndef SRC_CHECK_REPLAY_FILE_H_
+#define SRC_CHECK_REPLAY_FILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/cache.h"
+#include "src/trace/request.h"
+
+namespace s3fifo {
+namespace check {
+
+struct ReplayCase {
+  std::string policy;
+  CacheConfig config;
+  uint64_t fuzz_seed = 0;
+  std::vector<Request> requests;
+};
+
+std::string FormatReplay(const ReplayCase& replay);
+// Throws std::invalid_argument on malformed input.
+ReplayCase ParseReplay(const std::string& text);
+
+// Throws std::runtime_error on I/O failure.
+void WriteReplayFile(const ReplayCase& replay, const std::string& path);
+ReplayCase ReadReplayFile(const std::string& path);
+
+}  // namespace check
+}  // namespace s3fifo
+
+#endif  // SRC_CHECK_REPLAY_FILE_H_

@@ -1,0 +1,114 @@
+#include "src/check/shrinker.h"
+
+#include <algorithm>
+
+namespace s3fifo {
+namespace check {
+namespace {
+
+class Shrinker {
+ public:
+  Shrinker(const FailurePredicate& still_fails, uint64_t max_probes)
+      : still_fails_(still_fails), max_probes_(max_probes) {}
+
+  uint64_t probes() const { return probes_; }
+
+  bool Probe(const std::vector<Request>& candidate) {
+    if (probes_ >= max_probes_) {
+      return false;  // budget exhausted: treat as "does not reproduce"
+    }
+    ++probes_;
+    return still_fails_(candidate);
+  }
+
+  // One ddmin sweep: try removing chunks of `chunk` consecutive requests.
+  // Returns true if anything was removed.
+  bool RemoveChunks(std::vector<Request>& reqs, uint64_t chunk) {
+    bool removed_any = false;
+    size_t start = 0;
+    while (start < reqs.size()) {
+      const size_t len = std::min<size_t>(chunk, reqs.size() - start);
+      std::vector<Request> candidate;
+      candidate.reserve(reqs.size() - len);
+      candidate.insert(candidate.end(), reqs.begin(), reqs.begin() + start);
+      candidate.insert(candidate.end(), reqs.begin() + start + len, reqs.end());
+      if (Probe(candidate)) {
+        reqs = std::move(candidate);
+        removed_any = true;
+        // Keep `start` in place: the next chunk slid into this position.
+      } else {
+        start += len;
+      }
+    }
+    return removed_any;
+  }
+
+  // In-place simplification of the survivors: writes become reads, odd sizes
+  // become 1. Each accepted change keeps the failure alive.
+  void SimplifyRequests(std::vector<Request>& reqs) {
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i].op == OpType::kSet) {
+        std::vector<Request> candidate = reqs;
+        candidate[i].op = OpType::kGet;
+        if (Probe(candidate)) {
+          reqs = std::move(candidate);
+        }
+      }
+      if (reqs[i].size != 1) {
+        std::vector<Request> candidate = reqs;
+        candidate[i].size = 1;
+        if (Probe(candidate)) {
+          reqs = std::move(candidate);
+        }
+      }
+    }
+  }
+
+ private:
+  const FailurePredicate& still_fails_;
+  uint64_t max_probes_;
+  uint64_t probes_ = 0;
+};
+
+}  // namespace
+
+std::vector<Request> ShrinkTrace(std::vector<Request> requests,
+                                 const FailurePredicate& still_fails, uint64_t max_probes,
+                                 ShrinkStats* stats) {
+  Shrinker shrinker(still_fails, max_probes);
+  const uint64_t initial_size = requests.size();
+
+  // Repeat both phases until a full round removes nothing: simplification can
+  // unlock removals (e.g. a set that only mattered for its size) and vice
+  // versa, so a single pass leaves easy wins on the table.
+  size_t before_round = requests.size() + 1;
+  while (requests.size() < before_round) {
+    before_round = requests.size();
+
+    // Phase 1: exponentially shrinking chunk removal down to single requests.
+    uint64_t chunk = std::max<uint64_t>(requests.size() / 2, 1);
+    while (chunk >= 1) {
+      while (shrinker.RemoveChunks(requests, chunk)) {
+      }
+      if (chunk == 1) {
+        break;
+      }
+      chunk /= 2;
+    }
+
+    // Phase 2: simplify what survived, then re-try single-request removal.
+    shrinker.SimplifyRequests(requests);
+    while (shrinker.RemoveChunks(requests, 1)) {
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->probes = shrinker.probes();
+    stats->initial_size = initial_size;
+    stats->final_size = requests.size();
+  }
+  return requests;
+}
+
+}  // namespace check
+}  // namespace s3fifo

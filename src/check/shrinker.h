@@ -1,0 +1,42 @@
+// Trace shrinker: minimizes a failing request stream to a short reproducer.
+//
+// Delta-debugging (ddmin-style) over the request list: remove exponentially
+// shrinking chunks, then single requests, then simplify the survivors in
+// place (kSet -> kGet, sizes toward 1). The caller supplies the failure
+// predicate — typically "RunDifferential on a fresh cache + oracle still
+// diverges" — and the shrinker guarantees the returned trace satisfies it.
+//
+// The predicate must be deterministic (rebuild both sides from scratch on
+// every probe); the probe budget bounds worst-case work on huge traces.
+#ifndef SRC_CHECK_SHRINKER_H_
+#define SRC_CHECK_SHRINKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/trace/request.h"
+
+namespace s3fifo {
+namespace check {
+
+// Returns true if the candidate trace still reproduces the failure.
+using FailurePredicate = std::function<bool(const std::vector<Request>&)>;
+
+struct ShrinkStats {
+  uint64_t probes = 0;          // predicate invocations
+  uint64_t initial_size = 0;
+  uint64_t final_size = 0;
+};
+
+// `requests` must satisfy `still_fails`. Returns a (usually much) shorter
+// trace that still satisfies it. `max_probes` caps predicate invocations.
+std::vector<Request> ShrinkTrace(std::vector<Request> requests,
+                                 const FailurePredicate& still_fails,
+                                 uint64_t max_probes = 20000,
+                                 ShrinkStats* stats = nullptr);
+
+}  // namespace check
+}  // namespace s3fifo
+
+#endif  // SRC_CHECK_SHRINKER_H_

@@ -1,0 +1,82 @@
+#include "src/check/trace_fuzzer.h"
+
+#include <algorithm>
+
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+#include "src/util/zipf.h"
+
+namespace s3fifo {
+namespace check {
+namespace {
+
+// Scan keys live far above the hot universe so they never alias it.
+constexpr uint64_t kScanBase = 1ULL << 40;
+
+}  // namespace
+
+std::vector<Request> GenerateFuzzRequests(const FuzzConfig& config) {
+  Rng rng(config.seed);
+  ZipfDistribution zipf(std::max<uint64_t>(config.key_space, 1), config.alpha);
+
+  const uint32_t normal_max = static_cast<uint32_t>(
+      std::clamp<uint64_t>(config.capacity / 8, 1, 0x7fffffff));
+  const uint32_t oversize_span = static_cast<uint32_t>(
+      std::clamp<uint64_t>(config.capacity, 1, 0x7fffffff));
+
+  // The usual size of an object is a stable function of its id, like real
+  // traces; resize events overwrite it with a fresh draw.
+  auto base_size = [&](uint64_t id) {
+    return static_cast<uint32_t>(1 + Mix64(id ^ (config.seed * 0x9e3779b97f4a7c15ULL)) %
+                                         normal_max);
+  };
+
+  std::vector<Request> reqs;
+  reqs.reserve(config.num_requests);
+  uint64_t next_scan_key = kScanBase + (config.seed << 20);
+  uint64_t scan_remaining = 0;
+
+  while (reqs.size() < config.num_requests) {
+    Request r;
+    r.time = reqs.size();
+
+    if (scan_remaining > 0) {
+      --scan_remaining;
+      r.id = next_scan_key++;
+      r.size = base_size(r.id);
+      reqs.push_back(r);
+      continue;
+    }
+    if (rng.NextBool(config.p_scan) && config.scan_length > 0) {
+      scan_remaining = config.scan_length;
+      continue;
+    }
+
+    r.id = zipf.Sample(rng) - 1;  // rank 1..n -> [0, n)
+    const double op_dice = rng.NextDouble();
+    if (op_dice < config.p_delete) {
+      r.op = OpType::kDelete;
+    } else if (op_dice < config.p_delete + config.p_set) {
+      r.op = OpType::kSet;
+    }
+
+    const double size_dice = rng.NextDouble();
+    if (size_dice < config.p_zero_size) {
+      r.size = 0;
+    } else if (size_dice < config.p_zero_size + config.p_oversized) {
+      r.size = static_cast<uint32_t>(
+          std::min<uint64_t>(config.capacity + 1 + rng.NextBounded(oversize_span),
+                             0xffffffffULL));
+    } else if (size_dice < config.p_zero_size + config.p_oversized + config.p_resize) {
+      r.size = 1 + static_cast<uint32_t>(rng.NextBounded(normal_max));
+    } else {
+      r.size = base_size(r.id);
+    }
+    reqs.push_back(r);
+  }
+
+  return reqs;
+}
+
+}  // namespace check
+}  // namespace s3fifo

@@ -1,0 +1,56 @@
+// Seeded random request-stream generator for the differential harness.
+//
+// The generator deliberately concentrates probability mass on the situations
+// that historically break eviction code rather than on realistic workloads:
+// a small skewed key universe (so residency, ghost hits and re-insertion all
+// fire constantly), explicit deletes, sequential scans, objects whose size
+// changes on re-insert, zero-byte objects, and objects at or above the whole
+// cache capacity.
+//
+// Everything is derived from FuzzConfig::seed through the in-repo Rng/Zipf
+// samplers, so a (config, seed) pair reproduces the identical stream on every
+// platform — a failing seed in CI is a local reproducer.
+#ifndef SRC_CHECK_TRACE_FUZZER_H_
+#define SRC_CHECK_TRACE_FUZZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/request.h"
+
+namespace s3fifo {
+namespace check {
+
+struct FuzzConfig {
+  uint64_t seed = 1;
+  uint64_t num_requests = 10000;
+
+  // Mirror of the CacheConfig the stream will be replayed against; sizes are
+  // scaled relative to `capacity` so evictions actually happen.
+  uint64_t capacity = 64;
+  bool count_based = true;
+
+  // Hot key universe: ids in [0, key_space) drawn from a Zipf(alpha).
+  uint64_t key_space = 256;
+  double alpha = 1.0;
+
+  // Operation mix (remainder is kGet).
+  double p_set = 0.2;
+  double p_delete = 0.05;
+
+  // Sequential scan bursts over one-time keys (cold misses back to back).
+  double p_scan = 0.005;
+  uint64_t scan_length = 32;
+
+  // Size edge cases, only meaningful for byte-based replays.
+  double p_resize = 0.25;     // re-request with a fresh random size
+  double p_zero_size = 0.01;  // size == 0
+  double p_oversized = 0.01;  // size > capacity (admission bypass path)
+};
+
+std::vector<Request> GenerateFuzzRequests(const FuzzConfig& config);
+
+}  // namespace check
+}  // namespace s3fifo
+
+#endif  // SRC_CHECK_TRACE_FUZZER_H_

@@ -135,6 +135,13 @@ bool LrbLiteCache::Access(const Request& req) {
       while (occupied() > capacity() && !ids_.empty()) {
         EvictOne();
       }
+      // The sampled eviction above may have picked the grown entry itself;
+      // only refresh the snapshot if it survived.
+      auto survived = table_.find(req.id);
+      if (survived != table_.end()) {
+        survived->second.snapshot = FeaturesOf(survived->second);
+      }
+      return true;
     }
     e.snapshot = FeaturesOf(e);
     return true;

@@ -46,6 +46,14 @@ bool S3FifoCache::GhostContains(uint64_t id) const {
   return ghost_exact_ ? ghost_exact_->Contains(id) : ghost_table_->Contains(id);
 }
 
+uint64_t S3FifoCache::ghost_size() const {
+  return ghost_exact_ ? ghost_exact_->size() : ghost_table_->CountLive();
+}
+
+uint64_t S3FifoCache::GhostCapacityEntries() const {
+  return ghost_exact_ ? ghost_exact_->capacity() : ghost_table_->capacity();
+}
+
 void S3FifoCache::GhostInsert(uint64_t id) {
   if (ghost_exact_) {
     ghost_exact_->Insert(id);

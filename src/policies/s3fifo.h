@@ -69,6 +69,9 @@ class S3FifoCache : public Cache {
   uint64_t small_target() const { return small_target_; }
   // True if the id is remembered by the ghost queue (test/analysis hook).
   bool GhostContains(uint64_t id) const;
+  // Live ghost entries and their configured bound (invariant-check hooks).
+  uint64_t ghost_size() const;
+  uint64_t ghost_capacity_entries() const { return GhostCapacityEntries(); }
 
   // Demotion instrumentation (§6.1): S is the probationary stage.
   void set_demotion_listener(DemotionListener listener) {

@@ -229,6 +229,19 @@ bool TinyLfuCache::Access(const Request& req) {
         protected_.MoveToFront(&e);
         break;
     }
+    // Byte mode: a resident that grew in place can overflow main without
+    // touching the window; shed main tails until it fits again.
+    const uint64_t main_cap = probation_capacity_ + protected_capacity_;
+    while (probation_occ_ + protected_occ_ > main_cap) {
+      Entry* extra = probation_.Back();
+      if (extra == nullptr) {
+        extra = protected_.Back();
+      }
+      if (extra == nullptr) {
+        break;
+      }
+      EvictEntry(extra, /*explicit_delete=*/false);
+    }
     HandleWindowOverflow();
     return true;
   }

@@ -13,6 +13,9 @@ SimResult Simulate(const Trace& trace, Cache& cache, const SimOptions& options) 
   uint64_t index = 0;
   for (const Request& req : trace.requests()) {
     const bool hit = cache.Get(req);
+    if (options.observer) {
+      options.observer(index, req, hit);
+    }
     const bool measured = index++ >= options.warmup_requests;
     if (!measured || req.op == OpType::kDelete) {
       continue;

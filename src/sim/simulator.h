@@ -4,6 +4,7 @@
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "src/core/cache.h"
 #include "src/trace/trace.h"
@@ -13,6 +14,11 @@ namespace s3fifo {
 struct SimOptions {
   // Requests excluded from the metrics while still warming the cache.
   uint64_t warmup_requests = 0;
+  // Invoked after every request (warmup included) with the request index,
+  // the request, and the hit/miss outcome, while the cache still holds the
+  // post-request state. The correctness harness hangs its per-request
+  // metamorphic invariant checks here.
+  std::function<void(uint64_t index, const Request& req, bool hit)> observer;
 };
 
 struct SimResult {

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "src/util/hash.h"
+
 namespace s3fifo {
 
 Trace::Trace(std::vector<Request> requests, std::string name)
@@ -11,6 +13,15 @@ void Trace::Append(const Request& req) {
   requests_.push_back(req);
   stats_valid_ = false;
   annotated_ = false;
+}
+
+uint64_t Trace::Fingerprint() const {
+  uint64_t h = 0x5851f42d4c957f2dULL;
+  for (const Request& r : requests_) {
+    h = Mix64(h ^ r.id);
+    h = Mix64(h ^ (static_cast<uint64_t>(r.size) << 8) ^ static_cast<uint64_t>(r.op));
+  }
+  return h;
 }
 
 const TraceStats& Trace::Stats() const {

@@ -43,6 +43,12 @@ class Trace {
 
   void Append(const Request& req);
 
+  // Order-sensitive 64-bit digest over (id, size, op) of every request.
+  // Bit-identical across platforms for the same trace; the golden-trace
+  // tests pin generator outputs with it, and the correctness harness uses it
+  // to assert replay determinism.
+  uint64_t Fingerprint() const;
+
  private:
   std::vector<Request> requests_;
   std::string name_;

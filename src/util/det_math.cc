@@ -1,0 +1,186 @@
+#include "src/util/det_math.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace s3fifo {
+namespace {
+
+// Split representations of ln(2) and pi/2 (Cody-Waite): the _hi parts have
+// trailing zero bits so n * hi is exact for the small n used here.
+constexpr double kLn2Hi = 6.93147180369123816490e-01;
+constexpr double kLn2Lo = 1.90821492927058770002e-10;
+constexpr double kInvLn2 = 1.44269504088896338700e+00;
+constexpr double kPio2Hi = 1.57079632673412561417e+00;
+constexpr double kPio2Lo = 6.07710050630396597660e-11;
+constexpr double kPio2Lo2 = 2.02226624879595063154e-21;
+constexpr double kTwoOverPi = 6.36619772367581382433e-01;
+
+// Round-to-nearest-integer via the 2^52 trick (deterministic in the default
+// rounding mode; |x| must be < 2^51).
+double RoundNearest(double x) {
+  constexpr double kTwo52 = 4503599627370496.0;
+  return x >= 0.0 ? (x + kTwo52) - kTwo52 : (x - kTwo52) + kTwo52;
+}
+
+// atanh(s) * 2 for |s| <= (sqrt(2)-1)/(sqrt(2)+1) ~ 0.1716, via the odd
+// series 2s * (1 + s^2/3 + s^4/5 + ...). s2 <= 0.0295, so the first dropped
+// term s^22/23 is below 6e-18 relative -- under half an ulp of the sum.
+double TwoAtanh(double s) {
+  const double s2 = s * s;
+  const double poly =
+      s2 *
+      (1.0 / 3.0 +
+       s2 * (1.0 / 5.0 +
+             s2 * (1.0 / 7.0 +
+                   s2 * (1.0 / 9.0 +
+                         s2 * (1.0 / 11.0 +
+                               s2 * (1.0 / 13.0 +
+                                     s2 * (1.0 / 15.0 +
+                                           s2 * (1.0 / 17.0 +
+                                                 s2 * (1.0 / 19.0 +
+                                                       s2 * (1.0 / 21.0))))))))));
+  return 2.0 * s + 2.0 * s * poly;
+}
+
+// exp(r) - 1 for |r| <= 0.35, Taylor to r^13/13! (last term < 2e-16 of the
+// sum; evaluated smallest-first for a stable, fixed operation order).
+double ExpSmallM1(double r) {
+  constexpr double kInvFact[] = {
+      1.0 / 6227020800.0,  // 1/13!
+      1.0 / 479001600.0, 1.0 / 39916800.0, 1.0 / 3628800.0, 1.0 / 362880.0,
+      1.0 / 40320.0,     1.0 / 5040.0,     1.0 / 720.0,     1.0 / 120.0,
+      1.0 / 24.0,        1.0 / 6.0,        1.0 / 2.0,
+  };
+  double poly = kInvFact[0];
+  for (int i = 1; i < 12; ++i) {
+    poly = poly * r + kInvFact[i];
+  }
+  return r + r * r * poly;
+}
+
+// sin(r) for |r| <= pi/4 (fdlibm minimax coefficients).
+double SinPoly(double r) {
+  constexpr double S1 = -1.66666666666666324348e-01;
+  constexpr double S2 = 8.33333333332248946124e-03;
+  constexpr double S3 = -1.98412698298579493134e-04;
+  constexpr double S4 = 2.75573137070700676789e-06;
+  constexpr double S5 = -2.50507602534068634195e-08;
+  constexpr double S6 = 1.58969099521155010221e-10;
+  const double z = r * r;
+  const double p = S2 + z * (S3 + z * (S4 + z * (S5 + z * S6)));
+  return r + r * z * (S1 + z * p);
+}
+
+// cos(r) for |r| <= pi/4 (fdlibm minimax coefficients).
+double CosPoly(double r) {
+  constexpr double C1 = 4.16666666666666019037e-02;
+  constexpr double C2 = -1.38888888888741095749e-03;
+  constexpr double C3 = 2.48015872894767294178e-05;
+  constexpr double C4 = -2.75573143513906633035e-07;
+  constexpr double C5 = 2.08757232129817482790e-09;
+  constexpr double C6 = -1.13596475577881948265e-11;
+  const double z = r * r;
+  const double p = C1 + z * (C2 + z * (C3 + z * (C4 + z * (C5 + z * C6))));
+  return 1.0 - 0.5 * z + z * z * p;
+}
+
+}  // namespace
+
+double DetLog(double x) {
+  if (x <= 0.0) {
+    return x == 0.0 ? -std::numeric_limits<double>::infinity()
+                    : std::numeric_limits<double>::quiet_NaN();
+  }
+  if (x == std::numeric_limits<double>::infinity()) {
+    return x;
+  }
+  uint64_t bits = std::bit_cast<uint64_t>(x);
+  int64_t k = 0;
+  if (bits < (1ULL << 52)) {  // subnormal: rescale into the normal range
+    x *= 18014398509481984.0;  // 2^54
+    k -= 54;
+    bits = std::bit_cast<uint64_t>(x);
+  }
+  // Decompose x = 2^k * m with m in [sqrt(1/2), sqrt(2)).
+  k += static_cast<int64_t>(bits >> 52) - 1023;
+  double m = std::bit_cast<double>((bits & ((1ULL << 52) - 1)) | (1023ULL << 52));
+  if (m > 1.4142135623730951) {
+    m *= 0.5;  // exact
+    k += 1;
+  }
+  const double s = (m - 1.0) / (m + 1.0);
+  return static_cast<double>(k) * kLn2Hi + (TwoAtanh(s) + static_cast<double>(k) * kLn2Lo);
+}
+
+double DetExp(double x) {
+  if (x != x) {
+    return x;
+  }
+  if (x > 709.78) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (x < -745.0) {
+    return 0.0;
+  }
+  const double kd = RoundNearest(x * kInvLn2);
+  const int64_t k = static_cast<int64_t>(kd);
+  const double r = (x - kd * kLn2Hi) - kd * kLn2Lo;
+  const double er = 1.0 + ExpSmallM1(r);
+  // Scale by 2^k in two steps so k near the subnormal boundary stays exact.
+  const int64_t k1 = k / 2;
+  const int64_t k2 = k - k1;
+  const double s1 = std::bit_cast<double>(static_cast<uint64_t>(1023 + k1) << 52);
+  const double s2 = std::bit_cast<double>(static_cast<uint64_t>(1023 + k2) << 52);
+  return er * s1 * s2;
+}
+
+double DetLog1p(double x) {
+  if (x > -0.293 && x < 0.414) {  // 1+x within [sqrt(1/2), sqrt(2)): no split needed
+    return TwoAtanh(x / (2.0 + x));
+  }
+  return DetLog(1.0 + x);
+}
+
+double DetExpm1(double x) {
+  if (x > -0.35 && x < 0.35) {
+    return ExpSmallM1(x);
+  }
+  return DetExp(x) - 1.0;
+}
+
+double DetSin(double x) {
+  const double nd = RoundNearest(x * kTwoOverPi);
+  const int64_t n = static_cast<int64_t>(nd);
+  const double r = ((x - nd * kPio2Hi) - nd * kPio2Lo) - nd * kPio2Lo2;
+  switch (n & 3) {
+    case 0:
+      return SinPoly(r);
+    case 1:
+      return CosPoly(r);
+    case 2:
+      return -SinPoly(r);
+    default:
+      return -CosPoly(r);
+  }
+}
+
+double DetCos(double x) {
+  const double nd = RoundNearest(x * kTwoOverPi);
+  const int64_t n = static_cast<int64_t>(nd);
+  const double r = ((x - nd * kPio2Hi) - nd * kPio2Lo) - nd * kPio2Lo2;
+  switch (n & 3) {
+    case 0:
+      return CosPoly(r);
+    case 1:
+      return -SinPoly(r);
+    case 2:
+      return -CosPoly(r);
+    default:
+      return SinPoly(r);
+  }
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,39 @@
+// Bit-reproducible elementary functions for trace generation.
+//
+// libm's log/exp/cos are implementation-defined in their last ulps, so the
+// same workload seed can produce different traces under glibc vs musl vs
+// libc++'s math. Every sampler on the trace-generation path (zipf rejection
+// inversion, lognormal size sampling) therefore goes through these instead:
+// they use only IEEE-754 +,-,*,/ and sqrt — all correctly rounded and thus
+// identical on every conforming platform — with fixed polynomial
+// coefficients, so a seed reproduces the exact same trace everywhere. The
+// golden-trace hash test (tests/workload/golden_trace_test.cc) pins this.
+//
+// Accuracy is ~2 ulp, far below anything a stochastic sampler can observe;
+// these are NOT general libm replacements (no errno, no denormal-edge
+// guarantees, DetCos/DetSin only accept |x| <= 64).
+#ifndef SRC_UTIL_DET_MATH_H_
+#define SRC_UTIL_DET_MATH_H_
+
+namespace s3fifo {
+
+// Natural logarithm for x > 0. Returns -HUGE_VAL at 0 and NaN below 0.
+double DetLog(double x);
+
+// e^x with saturation to 0 / +inf outside the double range.
+double DetExp(double x);
+
+// log(1 + x), accurate near 0 (x > -1).
+double DetLog1p(double x);
+
+// e^x - 1, accurate near 0.
+double DetExpm1(double x);
+
+// Trigonometric pair for |x| <= 64 (trace generation only ever needs
+// [0, 2*pi)); larger arguments are not range-reduced accurately.
+double DetCos(double x);
+double DetSin(double x);
+
+}  // namespace s3fifo
+
+#endif  // SRC_UTIL_DET_MATH_H_

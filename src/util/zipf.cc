@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/util/det_math.h"
+
 namespace s3fifo {
 namespace {
 
@@ -9,7 +11,7 @@ namespace {
 // when alpha is close to 1.
 double Helper1(double x) {
   if (std::abs(x) > 1e-8) {
-    return std::log1p(x) / x;
+    return DetLog1p(x) / x;
   }
   return 1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25));
 }
@@ -17,7 +19,7 @@ double Helper1(double x) {
 // expm1(x) / x, continuous at x = 0.
 double Helper2(double x) {
   if (std::abs(x) > 1e-8) {
-    return std::expm1(x) / x;
+    return DetExpm1(x) / x;
   }
   return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + x * 0.25));
 }
@@ -38,18 +40,18 @@ ZipfDistribution::ZipfDistribution(uint64_t n, double alpha) : n_(n == 0 ? 1 : n
 // Integral of t^-alpha, i.e. (x^(1-alpha) - 1) / (1 - alpha), in a form that
 // is stable for alpha near 1.
 double ZipfDistribution::HIntegral(double x) const {
-  const double log_x = std::log(x);
+  const double log_x = DetLog(x);
   return Helper2((1.0 - alpha_) * log_x) * log_x;
 }
 
-double ZipfDistribution::H(double x) const { return std::exp(-alpha_ * std::log(x)); }
+double ZipfDistribution::H(double x) const { return DetExp(-alpha_ * DetLog(x)); }
 
 double ZipfDistribution::HIntegralInverse(double x) const {
   double t = x * (1.0 - alpha_);
   if (t < -1.0) {
     t = -1.0;  // guard against round-off below the valid domain
   }
-  return std::exp(Helper1(t) * x);
+  return DetExp(Helper1(t) * x);
 }
 
 uint64_t ZipfDistribution::Sample(Rng& rng) const {

@@ -2,6 +2,10 @@
 // Derflinger). O(1) per draw for any n, unlike the naive CDF table which is
 // O(n) memory and O(log n) per draw. This is what makes generating the
 // paper's billion-scale synthetic traces tractable.
+//
+// All transcendental steps go through src/util/det_math.h, so a (n, alpha,
+// seed) triple draws the identical rank sequence on every platform — the
+// golden-trace hash test relies on this.
 #ifndef SRC_UTIL_ZIPF_H_
 #define SRC_UTIL_ZIPF_H_
 

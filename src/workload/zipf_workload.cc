@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "src/util/det_math.h"
 #include "src/util/hash.h"
 #include "src/util/rng.h"
 #include "src/util/zipf.h"
@@ -22,13 +23,15 @@ class SizeSampler {
  public:
   explicit SizeSampler(const ZipfWorkloadConfig& config) : config_(config) {
     if (config_.size_sigma > 0.0) {
-      mu_ = std::log(static_cast<double>(config_.size_mean_bytes)) -
+      mu_ = DetLog(static_cast<double>(config_.size_mean_bytes)) -
             config_.size_sigma * config_.size_sigma / 2.0;
     }
   }
 
   // Sizes are a deterministic function of the id, so every request to an
-  // object sees the same size (as in real traces).
+  // object sees the same size (as in real traces). Box-Muller through
+  // det_math (std::sqrt is IEEE-correctly-rounded, so it is already
+  // portable) keeps the sampled bytes bit-identical across platforms.
   uint32_t SizeOf(uint64_t id) const {
     if (config_.size_sigma <= 0.0) {
       return config_.size_mean_bytes;
@@ -37,8 +40,8 @@ class SizeSampler {
     const double u1 =
         (static_cast<double>(Mix64(id ^ 0x6a09e667f3bcc909ULL) >> 11) + 1.0) * 0x1.0p-53;
     const double u2 = static_cast<double>(Mix64(id ^ 0xbb67ae8584caa73bULL) >> 11) * 0x1.0p-53;
-    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
-    const double size = std::exp(mu_ + config_.size_sigma * z);
+    const double z = std::sqrt(-2.0 * DetLog(u1)) * DetCos(6.283185307179586 * u2);
+    const double size = DetExp(mu_ + config_.size_sigma * z);
     return static_cast<uint32_t>(
         std::clamp(size, static_cast<double>(config_.size_min_bytes),
                    static_cast<double>(config_.size_max_bytes)));

@@ -1,0 +1,58 @@
+// Long-horizon differential fuzz: >= 1M requests per oracle-covered policy
+// (the ISSUE 4 acceptance bar), split evenly between count- and byte-based
+// configs. Runs under `ctest -L check` (not tier1); CI runs it under
+// ASan/UBSan. S3FIFO_CHECK_REQUESTS overrides the per-policy request count
+// for quick local iterations.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "src/check/differential.h"
+#include "src/check/trace_fuzzer.h"
+
+namespace s3fifo {
+namespace check {
+namespace {
+
+uint64_t RequestsPerPolicy() {
+  if (const char* env = std::getenv("S3FIFO_CHECK_REQUESTS")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1000000;
+}
+
+TEST(LongFuzzTest, MillionRequestsPerPolicy) {
+  const uint64_t total = RequestsPerPolicy();
+  const uint64_t per_run = total / 2;
+  for (const std::string& policy : OracleCoveredPolicies()) {
+    {
+      FuzzConfig fc;
+      fc.seed = 0x5eed0000 + 1;
+      fc.num_requests = per_run;
+      fc.capacity = 64;
+      CacheConfig config;
+      config.capacity = fc.capacity;
+      const Divergence div = RunDifferential(GenerateFuzzRequests(fc), policy, config);
+      EXPECT_FALSE(div.found) << policy << " (count-based, seed " << fc.seed
+                              << "): " << div.what;
+    }
+    {
+      FuzzConfig fc;
+      fc.seed = 0x5eed0000 + 2;
+      fc.num_requests = per_run;
+      fc.capacity = 8192;
+      fc.count_based = false;
+      CacheConfig config;
+      config.capacity = fc.capacity;
+      config.count_based = false;
+      const Divergence div = RunDifferential(GenerateFuzzRequests(fc), policy, config);
+      EXPECT_FALSE(div.found) << policy << " (byte-based, seed " << fc.seed
+                              << "): " << div.what;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace s3fifo

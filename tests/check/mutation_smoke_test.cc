@@ -1,0 +1,91 @@
+// Mutation smoke test: prove the harness actually detects bugs.
+//
+// The mutant is the classic S3-FIFO off-by-one — promoting S tails at
+// freq >= 3 instead of freq >= 2 (Algorithm 1 line 18 misread). Rather than
+// linking a second copy of the policy, the mutant is the real S3FifoCache
+// constructed with move_to_main_threshold=3 while the oracle keeps the
+// correct threshold 2: behaviourally identical to mutating the comparison,
+// with zero code duplication.
+//
+// Acceptance (ISSUE 4): the fuzzer catches the mutant within 10k requests
+// and the shrinker reduces the failure to <= 50 requests.
+#include <gtest/gtest.h>
+
+#include "src/check/differential.h"
+#include "src/check/shrinker.h"
+#include "src/check/trace_fuzzer.h"
+#include "src/policies/s3fifo.h"
+
+namespace s3fifo {
+namespace check {
+namespace {
+
+CacheConfig MutantConfig() {
+  CacheConfig config;
+  config.capacity = 16;
+  config.params = "move_to_main_threshold=3";  // the off-by-one under test
+  return config;
+}
+
+CacheConfig HealthyConfig() {
+  CacheConfig config;
+  config.capacity = 16;
+  return config;  // oracle default: threshold 2
+}
+
+Divergence RunMutant(const std::vector<Request>& requests) {
+  S3FifoCache mutant(MutantConfig());
+  auto oracle = CreateReferenceModel("s3fifo", HealthyConfig());
+  return RunDifferential(requests, mutant, *oracle);
+}
+
+TEST(MutationSmokeTest, FuzzerCatchesPromotionOffByOneWithin10kRequests) {
+  FuzzConfig fc;
+  fc.seed = 101;
+  fc.num_requests = 10000;
+  fc.capacity = 16;
+  fc.key_space = 64;  // small cache, small key space: divergences shrink tight
+  const std::vector<Request> requests = GenerateFuzzRequests(fc);
+  const Divergence div = RunMutant(requests);
+  ASSERT_TRUE(div.found) << "mutant survived 10k fuzzed requests";
+  EXPECT_LT(div.index, 10000u);
+
+  // Shrink the failing prefix to a minimal reproducer.
+  std::vector<Request> prefix(requests.begin(), requests.begin() + div.index + 1);
+  ShrinkStats stats;
+  const std::vector<Request> shrunk = ShrinkTrace(
+      prefix, [](const std::vector<Request>& candidate) { return RunMutant(candidate).found; },
+      20000, &stats);
+  EXPECT_LE(shrunk.size(), 50u) << "shrunk reproducer too large (" << stats.probes
+                                << " probes from " << stats.initial_size << " requests)";
+  EXPECT_TRUE(RunMutant(shrunk).found);
+  // The healthy cache must pass the exact same reproducer.
+  const Divergence healthy = RunDifferential(shrunk, "s3fifo", HealthyConfig());
+  EXPECT_FALSE(healthy.found) << healthy.what;
+}
+
+TEST(MutationSmokeTest, GhostSizeMutantCaughtByCapacityVariant) {
+  // A second mutant class: a mis-sized ghost queue (ghost_ratio 0.45 vs the
+  // oracle's 0.9) changes which misses are ghost hits. The differential
+  // must notice; this guards the ghost-queue comparison path specifically.
+  FuzzConfig fc;
+  fc.seed = 102;
+  fc.num_requests = 10000;
+  fc.capacity = 64;
+  const std::vector<Request> requests = GenerateFuzzRequests(fc);
+
+  CacheConfig mutant_config;
+  mutant_config.capacity = 64;
+  mutant_config.params = "ghost_ratio=0.45";
+  S3FifoCache mutant(mutant_config);
+  CacheConfig oracle_config;
+  oracle_config.capacity = 64;  // same capacity; only the ghost ratio differs
+  auto oracle = CreateReferenceModel("s3fifo", oracle_config);
+  const Divergence div = RunDifferential(requests, mutant, *oracle);
+  ASSERT_TRUE(div.found) << "ghost-size mutant survived 10k fuzzed requests";
+  EXPECT_LT(div.index, 10000u);
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace s3fifo

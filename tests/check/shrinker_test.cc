@@ -1,0 +1,125 @@
+// Shrinker + replay-file unit tests: minimization against synthetic
+// predicates, probe budgets, and the reproducer round trip.
+#include "src/check/shrinker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/check/replay_file.h"
+#include "src/check/trace_fuzzer.h"
+
+namespace s3fifo {
+namespace check {
+namespace {
+
+std::vector<Request> NumberedRequests(uint64_t n) {
+  std::vector<Request> reqs(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    reqs[i].id = i;
+    reqs[i].size = 100 + i;
+    reqs[i].op = i % 3 == 0 ? OpType::kSet : OpType::kGet;
+  }
+  return reqs;
+}
+
+bool HasId(const std::vector<Request>& reqs, uint64_t id) {
+  return std::any_of(reqs.begin(), reqs.end(),
+                     [id](const Request& r) { return r.id == id; });
+}
+
+TEST(ShrinkerTest, ReducesToTheTwoEssentialRequests) {
+  const auto failing = NumberedRequests(1000);
+  auto still_fails = [](const std::vector<Request>& reqs) {
+    // "Fails" iff id 137 appears before id 842.
+    size_t a = reqs.size(), b = reqs.size();
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      if (reqs[i].id == 137 && a == reqs.size()) a = i;
+      if (reqs[i].id == 842 && b == reqs.size()) b = i;
+    }
+    return a < b && b < reqs.size();
+  };
+  ASSERT_TRUE(still_fails(failing));
+  ShrinkStats stats;
+  const auto shrunk = ShrinkTrace(failing, still_fails, 20000, &stats);
+  EXPECT_EQ(shrunk.size(), 2u);
+  EXPECT_EQ(shrunk[0].id, 137u);
+  EXPECT_EQ(shrunk[1].id, 842u);
+  EXPECT_EQ(stats.initial_size, 1000u);
+  EXPECT_EQ(stats.final_size, 2u);
+  EXPECT_TRUE(still_fails(shrunk));
+}
+
+TEST(ShrinkerTest, SimplifiesOpsAndSizes) {
+  auto failing = NumberedRequests(50);
+  auto still_fails = [](const std::vector<Request>& reqs) { return HasId(reqs, 6); };
+  const auto shrunk = ShrinkTrace(failing, still_fails);
+  ASSERT_EQ(shrunk.size(), 1u);
+  EXPECT_EQ(shrunk[0].id, 6u);
+  EXPECT_EQ(shrunk[0].op, OpType::kGet);  // kSet simplified away
+  EXPECT_EQ(shrunk[0].size, 1u);
+}
+
+TEST(ShrinkerTest, RespectsProbeBudget) {
+  const auto failing = NumberedRequests(4000);
+  uint64_t calls = 0;
+  auto still_fails = [&calls](const std::vector<Request>& reqs) {
+    ++calls;
+    return HasId(reqs, 0) && HasId(reqs, 3999);
+  };
+  ShrinkStats stats;
+  const auto shrunk = ShrinkTrace(failing, still_fails, /*max_probes=*/100, &stats);
+  EXPECT_LE(stats.probes, 100u);
+  // Budget-capped output must still reproduce the failure.
+  EXPECT_TRUE(HasId(shrunk, 0));
+  EXPECT_TRUE(HasId(shrunk, 3999));
+}
+
+TEST(ReplayFileTest, RoundTripsThroughTextAndDisk) {
+  ReplayCase replay;
+  replay.policy = "s3fifo";
+  replay.config.capacity = 128;
+  replay.config.count_based = false;
+  replay.config.params = "small_ratio=0.25,ghost_ratio=0.5";
+  replay.config.seed = 9;
+  replay.fuzz_seed = 1234;
+  FuzzConfig fc;
+  fc.seed = 1234;
+  fc.num_requests = 40;
+  replay.requests = GenerateFuzzRequests(fc);
+
+  const ReplayCase parsed = ParseReplay(FormatReplay(replay));
+  EXPECT_EQ(parsed.policy, replay.policy);
+  EXPECT_EQ(parsed.config.capacity, replay.config.capacity);
+  EXPECT_EQ(parsed.config.count_based, replay.config.count_based);
+  EXPECT_EQ(parsed.config.params, replay.config.params);
+  EXPECT_EQ(parsed.config.seed, replay.config.seed);
+  EXPECT_EQ(parsed.fuzz_seed, replay.fuzz_seed);
+  ASSERT_EQ(parsed.requests.size(), replay.requests.size());
+  for (size_t i = 0; i < parsed.requests.size(); ++i) {
+    EXPECT_EQ(parsed.requests[i].id, replay.requests[i].id);
+    EXPECT_EQ(parsed.requests[i].size, replay.requests[i].size);
+    EXPECT_EQ(parsed.requests[i].op, replay.requests[i].op);
+  }
+
+  const std::string path = testing::TempDir() + "/s3fifo_replay_roundtrip.repro";
+  WriteReplayFile(replay, path);
+  const ReplayCase from_disk = ReadReplayFile(path);
+  EXPECT_EQ(from_disk.requests.size(), replay.requests.size());
+  EXPECT_EQ(from_disk.config.params, replay.config.params);
+}
+
+TEST(ReplayFileTest, RejectsMalformedInput) {
+  EXPECT_THROW(ParseReplay("capacity 10\n"), std::invalid_argument);  // no policy
+  EXPECT_THROW(ParseReplay("policy lru\ncapacity 4\nreq fly 1 1\n"),
+               std::invalid_argument);  // bad op
+  EXPECT_THROW(ParseReplay("policy lru\ncapacity 4\nbogus 1\n"), std::invalid_argument);
+  // Comments and blank lines are fine.
+  const ReplayCase ok = ParseReplay("# hi\n\npolicy lru\ncapacity 4\nreq get 1 1\n");
+  EXPECT_EQ(ok.policy, "lru");
+  ASSERT_EQ(ok.requests.size(), 1u);
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace s3fifo

@@ -246,5 +246,89 @@ TEST(LhdEdgeTest, ReconfigureKeepsWorking) {
   EXPECT_LE(c->occupied(), 50u);
 }
 
+// --- Factory-wide edge sweep: every policy, the inputs that break caches ---
+
+Request Sized(uint64_t id, uint32_t size, OpType op = OpType::kGet) {
+  Request r;
+  r.id = id;
+  r.size = size;
+  r.op = op;
+  return r;
+}
+
+TEST(AllPoliciesEdgeTest, ObjectLargerThanCapacityNeverOverfills) {
+  for (const std::string& name : AllCacheNames()) {
+    CacheConfig config;
+    config.capacity = 1000;
+    config.count_based = false;
+    auto c = CreateCache(name, config);
+    c->Get(Sized(1, 400));
+    c->Get(Sized(2, 400));
+    // Oversized requests, repeated and mixed with fitting ones.
+    for (int round = 0; round < 3; ++round) {
+      c->Get(Sized(100 + round, 1001));
+      c->Get(Sized(200 + round, 5000, OpType::kSet));
+      c->Get(Sized(3, 100));
+      ASSERT_LE(c->occupied(), 1000u) << name;
+    }
+    EXPECT_FALSE(c->Contains(100)) << name;  // cannot possibly be resident
+  }
+}
+
+TEST(AllPoliciesEdgeTest, ZeroByteObjectsDoNotCorruptAccounting) {
+  for (const std::string& name : AllCacheNames()) {
+    CacheConfig config;
+    config.capacity = 100;
+    config.count_based = false;
+    auto c = CreateCache(name, config);
+    for (uint64_t i = 0; i < 50; ++i) {
+      c->Get(Sized(i, i % 3 == 0 ? 0 : 10));
+      ASSERT_LE(c->occupied(), 100u) << name;
+    }
+    // Re-request a zero-byte object and delete it; occupancy stays sane.
+    c->Get(Sized(0, 0));
+    c->Get(Sized(0, 0, OpType::kDelete));
+    EXPECT_FALSE(c->Contains(0)) << name;
+    EXPECT_LE(c->occupied(), 100u) << name;
+  }
+}
+
+TEST(AllPoliciesEdgeTest, ReinsertWithLargerSizeReclaimsSpace) {
+  for (const std::string& name : AllCacheNames()) {
+    CacheConfig config;
+    config.capacity = 100;
+    config.count_based = false;
+    auto c = CreateCache(name, config);
+    c->Get(Sized(1, 10, OpType::kSet));
+    c->Get(Sized(2, 10, OpType::kSet));
+    c->Get(Sized(3, 10, OpType::kSet));
+    // Same key grows: 10 -> 90 bytes. The cache must evict to make room
+    // (or drop the object), never exceed capacity.
+    c->Get(Sized(1, 90, OpType::kSet));
+    ASSERT_LE(c->occupied(), 100u) << name;
+    // And grows beyond the whole cache: must not wedge the accounting.
+    c->Get(Sized(2, 150, OpType::kSet));
+    ASSERT_LE(c->occupied(), 100u) << name;
+    c->Get(Sized(4, 20, OpType::kSet));
+    ASSERT_LE(c->occupied(), 100u) << name;
+  }
+}
+
+TEST(AllPoliciesEdgeTest, GetAfterDeleteIsAMiss) {
+  for (const std::string& name : AllCacheNames()) {
+    CacheConfig config;
+    config.capacity = 8;
+    auto c = CreateCache(name, config);
+    c->Get(Get(5));
+    c->Get(Get(5));  // warm it so recency/frequency state exists
+    c->Get(Sized(5, 1, OpType::kDelete));
+    EXPECT_FALSE(c->Contains(5)) << name;
+    EXPECT_FALSE(c->Get(Get(5))) << name;  // must be a fresh miss
+    // Deleting a never-seen id is a no-op.
+    c->Get(Sized(77, 1, OpType::kDelete));
+    EXPECT_LE(c->occupied(), 8u) << name;
+  }
+}
+
 }  // namespace
 }  // namespace s3fifo

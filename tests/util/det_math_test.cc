@@ -1,0 +1,84 @@
+// det_math: bit-reproducible elementary functions. Accuracy is checked
+// against libm (within a few ulp); exact outputs are pinned by the
+// golden-trace tests, which is where reproducibility actually matters.
+#include "src/util/det_math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/util/rng.h"
+
+namespace s3fifo {
+namespace {
+
+double UlpDiff(double a, double b) {
+  if (a == b) {
+    return 0.0;
+  }
+  const double scale = std::ldexp(1.0, std::ilogb(std::max(std::fabs(a), std::fabs(b))));
+  return std::fabs(a - b) / (scale * std::numeric_limits<double>::epsilon());
+}
+
+TEST(DetMathTest, LogMatchesLibmClosely) {
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = std::ldexp(1.0 + rng.NextDouble(), static_cast<int>(rng.NextBounded(80)) - 40);
+    EXPECT_LE(UlpDiff(DetLog(x), std::log(x)), 4.0) << "x=" << x;
+  }
+  EXPECT_EQ(DetLog(1.0), 0.0);
+  EXPECT_TRUE(std::isinf(DetLog(0.0)) && DetLog(0.0) < 0);
+  EXPECT_TRUE(std::isnan(DetLog(-1.0)));
+}
+
+TEST(DetMathTest, ExpMatchesLibmClosely) {
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = (rng.NextDouble() - 0.5) * 1200.0;
+    const double got = DetExp(x);
+    const double want = std::exp(x);
+    if (want == 0.0 || std::isinf(want)) {
+      EXPECT_EQ(got, want) << "x=" << x;
+    } else {
+      EXPECT_LE(UlpDiff(got, want), 4.0) << "x=" << x;
+    }
+  }
+  EXPECT_EQ(DetExp(0.0), 1.0);
+  EXPECT_EQ(DetExp(1000.0), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(DetExp(-1000.0), 0.0);
+}
+
+TEST(DetMathTest, Log1pExpm1MatchLibmClosely) {
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = (rng.NextDouble() - 0.5) * 2.0;  // (-1, 1)
+    if (x > -1.0) {
+      EXPECT_LE(UlpDiff(DetLog1p(x), std::log1p(x)), 4.0) << "x=" << x;
+    }
+    EXPECT_LE(UlpDiff(DetExpm1(x), std::expm1(x)), 4.0) << "x=" << x;
+  }
+}
+
+TEST(DetMathTest, SinCosMatchLibmCloselyInReducedRange) {
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = (rng.NextDouble() - 0.5) * 128.0;  // |x| <= 64: documented domain
+    const double sc = DetSin(x);
+    const double cc = DetCos(x);
+    EXPECT_NEAR(sc, std::sin(x), 1e-15 + 4e-16 * std::fabs(x)) << "x=" << x;
+    EXPECT_NEAR(cc, std::cos(x), 1e-15 + 4e-16 * std::fabs(x)) << "x=" << x;
+    EXPECT_NEAR(sc * sc + cc * cc, 1.0, 1e-14);
+  }
+}
+
+TEST(DetMathTest, RoundTripsLogExp) {
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.NextDouble() * 100.0 + 1e-3;
+    EXPECT_NEAR(DetExp(DetLog(x)), x, x * 1e-14);
+  }
+}
+
+}  // namespace
+}  // namespace s3fifo

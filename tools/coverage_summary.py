@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Per-directory line-coverage summary from gcov JSON output.
+
+Works with nothing but gcc's bundled gcov (no gcovr/lcov). Usage:
+
+    cmake --preset coverage && cmake --build --preset coverage -j
+    ctest --preset tier1-coverage
+    python3 tools/coverage_summary.py build-cov [--filter src/]
+
+For every .gcda produced by the test run, gcov --json-format is invoked and
+executable/executed line counts are summed per repository directory.
+"""
+
+import argparse
+import collections
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def find_gcda(build_dir):
+    # Absolute paths: gcov runs from a scratch directory (for its outputs),
+    # so relative .gcda paths would not resolve.
+    for root, _dirs, files in os.walk(os.path.abspath(build_dir)):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def run_gcov(gcda_paths, out_dir):
+    """Runs gcov in JSON mode; returns paths of the .gcov.json.gz outputs."""
+    subprocess.run(
+        ["gcov", "--json-format", "--object-directory", os.path.dirname(gcda_paths[0])]
+        + gcda_paths,
+        cwd=out_dir,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        check=False,
+    )
+    return [
+        os.path.join(out_dir, name)
+        for name in os.listdir(out_dir)
+        if name.endswith(".gcov.json.gz")
+    ]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("build_dir", help="coverage build tree (e.g. build-cov)")
+    parser.add_argument(
+        "--filter",
+        default="src/",
+        help="only count files whose repo-relative path starts with this "
+        "(default: src/; use '' for everything)",
+    )
+    args = parser.parse_args()
+
+    repo = os.path.dirname(os.path.abspath(os.path.dirname(__file__)))
+    gcda_by_dir = collections.defaultdict(list)
+    for path in find_gcda(args.build_dir):
+        gcda_by_dir[os.path.dirname(path)].append(path)
+    if not gcda_by_dir:
+        sys.exit(f"no .gcda files under {args.build_dir}; run the tests first")
+
+    # (executable_lines, executed_lines) per source file; files seen in
+    # several objects keep per-line maxima (a line is covered if any test
+    # binary executed it).
+    line_hits = collections.defaultdict(dict)
+    with tempfile.TemporaryDirectory() as tmp:
+        for obj_dir, gcdas in sorted(gcda_by_dir.items()):
+            for json_path in run_gcov(gcdas, tmp):
+                with gzip.open(json_path, "rt") as f:
+                    data = json.load(f)
+                for file_entry in data.get("files", []):
+                    source = file_entry["file"]
+                    abs_source = os.path.normpath(
+                        source if os.path.isabs(source) else os.path.join(repo, source)
+                    )
+                    if not abs_source.startswith(repo + os.sep):
+                        continue
+                    rel = os.path.relpath(abs_source, repo)
+                    if args.filter and not rel.startswith(args.filter):
+                        continue
+                    hits = line_hits[rel]
+                    for line in file_entry.get("lines", []):
+                        number = line["line_number"]
+                        hits[number] = max(hits.get(number, 0), line["count"])
+                os.unlink(json_path)
+
+    per_dir = collections.defaultdict(lambda: [0, 0])
+    for rel, hits in line_hits.items():
+        bucket = per_dir[os.path.dirname(rel)]
+        bucket[0] += len(hits)
+        bucket[1] += sum(1 for count in hits.values() if count > 0)
+
+    total_lines = total_hit = 0
+    print(f"{'directory':32} {'lines':>8} {'covered':>8} {'pct':>7}")
+    for directory in sorted(per_dir):
+        lines, hit = per_dir[directory]
+        total_lines += lines
+        total_hit += hit
+        print(f"{directory:32} {lines:8} {hit:8} {100.0 * hit / lines:6.1f}%")
+    if total_lines:
+        print(f"{'TOTAL':32} {total_lines:8} {total_hit:8} "
+              f"{100.0 * total_hit / total_lines:6.1f}%")
+
+
+if __name__ == "__main__":
+    main()
