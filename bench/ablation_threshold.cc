@@ -8,6 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/sweep.h"
+#include "bench/trace_source.h"
 #include "src/sim/metrics.h"
 
 namespace s3fifo {
@@ -26,6 +27,7 @@ void Run(const BenchOptions& opts) {
   }
 
   std::map<std::string, std::vector<double>> red_large, red_small;
+  BenchTraceSource source(opts);
   const SweepSummary summary = RunMissRatioSweep(
       scale, variants, /*include_small=*/true,
       [&](const SweepCell& c) {
@@ -35,7 +37,7 @@ void Run(const BenchOptions& opts) {
               MissRatioReduction(c.results[vi].MissRatio(), mr_fifo));
         }
       },
-      opts.threads);
+      opts.threads, /*progress=*/true, source.cache());
 
   std::vector<JsonFields> json_rows;
   for (const bool large : {true, false}) {
@@ -63,6 +65,7 @@ void Run(const BenchOptions& opts) {
                      .Add("simulated_requests", summary.simulated_requests)
                      .Add("requests_per_sec", summary.requests_per_sec),
                  json_rows);
+  source.WriteReport();
 }
 
 }  // namespace

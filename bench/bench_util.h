@@ -28,19 +28,30 @@ inline double BenchScale() {
 
 struct BenchOptions {
   unsigned threads = 0;  // sweep parallelism; 0 = hardware concurrency
+  // Directory for the persistent mmap trace cache; empty = regenerate every
+  // run. Settable via --trace-cache-dir= or env S3FIFO_TRACE_CACHE_DIR.
+  std::string trace_cache_dir;
 };
 
 inline BenchOptions ParseBenchArgs(int argc, char** argv) {
   BenchOptions opts;
+  if (const char* env = std::getenv("S3FIFO_TRACE_CACHE_DIR")) {
+    opts.trace_cache_dir = env;
+  }
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--threads=", 10) == 0) {
       opts.threads = static_cast<unsigned>(std::atoi(arg + 10));
+    } else if (std::strncmp(arg, "--trace-cache-dir=", 18) == 0) {
+      opts.trace_cache_dir = arg + 18;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-      std::printf("usage: %s [--threads=N]\n"
-                  "  --threads=N   sweep-engine worker threads (0 = hardware concurrency)\n"
-                  "  env S3FIFO_BENCH_SCALE=X scales trace lengths (default 1.0)\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--threads=N] [--trace-cache-dir=DIR]\n"
+          "  --threads=N           sweep-engine worker threads (0 = hardware concurrency)\n"
+          "  --trace-cache-dir=DIR persist generated traces; later runs mmap them\n"
+          "                        (also env S3FIFO_TRACE_CACHE_DIR; empty = off)\n"
+          "  env S3FIFO_BENCH_SCALE=X scales trace lengths (default 1.0)\n",
+          argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "warning: ignoring unknown argument '%s'\n", arg);

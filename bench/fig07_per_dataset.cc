@@ -8,6 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/sweep.h"
+#include "bench/trace_source.h"
 #include "src/sim/metrics.h"
 
 namespace s3fifo {
@@ -27,6 +28,7 @@ void Run(const BenchOptions& opts) {
   // sums[large][policy][dataset] = (sum, count)
   std::map<std::string, std::map<std::string, std::pair<double, int>>> sum_large, sum_small;
 
+  BenchTraceSource source(opts);
   const SweepSummary summary = RunMissRatioSweep(
       scale, variants, /*include_small=*/true,
       [&](const SweepCell& c) {
@@ -38,7 +40,7 @@ void Run(const BenchOptions& opts) {
           cell.second += 1;
         }
       },
-      opts.threads);
+      opts.threads, /*progress=*/true, source.cache());
 
   std::vector<JsonFields> json_rows;
   for (const bool large : {true, false}) {
@@ -92,6 +94,7 @@ void Run(const BenchOptions& opts) {
                      .Add("simulated_requests", summary.simulated_requests)
                      .Add("requests_per_sec", summary.requests_per_sec),
                  json_rows);
+  source.WriteReport();
 }
 
 }  // namespace

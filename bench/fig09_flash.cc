@@ -6,16 +6,18 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/trace_source.h"
 #include "src/flash/flash_cache.h"
 #include "src/workload/dataset_profiles.h"
 
 namespace s3fifo {
 namespace {
 
-void Run() {
+void Run(const BenchOptions& opts) {
   PrintHeader("Fig. 9: flash write bytes and miss ratio by admission policy",
               "Fig. 9 (left: wiki-like, right: tencent-photo-like)");
   const double scale = BenchScale();
+  BenchTraceSource source(opts);
 
   for (const char* dataset : {"wiki", "tencent_photo"}) {
     // Use the dataset's access pattern with the paper's ~4KB reference
@@ -28,7 +30,7 @@ void Run() {
     wc.size_mean_bytes = 4096;
     wc.size_sigma = 0.6;
     wc.seed = 11;
-    Trace t = GenerateZipfTrace(wc);
+    Trace t = source.ZipfTrace(wc);
     const uint64_t footprint_bytes = t.Stats().footprint_bytes;
     const uint64_t flash_bytes = footprint_bytes / 10;  // 10% of footprint (paper)
     std::printf("\n--- %s-like trace: %lu requests, footprint %.1f MB, flash %.1f MB ---\n",
@@ -61,12 +63,13 @@ void Run() {
               "DRAM size; flashield approaches s3fifo only at 10%% DRAM and degrades as\n"
               "DRAM shrinks; the s3fifo filter gets BOTH fewer writes and a miss ratio\n"
               "at or below the alternatives even at 0.1%% DRAM.\n");
+  source.WriteReport();
 }
 
 }  // namespace
 }  // namespace s3fifo
 
-int main() {
-  s3fifo::Run();
+int main(int argc, char** argv) {
+  s3fifo::Run(s3fifo::ParseBenchArgs(argc, argv));
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/trace_source.h"
 #include "src/analysis/demotion.h"
 #include "src/core/cache_factory.h"
 #include "src/sim/simulator.h"
@@ -16,12 +17,13 @@ namespace {
 
 const double kQueueSizes[] = {0.40, 0.30, 0.20, 0.10, 0.05, 0.02, 0.01};
 
-void Run() {
+void Run(const BenchOptions& opts) {
   PrintHeader("Fig. 10 + Table 2: quick-demotion speed and precision", "Fig. 10a-d, Table 2");
   const double scale = BenchScale();
+  BenchTraceSource source(opts);
 
   for (const char* dataset : {"twitter", "msr"}) {
-    Trace t = GenerateDatasetTrace(DatasetByName(dataset), 0, scale);
+    Trace t = source.DatasetTrace(DatasetByName(dataset), 0, scale);
     AnnotateNextAccess(t);
     const uint64_t footprint = t.Stats().num_objects;
     for (const double size_frac : {0.10, 0.01}) {
@@ -63,12 +65,13 @@ void Run() {
               "demotion speed for both tinylfu and s3fifo; s3fifo's precision rises to\n"
               "a peak then falls as S grows; at matched speed s3fifo's precision is at\n"
               "or above tinylfu's, and higher precision tracks lower miss ratios.\n");
+  source.WriteReport();
 }
 
 }  // namespace
 }  // namespace s3fifo
 
-int main() {
-  s3fifo::Run();
+int main(int argc, char** argv) {
+  s3fifo::Run(s3fifo::ParseBenchArgs(argc, argv));
   return 0;
 }

@@ -37,7 +37,7 @@ namespace s3fifo {
 struct SweepCase {
   const DatasetProfile* dataset;
   uint32_t trace_index;
-  Trace trace;
+  TraceView trace;  // heap-backed, or mmap'd when a TraceCache is supplied
   uint64_t large_capacity;  // 10% of footprint
   uint64_t small_capacity;  // 1% of footprint
 };
@@ -46,12 +46,25 @@ inline uint64_t SweepCapacity(uint64_t footprint, bool large) {
   return std::max<uint64_t>(large ? footprint / 10 : footprint / 100, 10);
 }
 
+// Generates (or, given a cache, maps) one dataset trace instance as a view.
+inline TraceView SweepTraceView(const DatasetProfile& d, uint32_t trace_index, double scale,
+                                TraceCache* trace_cache) {
+  if (trace_cache != nullptr) {
+    return trace_cache->GetOrGenerate(
+        DatasetTraceSpec(d, trace_index, scale),
+        [&] { return GenerateDatasetTrace(d, trace_index, scale); });
+  }
+  auto trace = std::make_shared<Trace>(GenerateDatasetTrace(d, trace_index, scale));
+  trace->Stats();  // pre-warm so later stats() calls are pure reads
+  return TraceView::FromTrace(std::move(trace));
+}
+
 inline void ForEachSweepCase(double scale, const std::function<void(const SweepCase&)>& fn,
-                             bool progress = true) {
+                             bool progress = true, TraceCache* trace_cache = nullptr) {
   for (const DatasetProfile& d : AllDatasetProfiles()) {
     for (uint32_t i = 0; i < d.num_traces; ++i) {
-      SweepCase c{&d, i, GenerateDatasetTrace(d, i, scale), 0, 0};
-      const uint64_t footprint = c.trace.Stats().num_objects;
+      SweepCase c{&d, i, SweepTraceView(d, i, scale, trace_cache), 0, 0};
+      const uint64_t footprint = c.trace.stats().num_objects;
       c.large_capacity = SweepCapacity(footprint, true);
       c.small_capacity = SweepCapacity(footprint, false);
       fn(c);
@@ -101,7 +114,8 @@ struct SweepSummary {
 inline SweepSummary RunMissRatioSweep(double scale, const std::vector<PolicyVariant>& variants,
                                       bool include_small,
                                       const std::function<void(const SweepCell&)>& collect,
-                                      unsigned threads = 0, bool progress = true) {
+                                      unsigned threads = 0, bool progress = true,
+                                      TraceCache* trace_cache = nullptr) {
   struct UnitMeta {
     const DatasetProfile* dataset;
     uint32_t trace_index;
@@ -116,14 +130,14 @@ inline SweepSummary RunMissRatioSweep(double scale, const std::vector<PolicyVari
                                           : std::vector<bool>{true};
   for (const DatasetProfile& d : AllDatasetProfiles()) {
     for (uint32_t i = 0; i < d.num_traces; ++i) {
-      SharedTracePtr shared = SweepEngine::MakeSharedDatasetTrace(d, i, scale);
+      SharedTracePtr shared = SweepEngine::MakeSharedDatasetTrace(d, i, scale, trace_cache);
       for (const bool large : sizes) {
         const size_t unit_index = units.size();
         SweepUnit unit;
         unit.label = d.name + "/" + std::to_string(i) + (large ? "/large" : "/small");
         unit.trace = shared;
-        unit.make_caches = [&variants, large, unit_index, capacities](const Trace& trace) {
-          const uint64_t capacity = SweepCapacity(trace.Stats().num_objects, large);
+        unit.make_caches = [&variants, large, unit_index, capacities](const TraceView& trace) {
+          const uint64_t capacity = SweepCapacity(trace.stats().num_objects, large);
           (*capacities)[unit_index] = capacity;
           CacheConfig config;
           config.capacity = capacity;

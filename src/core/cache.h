@@ -53,6 +53,12 @@ class Cache {
   // remove the object and always return false.
   bool Get(const Request& req);
 
+  // Best-effort hint that `id` will be requested shortly. The prefetch-
+  // batched simulation loops call this a fixed distance ahead of the request
+  // being processed; FlatMap-backed policies pull the hash probe slot into
+  // CPU cache. Must not change observable state or results.
+  virtual void Prefetch(uint64_t id) const { (void)id; }
+
   // True if the object currently resides in the cache (would be a hit).
   virtual bool Contains(uint64_t id) const = 0;
   // Removes the object if resident (used for kDelete ops).

@@ -21,6 +21,7 @@ class ClockCache : public Cache {
   bool Contains(uint64_t id) const override;
   void Remove(uint64_t id) override;
   std::string Name() const override { return "clock"; }
+  void Prefetch(uint64_t id) const override { table_.Prefetch(id); }
 
  protected:
   bool Access(const Request& req) override;

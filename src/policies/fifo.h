@@ -16,6 +16,7 @@ class FifoCache : public Cache {
   bool Contains(uint64_t id) const override;
   void Remove(uint64_t id) override;
   std::string Name() const override { return "fifo"; }
+  void Prefetch(uint64_t id) const override { table_.Prefetch(id); }
 
  protected:
   bool Access(const Request& req) override;

@@ -15,6 +15,7 @@ class LruCache : public Cache {
   bool Contains(uint64_t id) const override;
   void Remove(uint64_t id) override;
   std::string Name() const override { return "lru"; }
+  void Prefetch(uint64_t id) const override { table_.Prefetch(id); }
 
  protected:
   bool Access(const Request& req) override;

@@ -62,6 +62,7 @@ class S3FifoCache : public Cache {
   bool Contains(uint64_t id) const override;
   void Remove(uint64_t id) override;
   std::string Name() const override { return "s3fifo"; }
+  void Prefetch(uint64_t id) const override { table_.Prefetch(id); }
 
   const Stats& stats() const { return stats_; }
   uint64_t small_occupied() const { return small_occ_; }

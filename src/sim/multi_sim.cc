@@ -15,51 +15,93 @@ namespace {
 // unchanged.
 constexpr uint64_t kBlockRequests = 65536;
 
+// One (cache, block) inner loop. `get` yields the request at an index — a
+// reference into the AoS array for heap-backed views (copy-free, the seed
+// hot path), a gather from the columns for mmap-backed ones.
+template <typename GetReq>
+void RunBlock(const TraceView& view, Cache* cache, SimResult& r, uint64_t begin, uint64_t end,
+              const SimOptions& options, const GetReq& get) {
+  const uint64_t prefetch = options.prefetch_distance;
+  for (uint64_t index = begin; index < end; ++index) {
+    // Prefetch stops at the block edge: the next block reaches this cache
+    // only after every other cache has run the current one, by which time
+    // the lines would be long gone.
+    if (prefetch != 0 && index + prefetch < end) {
+      cache->Prefetch(view.id(index + prefetch));
+    }
+    decltype(auto) req = get(index);
+    const bool hit = cache->Get(req);
+    if (index < options.warmup_requests || req.op == OpType::kDelete) {
+      continue;
+    }
+    ++r.requests;
+    r.bytes_requested += req.size;
+    if (hit) {
+      ++r.hits;
+    } else {
+      ++r.misses;
+      r.bytes_missed += req.size;
+    }
+  }
+}
+
 }  // namespace
 
-std::vector<SimResult> MultiSimulate(const Trace& trace, std::span<Cache* const> caches,
+std::vector<SimResult> MultiSimulate(const TraceView& view, std::span<Cache* const> caches,
                                      const SimOptions& options) {
   for (Cache* cache : caches) {
-    if (cache->RequiresNextAccess() && !trace.annotated()) {
+    if (cache->RequiresNextAccess() && !view.annotated()) {
       throw std::invalid_argument("policy '" + cache->Name() +
                                   "' requires AnnotateNextAccess() on the trace");
     }
   }
   std::vector<SimResult> results(caches.size());
-  const auto& requests = trace.requests();
-  for (uint64_t begin = 0; begin < requests.size(); begin += kBlockRequests) {
-    const uint64_t end = std::min<uint64_t>(begin + kBlockRequests, requests.size());
+  const uint64_t n = view.size();
+  const Request* aos = view.AsRequests();
+  for (uint64_t begin = 0; begin < n; begin += kBlockRequests) {
+    const uint64_t end = std::min<uint64_t>(begin + kBlockRequests, n);
     for (size_t i = 0; i < caches.size(); ++i) {
-      Cache* cache = caches[i];
-      SimResult& r = results[i];
-      for (uint64_t index = begin; index < end; ++index) {
-        const Request& req = requests[index];
-        const bool hit = cache->Get(req);
-        if (index < options.warmup_requests || req.op == OpType::kDelete) {
-          continue;
-        }
-        ++r.requests;
-        r.bytes_requested += req.size;
-        if (hit) {
-          ++r.hits;
-        } else {
-          ++r.misses;
-          r.bytes_missed += req.size;
-        }
+      if (aos != nullptr) {
+        RunBlock(view, caches[i], results[i], begin, end, options,
+                 [aos](uint64_t index) -> const Request& { return aos[index]; });
+      } else {
+        RunBlock(view, caches[i], results[i], begin, end, options,
+                 [&view](uint64_t index) { return view.At(index); });
       }
     }
   }
   return results;
 }
 
-std::vector<SimResult> MultiSimulate(const Trace& trace,
-                                     const std::vector<std::unique_ptr<Cache>>& caches,
+std::vector<SimResult> MultiSimulate(const Trace& trace, std::span<Cache* const> caches,
                                      const SimOptions& options) {
+  return MultiSimulate(TraceView::Borrow(trace), caches, options);
+}
+
+namespace {
+
+std::vector<Cache*> RawPointers(const std::vector<std::unique_ptr<Cache>>& caches) {
   std::vector<Cache*> ptrs;
   ptrs.reserve(caches.size());
   for (const auto& cache : caches) {
     ptrs.push_back(cache.get());
   }
+  return ptrs;
+}
+
+}  // namespace
+
+std::vector<SimResult> MultiSimulate(const TraceView& view,
+                                     const std::vector<std::unique_ptr<Cache>>& caches,
+                                     const SimOptions& options) {
+  const std::vector<Cache*> ptrs = RawPointers(caches);
+  return MultiSimulate(view, std::span<Cache* const>(ptrs), options);
+}
+
+std::vector<SimResult> MultiSimulate(const Trace& trace,
+                                     const std::vector<std::unique_ptr<Cache>>& caches,
+                                     const SimOptions& options) {
+  const std::vector<Cache*> ptrs = RawPointers(caches);
   return MultiSimulate(trace, std::span<Cache* const>(ptrs), options);
 }
 

@@ -3,6 +3,12 @@
 // This is the single-configuration-pass idea from single-pass MRC tooling
 // (CIPARSim, DEW) applied to the whole policy-comparison harness: the trace
 // is the expensive shared input, so every consumer rides the same scan.
+//
+// The canonical input is a TraceView, so the same loop runs over a heap
+// Trace or an mmap'd trace-cache file with no deserialization. Within each
+// block the loop is prefetch-batched (see SimOptions::prefetch_distance):
+// the hash probe slot for request i+K is prefetched while request i is
+// handled, which overlaps table misses — a hint only, results unchanged.
 #ifndef SRC_SIM_MULTI_SIM_H_
 #define SRC_SIM_MULTI_SIM_H_
 
@@ -21,10 +27,15 @@ namespace s3fifo {
 //
 // Throws std::invalid_argument if any cache requires next-access annotation
 // (Belady) and the trace is not annotated.
+std::vector<SimResult> MultiSimulate(const TraceView& view, std::span<Cache* const> caches,
+                                     const SimOptions& options = {});
 std::vector<SimResult> MultiSimulate(const Trace& trace, std::span<Cache* const> caches,
                                      const SimOptions& options = {});
 
-// Convenience overload for an owning vector of caches.
+// Convenience overloads for an owning vector of caches.
+std::vector<SimResult> MultiSimulate(const TraceView& view,
+                                     const std::vector<std::unique_ptr<Cache>>& caches,
+                                     const SimOptions& options = {});
 std::vector<SimResult> MultiSimulate(const Trace& trace,
                                      const std::vector<std::unique_ptr<Cache>>& caches,
                                      const SimOptions& options = {});

@@ -3,21 +3,24 @@
 #include <stdexcept>
 
 namespace s3fifo {
+namespace {
 
-SimResult Simulate(const Trace& trace, Cache& cache, const SimOptions& options) {
-  if (cache.RequiresNextAccess() && !trace.annotated()) {
-    throw std::invalid_argument("policy '" + cache.Name() +
-                                "' requires AnnotateNextAccess() on the trace");
-  }
+template <typename GetReq>
+SimResult RunLoop(const TraceView& view, Cache& cache, const SimOptions& options,
+                  const GetReq& get) {
   SimResult result;
-  uint64_t index = 0;
-  for (const Request& req : trace.requests()) {
+  const uint64_t n = view.size();
+  const uint64_t prefetch = options.prefetch_distance;
+  for (uint64_t index = 0; index < n; ++index) {
+    if (prefetch != 0 && index + prefetch < n) {
+      cache.Prefetch(view.id(index + prefetch));
+    }
+    decltype(auto) req = get(index);
     const bool hit = cache.Get(req);
     if (options.observer) {
       options.observer(index, req, hit);
     }
-    const bool measured = index++ >= options.warmup_requests;
-    if (!measured || req.op == OpType::kDelete) {
+    if (index < options.warmup_requests || req.op == OpType::kDelete) {
       continue;
     }
     ++result.requests;
@@ -30,6 +33,25 @@ SimResult Simulate(const Trace& trace, Cache& cache, const SimOptions& options) 
     }
   }
   return result;
+}
+
+}  // namespace
+
+SimResult Simulate(const TraceView& view, Cache& cache, const SimOptions& options) {
+  if (cache.RequiresNextAccess() && !view.annotated()) {
+    throw std::invalid_argument("policy '" + cache.Name() +
+                                "' requires AnnotateNextAccess() on the trace");
+  }
+  const Request* aos = view.AsRequests();
+  if (aos != nullptr) {
+    return RunLoop(view, cache, options,
+                   [aos](uint64_t index) -> const Request& { return aos[index]; });
+  }
+  return RunLoop(view, cache, options, [&view](uint64_t index) { return view.At(index); });
+}
+
+SimResult Simulate(const Trace& trace, Cache& cache, const SimOptions& options) {
+  return Simulate(TraceView::Borrow(trace), cache, options);
 }
 
 }  // namespace s3fifo

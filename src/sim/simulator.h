@@ -1,5 +1,12 @@
 // Trace-driven simulation: runs a trace through a cache and collects miss
 // metrics (request and byte miss ratio, with optional warmup exclusion).
+//
+// The canonical input is a TraceView — zero-copy over either a heap Trace or
+// an mmap'd trace-cache file — and the request loop is prefetch-batched:
+// while request i is being handled, the hash probe slot for request i+K is
+// prefetched (Cache::Prefetch), overlapping table misses across the block.
+// Prefetching is a pure hint, so results are bit-identical to the scalar
+// loop (prefetch_distance = 0) on any backing.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
@@ -8,12 +15,16 @@
 
 #include "src/core/cache.h"
 #include "src/trace/trace.h"
+#include "src/trace/trace_view.h"
 
 namespace s3fifo {
 
 struct SimOptions {
   // Requests excluded from the metrics while still warming the cache.
   uint64_t warmup_requests = 0;
+  // How far ahead of the current request the cache's hash slot is
+  // prefetched. 0 disables prefetching (the scalar reference loop).
+  uint32_t prefetch_distance = 16;
   // Invoked after every request (warmup included) with the request index,
   // the request, and the hit/miss outcome, while the cache still holds the
   // post-request state. The correctness harness hangs its per-request
@@ -40,6 +51,7 @@ struct SimResult {
 
 // Throws std::invalid_argument if the cache requires next-access annotation
 // (Belady) and the trace is not annotated.
+SimResult Simulate(const TraceView& view, Cache& cache, const SimOptions& options = {});
 SimResult Simulate(const Trace& trace, Cache& cache, const SimOptions& options = {});
 
 }  // namespace s3fifo

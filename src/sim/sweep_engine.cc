@@ -2,16 +2,12 @@
 
 namespace s3fifo {
 
-std::shared_ptr<const Trace> SharedTrace::Acquire() {
+TraceView SharedTrace::Acquire() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (trace_ == nullptr) {
-    auto generated = std::make_shared<Trace>(generate_());
-    // Warm the stats cache while we still have exclusive access; afterwards
-    // concurrent Stats() calls are pure reads.
-    generated->Stats();
-    trace_ = std::move(generated);
+  if (!view_.has_value()) {
+    view_ = make_view_();
   }
-  return trace_;
+  return *view_;
 }
 
 void SharedTrace::AddUser() {
@@ -22,15 +18,33 @@ void SharedTrace::AddUser() {
 void SharedTrace::ReleaseUser() {
   std::lock_guard<std::mutex> lock(mu_);
   if (--pending_users_ <= 0) {
-    trace_.reset();
+    view_.reset();
   }
 }
 
+SharedTracePtr SweepEngine::MakeSharedTrace(std::function<Trace()> generate) {
+  return MakeSharedView([generate = std::move(generate)] {
+    auto trace = std::make_shared<Trace>(generate());
+    // Warm the stats cache while we still have exclusive access; afterwards
+    // concurrent stats() calls are pure reads.
+    trace->Stats();
+    return TraceView::FromTrace(std::move(trace));
+  });
+}
+
 SharedTracePtr SweepEngine::MakeSharedDatasetTrace(const DatasetProfile& profile,
-                                                   uint32_t trace_index, double scale) {
-  // Copy the profile: the generator outlives the caller's reference.
-  return MakeSharedTrace(
-      [profile, trace_index, scale] { return GenerateDatasetTrace(profile, trace_index, scale); });
+                                                   uint32_t trace_index, double scale,
+                                                   TraceCache* trace_cache) {
+  if (trace_cache == nullptr) {
+    // Copy the profile: the generator outlives the caller's reference.
+    return MakeSharedTrace(
+        [profile, trace_index, scale] { return GenerateDatasetTrace(profile, trace_index, scale); });
+  }
+  return MakeSharedView([profile, trace_index, scale, trace_cache] {
+    return trace_cache->GetOrGenerate(
+        DatasetTraceSpec(profile, trace_index, scale),
+        [&] { return GenerateDatasetTrace(profile, trace_index, scale); });
+  });
 }
 
 std::vector<SweepUnitResult> SweepEngine::Run(const std::vector<SweepUnit>& units) {
@@ -43,10 +57,10 @@ std::vector<SweepUnitResult> SweepEngine::Run(const std::vector<SweepUnit>& unit
       units.size(),
       [this, &units, &results](size_t i) {
         const SweepUnit& unit = units[i];
-        const std::shared_ptr<const Trace> trace = unit.trace->Acquire();
-        std::vector<std::unique_ptr<Cache>> caches = unit.make_caches(*trace);
-        results[i].results = MultiSimulate(*trace, caches, unit.options);
-        simulated_requests_ += trace->size() * caches.size();
+        const TraceView view = unit.trace->Acquire();
+        std::vector<std::unique_ptr<Cache>> caches = unit.make_caches(view);
+        results[i].results = MultiSimulate(view, caches, unit.options);
+        simulated_requests_ += view.size() * caches.size();
         // Only a successful unit releases its claim; a permanently failing
         // one keeps the trace cached, which at worst delays the release
         // until the SharedTrace itself is destroyed.

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "src/trace/trace_view.h"
 #include "src/util/hash.h"
 
 namespace s3fifo {
@@ -16,12 +17,8 @@ void Trace::Append(const Request& req) {
 }
 
 uint64_t Trace::Fingerprint() const {
-  uint64_t h = 0x5851f42d4c957f2dULL;
-  for (const Request& r : requests_) {
-    h = Mix64(h ^ r.id);
-    h = Mix64(h ^ (static_cast<uint64_t>(r.size) << 8) ^ static_cast<uint64_t>(r.op));
-  }
-  return h;
+  // Single definition of the digest, shared with mmap-backed views.
+  return TraceView::Borrow(*this).ComputeFingerprint();
 }
 
 const TraceStats& Trace::Stats() const {

@@ -5,20 +5,20 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/trace/trace_format.h"
+
 namespace s3fifo {
 namespace {
 
-constexpr char kMagic[4] = {'S', '3', 'F', 'T'};
-constexpr uint32_t kVersion = 1;
-
-struct BinaryRecord {
+// v1 record layout (AoS), kept for backward-compatible reads only.
+struct BinaryRecordV1 {
   uint64_t id;
   uint32_t size;
   uint8_t op;
   uint8_t pad[3];
   uint64_t time;
 };
-static_assert(sizeof(BinaryRecord) == 24, "binary trace record must be packed to 24 bytes");
+static_assert(sizeof(BinaryRecordV1) == 24, "v1 binary trace record must be packed to 24 bytes");
 
 [[noreturn]] void Fail(const std::string& what, const std::string& path) {
   throw std::runtime_error(what + ": " + path);
@@ -49,46 +49,15 @@ const char* OpToString(OpType op) {
   return "get";
 }
 
-}  // namespace
-
-void WriteBinaryTrace(const Trace& trace, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    Fail("cannot open trace file for writing", path);
-  }
-  out.write(kMagic, sizeof(kMagic));
-  const uint32_t version = kVersion;
-  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-  const uint64_t n = trace.size();
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  for (const Request& r : trace.requests()) {
-    BinaryRecord rec{};
-    rec.id = r.id;
-    rec.size = r.size;
-    rec.op = static_cast<uint8_t>(r.op);
-    rec.time = r.time;
-    out.write(reinterpret_cast<const char*>(&rec), sizeof(rec));
-  }
-  if (!out) {
-    Fail("short write on trace file", path);
-  }
+// Writes one column (possibly a zero-filled pad tail) so the file is
+// byte-deterministic for a given trace.
+void WritePad(std::ofstream& out, uint64_t written) {
+  static const char kZeros[8] = {0};
+  const uint64_t padded = TraceFileLayout::PadTo8(written);
+  out.write(kZeros, static_cast<std::streamsize>(padded - written));
 }
 
-Trace ReadBinaryTrace(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    Fail("cannot open trace file for reading", path);
-  }
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    Fail("bad magic in trace file", path);
-  }
-  uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || version != kVersion) {
-    Fail("unsupported trace version", path);
-  }
+Trace ReadBinaryTraceV1(std::ifstream& in, const std::string& path) {
   uint64_t n = 0;
   in.read(reinterpret_cast<char*>(&n), sizeof(n));
   if (!in) {
@@ -97,7 +66,7 @@ Trace ReadBinaryTrace(const std::string& path) {
   std::vector<Request> reqs;
   reqs.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
-    BinaryRecord rec{};
+    BinaryRecordV1 rec{};
     in.read(reinterpret_cast<char*>(&rec), sizeof(rec));
     if (!in) {
       Fail("truncated trace body", path);
@@ -113,6 +82,132 @@ Trace ReadBinaryTrace(const std::string& path) {
     reqs.push_back(r);
   }
   return Trace(std::move(reqs));
+}
+
+Trace ReadBinaryTraceV2(std::ifstream& in, const std::string& path) {
+  TraceFileHeaderV2 header{};
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in) {
+    Fail("truncated trace header", path);
+  }
+  if (header.name_len > kMaxTraceNameLen) {
+    Fail("corrupt name length in trace header", path);
+  }
+  const uint64_t n = header.num_requests;
+  const bool annotated = (header.flags & kTraceFlagAnnotated) != 0;
+  const TraceFileLayout layout = TraceFileLayout::For(n, annotated, header.name_len);
+
+  std::string name(header.name_len, '\0');
+  in.read(name.data(), header.name_len);
+
+  std::vector<Request> reqs(n);
+  auto read_column = [&](uint64_t offset, auto* scratch, auto assign) {
+    scratch->resize(n);
+    in.seekg(static_cast<std::streamoff>(offset));
+    in.read(reinterpret_cast<char*>(scratch->data()),
+            static_cast<std::streamsize>(sizeof((*scratch)[0]) * n));
+    for (uint64_t i = 0; i < n; ++i) {
+      assign(reqs[i], (*scratch)[i]);
+    }
+  };
+  std::vector<uint64_t> u64s;
+  std::vector<uint32_t> u32s;
+  std::vector<uint8_t> u8s;
+  read_column(layout.id_offset, &u64s, [](Request& r, uint64_t v) { r.id = v; });
+  read_column(layout.time_offset, &u64s, [](Request& r, uint64_t v) { r.time = v; });
+  if (annotated) {
+    read_column(layout.next_access_offset, &u64s,
+                [](Request& r, uint64_t v) { r.next_access = v; });
+  }
+  read_column(layout.size_offset, &u32s, [](Request& r, uint32_t v) { r.size = v; });
+  read_column(layout.tenant_offset, &u32s, [](Request& r, uint32_t v) { r.tenant = v; });
+  read_column(layout.op_offset, &u8s, [](Request& r, uint8_t v) { r.op = static_cast<OpType>(v); });
+  if (!in) {
+    Fail("truncated trace body", path);
+  }
+  for (uint8_t op : u8s) {
+    if (op > static_cast<uint8_t>(OpType::kDelete)) {
+      Fail("corrupt op byte in trace", path);
+    }
+  }
+  Trace trace(std::move(reqs), std::move(name));
+  trace.set_annotated(annotated);
+  return trace;
+}
+
+}  // namespace
+
+void WriteBinaryTrace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    Fail("cannot open trace file for writing", path);
+  }
+  if (trace.name().size() > kMaxTraceNameLen) {
+    Fail("trace name too long for binary header", path);
+  }
+  const TraceStats& stats = trace.Stats();
+  TraceFileHeaderV2 header{};
+  std::memcpy(header.magic, kTraceMagic, sizeof(header.magic));
+  header.version = kTraceVersionV2;
+  header.num_requests = trace.size();
+  header.flags = trace.annotated() ? kTraceFlagAnnotated : 0;
+  header.fingerprint = trace.Fingerprint();
+  header.num_objects = stats.num_objects;
+  header.total_bytes_requested = stats.total_bytes_requested;
+  header.footprint_bytes = stats.footprint_bytes;
+  header.num_gets = stats.num_gets;
+  header.num_sets = stats.num_sets;
+  header.num_deletes = stats.num_deletes;
+  header.one_hit_wonder_ratio = stats.one_hit_wonder_ratio;
+  header.name_len = static_cast<uint32_t>(trace.name().size());
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(trace.name().data(), static_cast<std::streamsize>(trace.name().size()));
+  WritePad(out, trace.name().size());
+
+  const std::vector<Request>& reqs = trace.requests();
+  auto write_column = [&](auto getter, uint64_t value_size) {
+    for (const Request& r : reqs) {
+      const auto v = getter(r);
+      out.write(reinterpret_cast<const char*>(&v), static_cast<std::streamsize>(sizeof(v)));
+    }
+    WritePad(out, value_size * reqs.size());
+  };
+  write_column([](const Request& r) { return r.id; }, 8);
+  write_column([](const Request& r) { return r.time; }, 8);
+  if (trace.annotated()) {
+    write_column([](const Request& r) { return r.next_access; }, 8);
+  }
+  write_column([](const Request& r) { return r.size; }, 4);
+  write_column([](const Request& r) { return r.tenant; }, 4);
+  write_column([](const Request& r) { return static_cast<uint8_t>(r.op); }, 1);
+  if (!out) {
+    Fail("short write on trace file", path);
+  }
+}
+
+Trace ReadBinaryTrace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    Fail("cannot open trace file for reading", path);
+  }
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    Fail("bad magic in trace file", path);
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in) {
+    Fail("truncated trace header", path);
+  }
+  if (version == kTraceVersionV1) {
+    return ReadBinaryTraceV1(in, path);
+  }
+  if (version == kTraceVersionV2) {
+    return ReadBinaryTraceV2(in, path);
+  }
+  Fail("unsupported trace version", path);
 }
 
 void WriteCsvTrace(const Trace& trace, const std::string& path) {

@@ -1,9 +1,13 @@
-// Trace persistence: a compact binary format (magic + fixed-width records)
-// and CSV for interoperability with other simulators.
+// Trace persistence: a compact binary format and CSV for interoperability
+// with other simulators.
 //
-// Binary layout (little-endian):
-//   header: "S3FT" (4 bytes) | version u32 | num_requests u64
-//   record: id u64 | size u32 | op u8 | pad u8[3] | time u64
+// Writes produce the v2 columnar layout (see trace_format.h): a stats- and
+// fingerprint-carrying header followed by one array per request field —
+// including tenant and, for annotated traces, next_access, which the v1
+// record format dropped. All padding is zero-filled, so the same trace
+// always serializes to identical bytes. Reads accept v1 (legacy 24-byte AoS
+// records; tenant/next_access absent) and v2. The mmap fast path over v2
+// files lives in trace_cache.h.
 #ifndef SRC_TRACE_TRACE_IO_H_
 #define SRC_TRACE_TRACE_IO_H_
 

@@ -1,0 +1,69 @@
+#include "src/trace/trace_view.h"
+
+#include <cstddef>
+
+#include "src/util/hash.h"
+
+namespace s3fifo {
+
+TraceView TraceView::FromTraceImpl(const Trace* trace, std::shared_ptr<const void> owner) {
+  TraceView v;
+  v.size_ = trace->size();
+  v.annotated_ = trace->annotated();
+  v.name_ = trace->name();
+  v.heap_trace_ = trace;
+  v.owner_ = std::move(owner);
+  if (!trace->empty()) {
+    const Request* reqs = trace->requests().data();
+    v.aos_ = reqs;
+    const std::byte* base = reinterpret_cast<const std::byte*>(reqs);
+    constexpr size_t kStride = sizeof(Request);
+    v.columns_.id = {base + offsetof(Request, id), kStride};
+    v.columns_.size = {base + offsetof(Request, size), kStride};
+    v.columns_.op = {base + offsetof(Request, op), kStride};
+    v.columns_.tenant = {base + offsetof(Request, tenant), kStride};
+    v.columns_.time = {base + offsetof(Request, time), kStride};
+    if (trace->annotated()) {
+      v.columns_.next_access = {base + offsetof(Request, next_access), kStride};
+    }
+  }
+  return v;
+}
+
+TraceView TraceView::FromColumns(Columns columns, size_t num_requests, bool annotated,
+                                 std::string name, const TraceStats& stats,
+                                 uint64_t file_fingerprint, std::shared_ptr<const void> owner) {
+  TraceView v;
+  v.columns_ = columns;
+  v.size_ = num_requests;
+  v.annotated_ = annotated;
+  v.name_ = std::move(name);
+  v.stats_ = stats;
+  v.file_fingerprint_ = file_fingerprint;
+  v.owner_ = std::move(owner);
+  return v;
+}
+
+uint64_t TraceView::ComputeFingerprint() const {
+  // Must stay bit-identical to Trace::Fingerprint().
+  uint64_t h = 0x5851f42d4c957f2dULL;
+  for (size_t i = 0; i < size_; ++i) {
+    h = Mix64(h ^ id(i));
+    h = Mix64(h ^ (static_cast<uint64_t>(object_size(i)) << 8) ^
+              static_cast<uint64_t>(op(i)));
+  }
+  return h;
+}
+
+Trace MaterializeTrace(const TraceView& view) {
+  std::vector<Request> reqs;
+  reqs.reserve(view.size());
+  for (size_t i = 0; i < view.size(); ++i) {
+    reqs.push_back(view.At(i));
+  }
+  Trace trace(std::move(reqs), view.name());
+  trace.set_annotated(view.annotated());
+  return trace;
+}
+
+}  // namespace s3fifo

@@ -41,6 +41,19 @@ class FlatMap {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  // Hints the CPU to pull the probe slot for `key` into cache ahead of a
+  // Find/Emplace — the simulators issue this a fixed distance ahead of the
+  // request being processed so probe misses overlap. No observable effect.
+  void Prefetch(uint64_t key) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (!slots_.empty()) {
+      __builtin_prefetch(&slots_[Mix64(key) & Mask()]);
+    }
+#else
+    (void)key;
+#endif
+  }
+
   V* Find(uint64_t key) {
     const size_t pos = FindSlot(key);
     return pos == kNotFound ? nullptr : EntryAt(slots_[pos].idx);

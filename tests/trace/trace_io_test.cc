@@ -32,6 +32,20 @@ class TraceIoTest : public ::testing::Test {
     return Trace(std::move(reqs));
   }
 
+  // Exercises every Request field: multi-tenant and next-access annotated.
+  static Trace AnnotatedTrace() {
+    Trace t = SampleTrace();
+    uint64_t i = 0;
+    for (Request& r : t.mutable_requests()) {
+      r.tenant = static_cast<uint32_t>(i % 7);
+      r.next_access = i % 3 == 0 ? kNeverAccessed : i + 1 + i % 13;
+      ++i;
+    }
+    t.set_annotated(true);
+    t.set_name("annotated/sample");
+    return t;
+  }
+
   std::filesystem::path dir_;
 };
 
@@ -46,6 +60,80 @@ TEST_F(TraceIoTest, BinaryRoundTrip) {
     EXPECT_EQ(loaded[i].op, original[i].op);
     EXPECT_EQ(loaded[i].time, original[i].time);
   }
+}
+
+// Regression: the v1 writer dropped tenant and next_access entirely. The v2
+// columnar format must round-trip every Request field plus the trace name
+// and annotation flag.
+TEST_F(TraceIoTest, BinaryRoundTripPreservesTenantAndNextAccess) {
+  Trace original = AnnotatedTrace();
+  WriteBinaryTrace(original, Path("a.bin"));
+  Trace loaded = ReadBinaryTrace(Path("a.bin"));
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.name(), original.name());
+  EXPECT_TRUE(loaded.annotated());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, original[i].id);
+    EXPECT_EQ(loaded[i].size, original[i].size);
+    EXPECT_EQ(loaded[i].op, original[i].op);
+    EXPECT_EQ(loaded[i].time, original[i].time);
+    EXPECT_EQ(loaded[i].tenant, original[i].tenant);
+    EXPECT_EQ(loaded[i].next_access, original[i].next_access);
+  }
+  EXPECT_EQ(loaded.Fingerprint(), original.Fingerprint());
+}
+
+// Byte-determinism underpins the trace cache's atomic-rename race story:
+// concurrent populators of a key must produce interchangeable files.
+TEST_F(TraceIoTest, BinaryWriteIsByteDeterministic) {
+  Trace original = AnnotatedTrace();
+  WriteBinaryTrace(original, Path("d1.bin"));
+  WriteBinaryTrace(original, Path("d2.bin"));
+  std::ifstream a(Path("d1.bin"), std::ios::binary), b(Path("d2.bin"), std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)), {});
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)), {});
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+// Files written before the columnar format (24-byte AoS records) must stay
+// readable.
+TEST_F(TraceIoTest, ReadsLegacyV1Format) {
+  Trace original = SampleTrace();
+  std::ofstream out(Path("v1.bin"), std::ios::binary);
+  out.write("S3FT", 4);
+  const uint32_t version = 1;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const uint64_t n = original.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const Request& r : original.requests()) {
+    const uint8_t op = static_cast<uint8_t>(r.op);
+    const uint8_t pad[3] = {0, 0, 0};
+    out.write(reinterpret_cast<const char*>(&r.id), 8);
+    out.write(reinterpret_cast<const char*>(&r.size), 4);
+    out.write(reinterpret_cast<const char*>(&op), 1);
+    out.write(reinterpret_cast<const char*>(pad), 3);
+    out.write(reinterpret_cast<const char*>(&r.time), 8);
+  }
+  out.close();
+
+  Trace loaded = ReadBinaryTrace(Path("v1.bin"));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, original[i].id);
+    EXPECT_EQ(loaded[i].size, original[i].size);
+    EXPECT_EQ(loaded[i].op, original[i].op);
+    EXPECT_EQ(loaded[i].time, original[i].time);
+  }
+}
+
+TEST_F(TraceIoTest, UnsupportedVersionThrows) {
+  std::ofstream out(Path("v9.bin"), std::ios::binary);
+  out.write("S3FT", 4);
+  const uint32_t version = 9;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.close();
+  EXPECT_THROW(ReadBinaryTrace(Path("v9.bin")), std::runtime_error);
 }
 
 TEST_F(TraceIoTest, CsvRoundTrip) {
