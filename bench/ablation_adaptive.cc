@@ -39,7 +39,7 @@ void Run(const BenchOptions& opts) {
           ++ties;
         }
       },
-      opts.threads, /*progress=*/true, source.cache());
+      opts.threads, /*progress=*/true, source.cache(), ParseMrcMode(opts.mrc));
   std::printf("across traces (large cache): adaptive wins %d, static wins %d, ties %d\n",
               adaptive_wins, static_wins, ties);
   const PercentileRow delta_row = Percentiles(delta);

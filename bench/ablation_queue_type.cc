@@ -36,7 +36,7 @@ void Run(const BenchOptions& opts) {
               MissRatioReduction(c.results[vi].MissRatio(), mr_fifo));
         }
       },
-      opts.threads, /*progress=*/true, source.cache());
+      opts.threads, /*progress=*/true, source.cache(), ParseMrcMode(opts.mrc));
 
   std::vector<JsonFields> json_rows;
   for (const PolicyVariant& v : variants) {

@@ -31,6 +31,11 @@ struct BenchOptions {
   // Directory for the persistent mmap trace cache; empty = regenerate every
   // run. Settable via --trace-cache-dir= or env S3FIFO_TRACE_CACHE_DIR.
   std::string trace_cache_dir;
+  // MRC computation mode for the miss-ratio sweeps: "onepass" (default;
+  // FIFO-family policies use the exact one-pass engine) or "brute" (one
+  // simulation per size — the escape hatch / reference path). Parsed by
+  // ParseMrcMode in src/analysis/mrc_engine.h at the call site.
+  std::string mrc = "onepass";
 };
 
 inline BenchOptions ParseBenchArgs(int argc, char** argv) {
@@ -44,12 +49,15 @@ inline BenchOptions ParseBenchArgs(int argc, char** argv) {
       opts.threads = static_cast<unsigned>(std::atoi(arg + 10));
     } else if (std::strncmp(arg, "--trace-cache-dir=", 18) == 0) {
       opts.trace_cache_dir = arg + 18;
+    } else if (std::strncmp(arg, "--mrc=", 6) == 0) {
+      opts.mrc = arg + 6;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       std::printf(
-          "usage: %s [--threads=N] [--trace-cache-dir=DIR]\n"
+          "usage: %s [--threads=N] [--trace-cache-dir=DIR] [--mrc=MODE]\n"
           "  --threads=N           sweep-engine worker threads (0 = hardware concurrency)\n"
           "  --trace-cache-dir=DIR persist generated traces; later runs mmap them\n"
           "                        (also env S3FIFO_TRACE_CACHE_DIR; empty = off)\n"
+          "  --mrc=MODE            miss-ratio sweeps: onepass (default) | brute\n"
           "  env S3FIFO_BENCH_SCALE=X scales trace lengths (default 1.0)\n",
           argv[0]);
       std::exit(0);

@@ -35,7 +35,7 @@ void Run(const BenchOptions& opts) {
           (c.large ? missratios_large : missratios_small)[variants[vi].label].push_back(mr);
         }
       },
-      opts.threads, /*progress=*/true, source.cache());
+      opts.threads, /*progress=*/true, source.cache(), ParseMrcMode(opts.mrc));
 
   std::vector<JsonFields> json_rows;
   for (const bool large : {true, false}) {
@@ -70,6 +70,7 @@ void Run(const BenchOptions& opts) {
   WriteBenchJson("fig06_percentiles",
                  JsonFields()
                      .Add("scale", scale)
+                     .Add("mrc", opts.mrc)
                      .Add("threads", summary.threads)
                      .Add("wall_ms", summary.wall_ms)
                      .Add("simulated_requests", summary.simulated_requests)

@@ -40,7 +40,7 @@ void Run(const BenchOptions& opts) {
           cell.second += 1;
         }
       },
-      opts.threads, /*progress=*/true, source.cache());
+      opts.threads, /*progress=*/true, source.cache(), ParseMrcMode(opts.mrc));
 
   std::vector<JsonFields> json_rows;
   for (const bool large : {true, false}) {
@@ -89,6 +89,7 @@ void Run(const BenchOptions& opts) {
   WriteBenchJson("fig07_per_dataset",
                  JsonFields()
                      .Add("scale", scale)
+                     .Add("mrc", opts.mrc)
                      .Add("threads", summary.threads)
                      .Add("wall_ms", summary.wall_ms)
                      .Add("simulated_requests", summary.simulated_requests)

@@ -28,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
+#include "src/analysis/mrc_engine.h"
 #include "src/core/cache_factory.h"
 #include "src/sim/sweep_engine.h"
 #include "src/workload/dataset_profiles.h"
@@ -108,55 +110,166 @@ struct SweepSummary {
   bool ok = true;  // false if any unit failed after retries
 };
 
-// Streams every dataset trace once per cache size through FIFO + all
-// variants on the sweep engine. `collect` runs on the calling thread after
-// the sweep, once per cell, in deterministic dataset/trace/size order.
+// Streams every dataset trace through FIFO + all variants on the sweep
+// engine. `collect` runs on the calling thread after the sweep, once per
+// (trace, size) cell, in deterministic dataset/trace/size order.
+//
+// MRC mode (the bench binaries' --mrc= flag): under kAuto (the default),
+// each policy the one-pass engine supports becomes ONE unit per trace that
+// computes the whole capacity grid in a single traversal (OnePassMrc);
+// everything else keeps the per-size MultiSimulate units. Under kBrute every
+// policy takes the per-size path. The two modes produce bit-identical cells
+// — the one-pass engine is exact (tools/check_mrc_smoke.py asserts this on
+// fig06 in CI) — so kBrute is purely the escape hatch / reference timing.
 inline SweepSummary RunMissRatioSweep(double scale, const std::vector<PolicyVariant>& variants,
                                       bool include_small,
                                       const std::function<void(const SweepCell&)>& collect,
                                       unsigned threads = 0, bool progress = true,
-                                      TraceCache* trace_cache = nullptr) {
-  struct UnitMeta {
+                                      TraceCache* trace_cache = nullptr,
+                                      MrcMode mrc_mode = MrcMode::kAuto) {
+  const bool use_onepass = mrc_mode != MrcMode::kBrute;
+  const std::vector<bool> size_flags =
+      include_small ? std::vector<bool>{true, false} : std::vector<bool>{true};
+
+  const auto onepass_supported = [use_onepass](const std::string& policy,
+                                               const std::string& params) {
+    if (!use_onepass) {
+      return false;
+    }
+    CacheConfig config;  // the sweep simulates count-based caches
+    config.params = params;
+    return MrcEngineSupports(policy, config);
+  };
+  const bool fifo_onepass = onepass_supported("fifo", "");
+  std::vector<char> variant_onepass(variants.size(), 0);
+  for (size_t vi = 0; vi < variants.size(); ++vi) {
+    variant_onepass[vi] = onepass_supported(variants[vi].policy, variants[vi].params) ? 1 : 0;
+  }
+
+  // Where each cell's per-policy results live after the run.
+  struct Source {
+    size_t unit = static_cast<size_t>(-1);
+    size_t slot = 0;
+  };
+  struct CellMeta {
     const DatasetProfile* dataset;
     uint32_t trace_index;
     bool large;
+    Source fifo;
+    std::vector<Source> variant;  // index-aligned with `variants`
   };
   std::vector<SweepUnit> units;
-  std::vector<UnitMeta> metas;
-  // Capacities are derived from trace stats on the workers; this vector is
-  // index-aligned with `units` and each slot is written by exactly one unit.
+  std::vector<CellMeta> cells;
+  // Capacities are derived from trace stats on the workers; index-aligned
+  // with `cells`, each slot written by exactly one designated unit (the
+  // one-pass FIFO unit, or the brute unit carrying FIFO).
   auto capacities = std::make_shared<std::vector<uint64_t>>();
-  std::vector<bool> sizes = include_small ? std::vector<bool>{true, false}
-                                          : std::vector<bool>{true};
+
   for (const DatasetProfile& d : AllDatasetProfiles()) {
     for (uint32_t i = 0; i < d.num_traces; ++i) {
       SharedTracePtr shared = SweepEngine::MakeSharedDatasetTrace(d, i, scale, trace_cache);
-      for (const bool large : sizes) {
-        const size_t unit_index = units.size();
+      const size_t base_cell = cells.size();
+      for (const bool large : size_flags) {
+        CellMeta meta{&d, i, large, {}, {}};
+        meta.variant.resize(variants.size());
+        cells.push_back(std::move(meta));
+      }
+      const std::string trace_label = d.name + "/" + std::to_string(i);
+
+      // One-pass units: one traversal per supported policy covering every
+      // cell size of this trace.
+      const auto add_onepass_unit = [&](const std::string& label, const std::string& policy,
+                                        const std::string& params, bool record_capacities) {
         SweepUnit unit;
-        unit.label = d.name + "/" + std::to_string(i) + (large ? "/large" : "/small");
+        unit.label = trace_label + "/" + label + "/mrc";
         unit.trace = shared;
-        unit.make_caches = [&variants, large, unit_index, capacities](const TraceView& trace) {
-          const uint64_t capacity = SweepCapacity(trace.stats().num_objects, large);
-          (*capacities)[unit_index] = capacity;
-          CacheConfig config;
-          config.capacity = capacity;
-          std::vector<std::unique_ptr<Cache>> caches;
-          caches.reserve(variants.size() + 1);
-          caches.push_back(CreateCache("fifo", config));
-          for (const PolicyVariant& v : variants) {
-            CacheConfig variant_config = config;
-            variant_config.params = v.params;
-            caches.push_back(CreateCache(v.policy, variant_config));
+        unit.run = [policy, params, size_flags, record_capacities, base_cell,
+                    capacities](const TraceView& view) {
+          std::vector<uint64_t> grid;
+          grid.reserve(size_flags.size());
+          for (const bool large : size_flags) {
+            grid.push_back(SweepCapacity(view.stats().num_objects, large));
           }
-          return caches;
+          if (record_capacities) {
+            for (size_t si = 0; si < grid.size(); ++si) {
+              (*capacities)[base_cell + si] = grid[si];
+            }
+          }
+          CacheConfig config;
+          config.params = params;
+          return OnePassMrc(view, policy, grid, config).results;
         };
         units.push_back(std::move(unit));
-        metas.push_back({&d, i, large});
+        return units.size() - 1;
+      };
+
+      if (fifo_onepass) {
+        const size_t u = add_onepass_unit("fifo", "fifo", "", /*record_capacities=*/true);
+        for (size_t si = 0; si < size_flags.size(); ++si) {
+          cells[base_cell + si].fifo = {u, si};
+        }
+      }
+      for (size_t vi = 0; vi < variants.size(); ++vi) {
+        if (!variant_onepass[vi]) {
+          continue;
+        }
+        const size_t u = add_onepass_unit(variants[vi].label, variants[vi].policy,
+                                          variants[vi].params, /*record_capacities=*/false);
+        for (size_t si = 0; si < size_flags.size(); ++si) {
+          cells[base_cell + si].variant[vi] = {u, si};
+        }
+      }
+
+      // Brute units: per (trace, size), carrying FIFO (when not one-pass)
+      // plus every unsupported variant, streamed once through MultiSimulate.
+      std::vector<size_t> brute_vis;
+      for (size_t vi = 0; vi < variants.size(); ++vi) {
+        if (!variant_onepass[vi]) {
+          brute_vis.push_back(vi);
+        }
+      }
+      const bool need_fifo = !fifo_onepass;
+      if (need_fifo || !brute_vis.empty()) {
+        for (size_t si = 0; si < size_flags.size(); ++si) {
+          const bool large = size_flags[si];
+          const size_t cell_index = base_cell + si;
+          SweepUnit unit;
+          unit.label = trace_label + (large ? "/large" : "/small");
+          unit.trace = shared;
+          unit.make_caches = [&variants, brute_vis, large, need_fifo, cell_index,
+                              capacities](const TraceView& trace) {
+            const uint64_t capacity = SweepCapacity(trace.stats().num_objects, large);
+            if (need_fifo) {
+              (*capacities)[cell_index] = capacity;
+            }
+            CacheConfig config;
+            config.capacity = capacity;
+            std::vector<std::unique_ptr<Cache>> caches;
+            caches.reserve(brute_vis.size() + (need_fifo ? 1 : 0));
+            if (need_fifo) {
+              caches.push_back(CreateCache("fifo", config));
+            }
+            for (const size_t vi : brute_vis) {
+              CacheConfig variant_config = config;
+              variant_config.params = variants[vi].params;
+              caches.push_back(CreateCache(variants[vi].policy, variant_config));
+            }
+            return caches;
+          };
+          const size_t u = units.size();
+          size_t slot = 0;
+          if (need_fifo) {
+            cells[cell_index].fifo = {u, slot++};
+          }
+          for (const size_t vi : brute_vis) {
+            cells[cell_index].variant[vi] = {u, slot++};
+          }
+          units.push_back(std::move(unit));
+        }
       }
     }
   }
-  capacities->resize(units.size(), 0);
+  capacities->resize(cells.size(), 0);
 
   RunnerOptions runner_options;
   runner_options.num_threads = threads;
@@ -164,8 +277,9 @@ inline SweepSummary RunMissRatioSweep(double scale, const std::vector<PolicyVari
   SweepSummary summary;
   summary.threads = threads != 0 ? threads : std::max(1u, std::thread::hardware_concurrency());
   if (progress) {
-    std::fprintf(stderr, "  [sweep] %zu units (%zu caches each) on %u threads\n", units.size(),
-                 variants.size() + 1, summary.threads);
+    std::fprintf(stderr, "  [sweep] %zu units (%zu policies, mrc=%s) on %u threads\n",
+                 units.size(), variants.size() + 1, use_onepass ? "onepass" : "brute",
+                 summary.threads);
   }
   WallTimer timer;
   const std::vector<SweepUnitResult> results = engine.Run(units);
@@ -174,20 +288,35 @@ inline SweepSummary RunMissRatioSweep(double scale, const std::vector<PolicyVari
   summary.requests_per_sec =
       summary.wall_ms > 0 ? summary.simulated_requests / (summary.wall_ms / 1000.0) : 0;
 
-  for (size_t i = 0; i < results.size(); ++i) {
-    if (!results[i].ok) {
-      std::fprintf(stderr, "  [sweep] unit %s FAILED after %u attempts: %s\n",
-                   results[i].label.c_str(), results[i].attempts, results[i].error.c_str());
+  for (const SweepUnitResult& r : results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "  [sweep] unit %s FAILED after %u attempts: %s\n", r.label.c_str(),
+                   r.attempts, r.error.c_str());
       summary.ok = false;
-      continue;
+    }
+  }
+  for (size_t ci = 0; ci < cells.size(); ++ci) {
+    const CellMeta& meta = cells[ci];
+    const auto source_ok = [&results](const Source& s) {
+      return s.unit != static_cast<size_t>(-1) && results[s.unit].ok;
+    };
+    bool cell_ok = source_ok(meta.fifo);
+    for (const Source& s : meta.variant) {
+      cell_ok = cell_ok && source_ok(s);
+    }
+    if (!cell_ok) {
+      continue;  // summary.ok is already false via the unit loop above
     }
     SweepCell cell;
-    cell.dataset = metas[i].dataset;
-    cell.trace_index = metas[i].trace_index;
-    cell.large = metas[i].large;
-    cell.capacity = (*capacities)[i];
-    cell.fifo = results[i].results.front();
-    cell.results.assign(results[i].results.begin() + 1, results[i].results.end());
+    cell.dataset = meta.dataset;
+    cell.trace_index = meta.trace_index;
+    cell.large = meta.large;
+    cell.capacity = (*capacities)[ci];
+    cell.fifo = results[meta.fifo.unit].results[meta.fifo.slot];
+    cell.results.reserve(variants.size());
+    for (const Source& s : meta.variant) {
+      cell.results.push_back(results[s.unit].results[s.slot]);
+    }
     collect(cell);
   }
   return summary;

@@ -1,13 +1,20 @@
 // Miss-ratio-curve profiler: exact curves for selected policies plus the
 // SHARDS-sampled approximation (§6.2.3) with its speedup.
 //
+// FIFO-family curves come from the one-pass MRC engine (the whole size grid
+// in a single trace traversal); policies the engine does not cover fall back
+// to one simulation per size, and the SHARDS row streams a spatial sample
+// through scaled-down caches in one pass.
+//
 //   $ ./mrc_profiler [dataset-name]   (default: cloudphysics)
 #include <chrono>
 #include <cstdio>
 #include <string>
 
 #include "src/analysis/mrc.h"
+#include "src/analysis/mrc_engine.h"
 #include "src/analysis/shards.h"
+#include "src/trace/trace_view.h"
 #include "src/workload/dataset_profiles.h"
 
 int main(int argc, char** argv) {
@@ -15,6 +22,7 @@ int main(int argc, char** argv) {
   const std::string dataset = argc > 1 ? argv[1] : "cloudphysics";
 
   Trace trace = GenerateDatasetTrace(DatasetByName(dataset), 0, 1.0);
+  const TraceView view = TraceView::Borrow(trace);
   const uint64_t footprint = trace.Stats().num_objects;
   std::vector<uint64_t> sizes;
   for (double f : {0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4}) {
@@ -29,22 +37,33 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  for (const char* policy : {"fifo", "lru", "s3fifo"}) {
-    const auto curve = ComputeMrc(trace, policy, sizes);
+  CacheConfig config;
+  config.capacity = 1;
+  config.count_based = true;
+  for (const char* policy : {"fifo", "sieve", "s3fifo", "lru"}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    // kAuto: one pass over the trace for the FIFO family, per-size
+    // simulations for lru.
+    const MrcCurve curve = ComputeMrcCurve(view, policy, sizes, {MrcMode::kAuto, config});
+    const auto t1 = std::chrono::steady_clock::now();
     std::printf("%-10s", policy);
-    for (const MrcPoint& p : curve) {
-      std::printf(" %8.4f", p.miss_ratio);
+    for (double mr : curve.miss_ratios) {
+      std::printf(" %8.4f", mr);
     }
-    std::printf("\n");
+    std::printf("  (%s, %.0f ms)\n", MrcEngineSupports(policy, config) ? "one-pass" : "per-size",
+                std::chrono::duration<double, std::milli>(t1 - t0).count());
   }
 
-  // SHARDS at 10% sampling: near-identical curve, ~10x faster.
+  // SHARDS at 10% sampling: near-identical lru curve from one pass over the
+  // sampled stream.
   const auto t0 = std::chrono::steady_clock::now();
-  std::printf("%-10s", "lru~shards");
-  for (uint64_t s : sizes) {
-    std::printf(" %8.4f", ShardsMissRatio(trace, "lru", s, 0.1));
-  }
+  const MrcCurve sampled = ShardsMrc(view, "lru", sizes, 0.1, config);
   const auto t1 = std::chrono::steady_clock::now();
-  std::printf("  (%.0f ms)\n", std::chrono::duration<double, std::milli>(t1 - t0).count());
+  std::printf("%-10s", "lru~shards");
+  for (double mr : sampled.miss_ratios) {
+    std::printf(" %8.4f", mr);
+  }
+  std::printf("  (sampled, %.0f ms)\n",
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
   return 0;
 }

@@ -20,4 +20,21 @@ std::vector<MrcPoint> ComputeMrc(const Trace& trace, const std::string& policy,
   return curve;
 }
 
+std::vector<SimResult> ComputeMrcResults(const TraceView& view, const std::string& policy,
+                                         const std::vector<uint64_t>& sizes,
+                                         const CacheConfig& base_config,
+                                         uint64_t warmup_requests) {
+  std::vector<SimResult> results;
+  results.reserve(sizes.size());
+  SimOptions options;
+  options.warmup_requests = warmup_requests;
+  for (uint64_t size : sizes) {
+    CacheConfig config = base_config;
+    config.capacity = size;
+    auto cache = CreateCache(policy, config);
+    results.push_back(Simulate(view, *cache, options));
+  }
+  return results;
+}
+
 }  // namespace s3fifo

@@ -2,6 +2,11 @@
 // policy, either exact (one simulation per size) or approximated with
 // SHARDS spatial sampling (paper §6.2.3: "downsized simulations using
 // spatial sampling can be used").
+//
+// This header is the brute-force reference path: one full Simulate() per
+// grid size. The FIFO-family fast path that computes the same counts in a
+// single traversal lives in mrc_engine.h; the differential tests pin the
+// two against each other.
 #ifndef SRC_ANALYSIS_MRC_H_
 #define SRC_ANALYSIS_MRC_H_
 
@@ -9,7 +14,9 @@
 #include <vector>
 
 #include "src/core/cache.h"
+#include "src/sim/simulator.h"
 #include "src/trace/trace.h"
+#include "src/trace/trace_view.h"
 
 namespace s3fifo {
 
@@ -22,6 +29,13 @@ struct MrcPoint {
 std::vector<MrcPoint> ComputeMrc(const Trace& trace, const std::string& policy,
                                  const std::vector<uint64_t>& sizes,
                                  const CacheConfig& base_config = {1, true, "", 42});
+
+// Same brute-force sweep, returning the full per-size counts (the reference
+// the one-pass engine is verified against). Zero-copy over the view.
+std::vector<SimResult> ComputeMrcResults(const TraceView& view, const std::string& policy,
+                                         const std::vector<uint64_t>& sizes,
+                                         const CacheConfig& base_config = {1, true, "", 42},
+                                         uint64_t warmup_requests = 0);
 
 }  // namespace s3fifo
 

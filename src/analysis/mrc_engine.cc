@@ -1,0 +1,1114 @@
+#include "src/analysis/mrc_engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+#include "src/analysis/mrc.h"
+#include "src/analysis/shards.h"
+#include "src/util/flat_map.h"
+#include "src/util/params.h"
+
+namespace s3fifo {
+namespace {
+
+constexpr size_t kMaxSizesPerPass = 64;  // one residency bit per grid size
+constexpr uint32_t kPrefetchDistance = 16;
+
+// FIFO queues as lazy-stale rings instead of doubly-linked lists: the paper's
+// policies only ever insert at the head and pop (or reinsert) at the tail, so
+// a circular buffer of (seq, object) with a strided sequence-stamp array gives
+// the same order with sequential-memory pushes/pops — no per-miss pointer
+// surgery into a K-strided link array, which is what blows the cache once the
+// grid widens (eviction cost was dominated by DRAM misses on neighbor links).
+// An entry is live iff the object is still in that queue AND its stamp for
+// this size matches; deletes/moves just change the stamp or a membership bit
+// and the dead entry is skipped (and eventually compacted) lazily — the same
+// scheme util/ghost_queue.h uses to skip stale ids.
+//
+// The buffer is a power-of-two array addressed by monotone absolute indices
+// (head/tail only ever advance; an entry's position is abs & mask). Callers
+// compact before the stale fraction can outgrow the reserved capacity, so a
+// push never overwrites a live entry.
+class EntryRing {
+ public:
+  // Capacity for every compaction discipline used here: queues compact at
+  // size > 2*live + 64 with live <= cap, ghosts drain at size > 2*cap + 16.
+  void Reserve(uint64_t cap) {
+    uint64_t n = 1;
+    while (n < 2 * cap + 80) {
+      n <<= 1;
+    }
+    buf_.resize(n);
+    mask_ = n - 1;
+  }
+
+  bool empty() const { return head_ == tail_; }
+  uint64_t size() const { return tail_ - head_; }
+  uint64_t head_abs() const { return head_; }
+  uint64_t tail_abs() const { return tail_; }
+
+  const std::pair<uint32_t, uint32_t>& front() const { return buf_[head_ & mask_]; }
+  const std::pair<uint32_t, uint32_t>& at_abs(uint64_t abs) const { return buf_[abs & mask_]; }
+
+  void pop_front() { ++head_; }
+
+  void push_back(uint32_t seq, uint32_t oi) {
+    buf_[tail_ & mask_] = {seq, oi};
+    ++tail_;
+  }
+
+  // Drops entries failing keep(), preserving order. Returns the new absolute
+  // index of the first kept entry whose old absolute index was >= track (the
+  // sentinel ~0 tracks nothing and maps to ~0) — used by SIEVE's hand.
+  template <typename Keep>
+  uint64_t Compact(const Keep& keep, uint64_t track = ~uint64_t{0}) {
+    uint64_t mapped = ~uint64_t{0};
+    uint64_t w = head_;
+    for (uint64_t r = head_; r != tail_; ++r) {
+      const auto e = buf_[r & mask_];
+      if (keep(e.second, e.first)) {
+        if (r >= track && mapped == ~uint64_t{0}) {
+          mapped = w;
+        }
+        buf_[w & mask_] = e;
+        ++w;
+      }
+    }
+    tail_ = w;
+    return mapped;
+  }
+
+ private:
+  std::vector<std::pair<uint32_t, uint32_t>> buf_;
+  uint64_t mask_ = 0;
+  uint64_t head_ = 0;  // absolute index of the oldest entry
+  uint64_t tail_ = 0;  // absolute index one past the newest entry
+};
+
+struct Ring {
+  EntryRing q;
+  uint64_t live = 0;
+};
+
+// Per-(object, size) state is ONE 32-bit word: bit 31 is the resident flag,
+// policy metadata (clock's ref counter, SIEVE's visited bit, S3-FIFO's
+// freq + small-vs-main bit) sits below it, and the live sequence stamp fills
+// the low bits. An object's words for all K sizes of a pass are contiguous
+// (seq_[oi * stride + k]), so the request path gathers the residency mask
+// from their sign bits with one or two cache lines, the hit path updates
+// metadata in those same already-warm lines, and the eviction loops decide
+// liveness AND read metadata with a single scattered load per victim — the
+// only cold line the per-size miss work touches. A ring entry is live iff
+// the word's stamp field still equals the entry's stamp; everything that
+// kills an object at one size either pops its entry outright or *bumps* the
+// stamp (which also clears the resident flag and metadata). Stamp fields are
+// >= 22 bits and wrap is safe: a dead entry is flushed by the next ring
+// compaction, at most ~2*cap + 64 pushes away, which is far fewer than the
+// 2^22+ pushes a stamp collision would need (grid capacities are nowhere
+// near 2^22 objects).
+constexpr uint32_t kResidentBit = 0x80000000u;
+
+// Exact replica of util/ghost_queue.h's GhostQueue (seq-stamped FIFO with
+// refresh-on-reinsert and lazy stale skipping) for ALL sizes of one pass,
+// over dense object indices instead of an id hash map: membership is one
+// bit per (object, size) and the live sequence stamp is a strided array, so
+// the per-miss ghost probes — the dominant cost of a multi-size S3-FIFO
+// pass — are bit tests instead of hash lookups. The live set after any
+// operation history, and the order evictions happen in, are identical to
+// GhostQueue's: both are determined purely by (id, seq) liveness.
+//
+// Sequence stamps are uint32: a pass would need > 4B ghost inserts into ONE
+// size's queue to wrap, and ghost inserts are bounded by per-size misses.
+class GhostDense {
+ public:
+  explicit GhostDense(size_t num_sizes) : stride_(num_sizes), per_(num_sizes) {}
+
+  void SetCapacity(int k, uint64_t capacity) {
+    per_[k].cap = std::max<uint64_t>(capacity, 1);
+    per_[k].fifo.Reserve(per_[k].cap);
+  }
+
+  void SetNumObjects(uint32_t n) {
+    bits_.assign(n, 0);
+    seq_.assign(size_t{n} * stride_, 0);
+  }
+
+  bool Contains(uint32_t oi, int k) const { return (bits_[oi] >> k) & 1; }
+
+  void PrefetchBits(uint32_t oi) const { __builtin_prefetch(&bits_[oi]); }
+
+  void PrefetchSeq(uint32_t oi) const { __builtin_prefetch(&seq_[size_t{oi} * stride_]); }
+
+  void Remove(uint32_t oi, int k) {
+    if ((bits_[oi] >> k) & 1) {
+      bits_[oi] &= ~(1ull << k);
+      --per_[k].size;  // deque entries for oi go stale via the bit check
+    }
+  }
+
+  bool HitAndErase(uint32_t oi, int k) {
+    if (((bits_[oi] >> k) & 1) == 0) {
+      return false;
+    }
+    Remove(oi, k);
+    return true;
+  }
+
+  void Insert(uint32_t oi, int k) {
+    PerSize& p = per_[k];
+    if (((bits_[oi] >> k) & 1) == 0) {
+      while (p.size >= p.cap) {
+        EvictOldest(k);
+      }
+      bits_[oi] |= 1ull << k;
+      ++p.size;
+    }
+    const uint32_t seq = p.next_seq++;  // refresh: any older entry goes stale
+    seq_[size_t{oi} * stride_ + k] = seq;
+    p.fifo.push_back(seq, oi);
+    if (p.fifo.size() > 2 * p.cap + 16) {
+      p.fifo.Compact([this, k](uint32_t v, uint32_t s) { return Live(s, v, k); });
+    }
+  }
+
+ private:
+  struct PerSize {
+    uint64_t cap = 1;
+    uint64_t size = 0;  // live entries
+    uint32_t next_seq = 0;
+    EntryRing fifo;  // (seq, oi), oldest first
+  };
+
+  bool Live(uint32_t seq, uint32_t oi, int k) const {
+    return ((bits_[oi] >> k) & 1) != 0 && seq_[size_t{oi} * stride_ + k] == seq;
+  }
+
+  void EvictOldest(int k) {
+    PerSize& p = per_[k];
+    while (!p.fifo.empty()) {
+      const auto [seq, oi] = p.fifo.front();
+      p.fifo.pop_front();
+      if (!p.fifo.empty()) {
+        __builtin_prefetch(&seq_[size_t{p.fifo.front().second} * stride_ + k]);
+        __builtin_prefetch(&bits_[p.fifo.front().second]);
+      }
+      if (Live(seq, oi, k)) {
+        bits_[oi] &= ~(1ull << k);
+        --p.size;
+        return;
+      }
+    }
+  }
+
+  size_t stride_;
+  std::vector<uint64_t> bits_;  // [oi] per-size membership
+  std::vector<uint32_t> seq_;   // [oi * stride + k] live sequence stamp
+  std::vector<PerSize> per_;
+};
+
+// The id -> dense-index mapping is policy- and size-independent, so it is
+// built ONCE per curve (InternTrace below) instead of probed per request
+// inside every pass. This matters on miss-heavy traces: brute force's
+// per-size hash table is capacity-bounded and mostly cache-resident, while a
+// one-pass intern map spans the whole footprint — probing it per request was
+// the pass's dominant cold miss. With dense ids precomputed, the request
+// path reads a sequential uint32 array (hardware-prefetched) and one
+// perfectly predicted strided words line, and every engine can pre-size its
+// state for the exact object count instead of growing incrementally.
+class EngineCore {
+ public:
+  explicit EngineCore(size_t num_sizes)
+      : grid_mask_(num_sizes >= 64 ? ~0ull : ((1ull << num_sizes) - 1)) {}
+
+  uint64_t grid_mask() const { return grid_mask_; }
+
+  // Residency mask over the pass's sizes: the sign bits of the object's
+  // contiguous per-size words.
+  static uint64_t GatherMask(const uint32_t* words, size_t n) {
+    uint64_t mask = 0;
+    for (size_t k = 0; k < n; ++k) {
+      mask |= uint64_t{words[k] >> 31} << k;
+    }
+    return mask;
+  }
+
+ private:
+  uint64_t grid_mask_;
+};
+
+// The trace's ids interned to dense [0, num_objects) in first-sight order.
+struct DenseIds {
+  std::vector<uint32_t> oi;  // [request index] -> dense object index
+  uint32_t num_objects = 0;
+};
+
+DenseIds InternTrace(const TraceView& view) {
+  DenseIds d;
+  const uint64_t n = view.size();
+  d.oi.resize(n);
+  FlatMap<uint32_t> index;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      index.Prefetch(view.id(i + kPrefetchDistance));
+    }
+    bool inserted = false;
+    uint32_t* slot = index.Emplace(view.id(i), &inserted);
+    if (inserted) {
+      *slot = d.num_objects++;
+    }
+    d.oi[i] = *slot;
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Per-policy multi-size engines. Each replicates the corresponding
+// src/policies implementation for count-based configs: OnMiss(oi, k) is
+// Access()'s miss path for size k (evict-until-free, then insert at the
+// head), OnHit is the hit path applied to every resident size at once,
+// OnDelete is Remove(). Hits are never materialized per size —
+// hits_k = measured requests − misses_k.
+// ---------------------------------------------------------------------------
+
+class FifoEngine {
+ public:
+  FifoEngine(const std::vector<uint64_t>& caps, const CacheConfig& /*config*/,
+             uint32_t num_objects)
+      : core_(caps.size()),
+        caps_(caps),
+        stride_(caps.size()),
+        next_seq_(caps.size(), 0),
+        rings_(caps.size()) {
+    seq_.assign(size_t{num_objects} * stride_, 0);
+    for (size_t k = 0; k < caps.size(); ++k) {
+      rings_[k].q.Reserve(caps[k]);
+    }
+  }
+
+  EngineCore& core() { return core_; }
+
+  uint64_t ResidentMask(uint32_t oi) const {
+    return EngineCore::GatherMask(&seq_[size_t{oi} * stride_], stride_);
+  }
+
+  void PrefetchWords(uint32_t oi) const { __builtin_prefetch(&seq_[size_t{oi} * stride_]); }
+
+  // Overlap the independent victim-word loads of this request's miss set:
+  // DrivePass calls this for every missing size before running the evictions,
+  // so the DRAM misses resolve in parallel instead of back to back.
+  void PrefetchVictim(uint32_t /*oi*/, int k) const {
+    const Ring& r = rings_[k];
+    if (r.live >= caps_[k] && !r.q.empty()) {
+      __builtin_prefetch(&seq_[size_t{r.q.front().second} * stride_ + k]);
+    }
+  }
+
+  void OnHit(uint32_t /*oi*/, uint64_t /*mask*/) {}
+
+  void OnMiss(uint32_t oi, int k) {
+    Ring& r = rings_[k];
+    while (r.live + 1 > caps_[k]) {
+      const auto [s, v] = r.q.front();
+      r.q.pop_front();
+      if (!r.q.empty()) {
+        __builtin_prefetch(&seq_[size_t{r.q.front().second} * stride_ + k]);
+      }
+      uint32_t& word = seq_[size_t{v} * stride_ + k];
+      if ((word & kSeqMask) == s) {
+        word = (s + 1) & kSeqMask;  // bump: evicted, entry would go stale
+        --r.live;
+      }
+    }
+    const uint32_t s = next_seq_[k];
+    next_seq_[k] = (s + 1) & kSeqMask;
+    seq_[size_t{oi} * stride_ + k] = s | kResidentBit;
+    r.q.push_back(s, oi);
+    ++r.live;
+    if (r.q.size() > 2 * r.live + 64) {
+      r.q.Compact([this, k](uint32_t v, uint32_t es) { return Live(v, k, es); });
+    }
+  }
+
+  void OnDelete(uint32_t oi, uint64_t mask) {
+    while (mask != 0) {
+      const int k = std::countr_zero(mask);
+      mask &= mask - 1;
+      --rings_[k].live;
+      uint32_t& word = seq_[size_t{oi} * stride_ + k];
+      word = ((word & kSeqMask) + 1) & kSeqMask;  // bump: entry goes stale
+    }
+  }
+
+ private:
+  // Word layout: [resident : 1][stamp : 31]. Entries die only by being
+  // popped or by a stamp bump, so the stamp alone decides liveness — the
+  // per-size miss work touches exactly one cold line per victim.
+  static constexpr uint32_t kSeqMask = 0x7fffffffu;
+
+  bool Live(uint32_t oi, int k, uint32_t s) const {
+    return (seq_[size_t{oi} * stride_ + k] & kSeqMask) == s;
+  }
+
+  EngineCore core_;
+  std::vector<uint64_t> caps_;
+  size_t stride_;
+  std::vector<uint32_t> seq_;       // [oi * stride + k] packed resident | stamp
+  std::vector<uint32_t> next_seq_;  // [k]
+  std::vector<Ring> rings_;
+};
+
+class ClockEngine {
+ public:
+  ClockEngine(const std::vector<uint64_t>& caps, const CacheConfig& config, uint32_t num_objects)
+      : core_(caps.size()),
+        caps_(caps),
+        stride_(caps.size()),
+        next_seq_(caps.size(), 0),
+        rings_(caps.size()) {
+    seq_.assign(size_t{num_objects} * stride_, 0);
+    const Params params(config.params);
+    const uint64_t bits = std::clamp<uint64_t>(params.GetU64("bits", 1), 1, 8);
+    max_ref_ = static_cast<uint32_t>((1u << bits) - 1);
+    // Word layout: [resident : 1][ref : bits][stamp : 31 - bits].
+    seq_bits_ = 31 - static_cast<uint32_t>(bits);
+    seq_mask_ = (1u << seq_bits_) - 1;
+    ref_one_ = 1u << seq_bits_;
+    ref_field_ = max_ref_ << seq_bits_;
+    for (size_t k = 0; k < caps.size(); ++k) {
+      rings_[k].q.Reserve(caps[k]);
+    }
+  }
+
+  EngineCore& core() { return core_; }
+
+  uint64_t ResidentMask(uint32_t oi) const {
+    return EngineCore::GatherMask(&seq_[size_t{oi} * stride_], stride_);
+  }
+
+  void PrefetchWords(uint32_t oi) const { __builtin_prefetch(&seq_[size_t{oi} * stride_]); }
+
+  // Overlap the independent victim-word loads of this request's miss set:
+  // DrivePass calls this for every missing size before running the evictions,
+  // so the DRAM misses resolve in parallel instead of back to back.
+  void PrefetchVictim(uint32_t /*oi*/, int k) const {
+    const Ring& r = rings_[k];
+    if (r.live >= caps_[k] && !r.q.empty()) {
+      __builtin_prefetch(&seq_[size_t{r.q.front().second} * stride_ + k]);
+    }
+  }
+
+  // Branchless over ALL K contiguous words (non-resident words contribute 0),
+  // so the compiler vectorizes the saturating ref increment: resident (sign
+  // bit) and not yet at max_ref (field compare is exact — max_ref_ fills its
+  // field) gate a masked add of ref_one_.
+  void OnHit(uint32_t oi, uint64_t /*mask*/) {
+    uint32_t* word = &seq_[size_t{oi} * stride_];
+    for (size_t k = 0; k < stride_; ++k) {
+      const uint32_t gate = (word[k] >> 31) & ((word[k] & ref_field_) != ref_field_ ? 1u : 0u);
+      word[k] += gate * ref_one_;
+    }
+  }
+
+  void OnMiss(uint32_t oi, int k) {
+    Ring& r = rings_[k];
+    while (r.live + 1 > caps_[k]) {
+      // ClockCache::EvictOne: reinsert referenced tails (decrementing),
+      // evict the first unreferenced one. Reinsertion keeps the stamp: the
+      // popped entry was the object's only live entry, so re-appending the
+      // same (stamp, object) pair preserves uniqueness.
+      const auto [s, v] = r.q.front();
+      r.q.pop_front();
+      if (!r.q.empty()) {
+        __builtin_prefetch(&seq_[size_t{r.q.front().second} * stride_ + k]);
+      }
+      uint32_t& word = seq_[size_t{v} * stride_ + k];
+      if ((word & seq_mask_) != s) {
+        continue;  // stale
+      }
+      if ((word & ref_field_) != 0) {
+        word -= ref_one_;
+        r.q.push_back(s, v);
+      } else {
+        word = (s + 1) & seq_mask_;  // bump: evicted
+        --r.live;
+      }
+    }
+    const uint32_t s = next_seq_[k];
+    next_seq_[k] = (s + 1) & seq_mask_;
+    seq_[size_t{oi} * stride_ + k] = s | kResidentBit;  // ref bits reset to 0
+    r.q.push_back(s, oi);
+    ++r.live;
+    if (r.q.size() > 2 * r.live + 64) {
+      r.q.Compact([this, k](uint32_t v, uint32_t es) { return Live(v, k, es); });
+    }
+  }
+
+  void OnDelete(uint32_t oi, uint64_t mask) {
+    while (mask != 0) {
+      const int k = std::countr_zero(mask);
+      mask &= mask - 1;
+      --rings_[k].live;
+      uint32_t& word = seq_[size_t{oi} * stride_ + k];
+      word = ((word & seq_mask_) + 1) & seq_mask_;  // bump: entry goes stale
+    }
+  }
+
+ private:
+  bool Live(uint32_t oi, int k, uint32_t s) const {
+    return (seq_[size_t{oi} * stride_ + k] & seq_mask_) == s;
+  }
+
+  EngineCore core_;
+  std::vector<uint64_t> caps_;
+  size_t stride_;
+  std::vector<uint32_t> seq_;       // [oi * stride + k] packed resident | ref | stamp
+  std::vector<uint32_t> next_seq_;  // [k]
+  std::vector<Ring> rings_;
+  uint32_t max_ref_ = 1;
+  uint32_t seq_bits_ = 30;
+  uint32_t seq_mask_ = (1u << 30) - 1;
+  uint32_t ref_one_ = 1u << 30;
+  uint32_t ref_field_ = 1u << 30;
+};
+
+// SIEVE's hand walks the queue tail-to-head, so its ring keeps an absolute
+// position per entry (base + offset; base advances when stale fronts pop) and
+// the hand is an absolute position instead of an object. Entries never move
+// (SIEVE has no reinsertion), which is what makes positions stable.
+class SieveEngine {
+ public:
+  static constexpr uint64_t kNoHand = ~uint64_t{0};
+
+  SieveEngine(const std::vector<uint64_t>& caps, const CacheConfig& /*config*/,
+              uint32_t num_objects)
+      : core_(caps.size()),
+        caps_(caps),
+        stride_(caps.size()),
+        next_seq_(caps.size(), 0),
+        rings_(caps.size()),
+        hands_(caps.size(), kNoHand) {
+    seq_.assign(size_t{num_objects} * stride_, 0);
+    for (size_t k = 0; k < caps.size(); ++k) {
+      rings_[k].q.Reserve(caps[k]);
+    }
+  }
+
+  EngineCore& core() { return core_; }
+
+  uint64_t ResidentMask(uint32_t oi) const {
+    return EngineCore::GatherMask(&seq_[size_t{oi} * stride_], stride_);
+  }
+
+  void PrefetchWords(uint32_t oi) const { __builtin_prefetch(&seq_[size_t{oi} * stride_]); }
+
+  // Prefetch the word of the entry the hand walk will inspect first.
+  void PrefetchVictim(uint32_t /*oi*/, int k) const {
+    const Ring& r = rings_[k];
+    if (r.live < caps_[k] || r.q.empty()) {
+      return;
+    }
+    const uint64_t base = r.q.head_abs();
+    const uint64_t end = r.q.tail_abs();
+    const uint64_t pos =
+        (hands_[k] == kNoHand || hands_[k] < base || hands_[k] >= end) ? base : hands_[k];
+    __builtin_prefetch(&seq_[size_t{r.q.at_abs(pos).second} * stride_ + k]);
+  }
+
+  // Branchless over ALL K contiguous words: set visited on resident words
+  // (sign bit shifted into the visited position); vectorizes.
+  void OnHit(uint32_t oi, uint64_t /*mask*/) {
+    uint32_t* word = &seq_[size_t{oi} * stride_];
+    for (size_t k = 0; k < stride_; ++k) {
+      word[k] |= (word[k] >> 31) << 30;
+    }
+  }
+
+  void OnMiss(uint32_t oi, int k) {
+    Ring& r = rings_[k];
+    while (r.live + 1 > caps_[k]) {
+      // Drop stale fronts so a wrap lands on the true tail.
+      while (!r.q.empty() && !Live(r.q.front().second, k, r.q.front().first)) {
+        r.q.pop_front();
+      }
+      if (r.live == 0) {
+        break;  // empty queue; unreachable while live >= cap >= 1
+      }
+      const uint64_t base = r.q.head_abs();
+      const uint64_t end = r.q.tail_abs();
+      // SieveCache::EvictOne: walk the hand toward the head clearing
+      // visited bits, wrapping to the tail past the head.
+      uint64_t pos =
+          (hands_[k] == kNoHand || hands_[k] < base || hands_[k] >= end) ? base : hands_[k];
+      for (;;) {
+        if (pos >= end) {
+          pos = base;
+        }
+        const auto [es, ev] = r.q.at_abs(pos);
+        const uint64_t nxt = pos + 1 >= end ? base : pos + 1;
+        __builtin_prefetch(&seq_[size_t{r.q.at_abs(nxt).second} * stride_ + k]);
+        uint32_t& word = seq_[size_t{ev} * stride_ + k];
+        if ((word & kSeqMask) != es) {
+          ++pos;  // stale
+          continue;
+        }
+        if ((word & kVisitedBit) != 0) {
+          word &= ~kVisitedBit;
+          ++pos;
+          continue;
+        }
+        --r.live;
+        word = (es + 1) & kSeqMask;  // bump: evicted, the in-ring entry dies
+        // RemoveEntry advances the hand to the adjacent live entry toward
+        // the head; parking on the (possibly stale) successor is equivalent
+        // — stale entries never come back to life and the next walk skips
+        // them with no side effects — and avoids a serial scan of cold
+        // per-size words here.
+        hands_[k] = pos + 1 < end ? pos + 1 : kNoHand;
+        break;
+      }
+    }
+    const uint32_t s = next_seq_[k];
+    next_seq_[k] = (s + 1) & kSeqMask;
+    seq_[size_t{oi} * stride_ + k] = s | kResidentBit;  // visited bit reset to 0
+    r.q.push_back(s, oi);
+    ++r.live;
+    if (r.q.size() > 2 * r.live + 64) {
+      hands_[k] = r.q.Compact([this, k](uint32_t v, uint32_t es) { return Live(v, k, es); },
+                              hands_[k]);
+    }
+  }
+
+  void OnDelete(uint32_t oi, uint64_t mask) {
+    while (mask != 0) {
+      const int k = std::countr_zero(mask);
+      mask &= mask - 1;
+      --rings_[k].live;
+      uint32_t& word = seq_[size_t{oi} * stride_ + k];
+      word = ((word & kSeqMask) + 1) & kSeqMask;  // bump: entry goes stale
+    }
+  }
+
+ private:
+  // Word layout: [resident : 1][visited : 1][stamp : 30]. Evictions bump the
+  // stamp (the evicted entry stays in the ring until the hand or a
+  // compaction passes it), so the walk's liveness test is the stamp compare
+  // alone — one cold line per walk step.
+  static constexpr uint32_t kVisitedBit = 0x40000000u;
+  static constexpr uint32_t kSeqMask = 0x3fffffffu;
+
+  bool Live(uint32_t oi, int k, uint32_t s) const {
+    return (seq_[size_t{oi} * stride_ + k] & kSeqMask) == s;
+  }
+
+  EngineCore core_;
+  std::vector<uint64_t> caps_;
+  size_t stride_;
+  std::vector<uint32_t> seq_;       // [oi * stride + k] packed visited | stamp
+  std::vector<uint32_t> next_seq_;  // [k]
+  std::vector<Ring> rings_;
+  std::vector<uint64_t> hands_;  // [size] absolute position, kNoHand = "use tail"
+};
+
+// S3-FIFO (and, with adaptive=true, S3-FIFO-D): small/main/ghost per size.
+// Replicates S3FifoCache::{Access, EnsureFree, EvictFromSmall, EvictFromMain,
+// Remove} plus S3FifoDCache::{OnMissLookup, MaybeRebalance} for count-based
+// configs with ghost_type=exact and plain FIFO queue types.
+class S3FifoEngine {
+ public:
+  S3FifoEngine(const std::vector<uint64_t>& caps, const CacheConfig& config, bool adaptive,
+               uint32_t num_objects)
+      : core_(caps.size()),
+        adaptive_(adaptive),
+        stride_(caps.size()),
+        next_seq_(caps.size(), 0),
+        small_(caps.size()),
+        main_(caps.size()),
+        ghost_(caps.size()),
+        small_ev_(caps.size()),
+        main_ev_(caps.size()) {
+    seq_.assign(size_t{num_objects} * stride_, 0);
+    const Params params(config.params);
+    const double small_ratio = std::clamp(params.GetDouble("small_ratio", 0.1), 0.001, 0.999);
+    move_threshold_ = static_cast<uint32_t>(
+        std::clamp<uint64_t>(params.GetU64("move_to_main_threshold", 2), 1, 16));
+    max_freq_ =
+        static_cast<uint32_t>(std::clamp<uint64_t>(params.GetU64("max_freq", 3), 1, 255));
+    // Word layout: [resident : 1][in_small : 1][freq : fb][stamp : 30 - fb],
+    // fb just wide enough for max_freq. One size's stamps are shared by its
+    // small and main rings (a per-size counter), so the stamp compare alone
+    // identifies which ring holds the object's live entry.
+    const uint32_t fb = static_cast<uint32_t>(std::bit_width(max_freq_));
+    seq_bits_ = 30 - fb;
+    seq_mask_ = (1u << seq_bits_) - 1;
+    freq_one_ = 1u << seq_bits_;
+    freq_mask_ = (1u << fb) - 1;
+    freq_field_ = freq_mask_ << seq_bits_;
+    const double ghost_ratio = params.GetDouble("ghost_ratio", 0.9);
+    const double adapt_ghost_ratio = params.GetDouble("adapt_ghost_ratio", 0.05);
+    const uint64_t min_hits = params.GetU64("adapt_min_hits", 100);
+    const double imbalance = params.GetDouble("adapt_imbalance", 2.0);
+    const double step_ratio = params.GetDouble("adapt_step_ratio", 0.001);
+
+    ghost_.SetNumObjects(num_objects);
+    if (adaptive_) {
+      small_ev_.SetNumObjects(num_objects);
+      main_ev_.SetNumObjects(num_objects);
+    }
+    per_.resize(caps.size());
+    for (size_t k = 0; k < caps.size(); ++k) {
+      const uint64_t cap = caps[k];
+      PerSize& s = per_[k];
+      s.cap = cap;
+      s.small_target = std::max<uint64_t>(static_cast<uint64_t>(cap * small_ratio), 1);
+      if (s.small_target >= cap) {
+        s.small_target = cap > 1 ? cap - 1 : 1;
+      }
+      s.main_target = cap - s.small_target;
+      small_[k].q.Reserve(cap);
+      main_[k].q.Reserve(cap);
+      // Count-based config: ghost entries scale with the capacity itself.
+      ghost_.SetCapacity(static_cast<int>(k),
+                         std::max<uint64_t>(static_cast<uint64_t>(cap * ghost_ratio), 1));
+      if (adaptive_) {
+        const uint64_t shadow =
+            std::max<uint64_t>(static_cast<uint64_t>(cap * adapt_ghost_ratio), 1);
+        small_ev_.SetCapacity(static_cast<int>(k), shadow);
+        main_ev_.SetCapacity(static_cast<int>(k), shadow);
+        s.min_hits = min_hits;
+        s.imbalance = imbalance;
+        s.step = std::max<uint64_t>(static_cast<uint64_t>(cap * step_ratio), 1);
+      }
+    }
+  }
+
+  EngineCore& core() { return core_; }
+
+  uint64_t ResidentMask(uint32_t oi) const {
+    return EngineCore::GatherMask(&seq_[size_t{oi} * stride_], stride_);
+  }
+
+  void PrefetchWords(uint32_t oi) const {
+    __builtin_prefetch(&seq_[size_t{oi} * stride_]);
+    ghost_.PrefetchBits(oi);
+  }
+
+  // Prefetch the word of the queue head that EnsureFree would evict from
+  // first (the ghost line is already covered by PrefetchWords).
+  void PrefetchVictim(uint32_t /*oi*/, int k) const {
+    const PerSize& s = per_[k];
+    if (small_[k].live + main_[k].live < s.cap) {
+      return;
+    }
+    const bool from_small =
+        (small_[k].live > s.small_target && small_[k].live > 0) || main_[k].live == 0;
+    const Ring& r = from_small ? small_[k] : main_[k];
+    if (!r.q.empty()) {
+      __builtin_prefetch(&seq_[size_t{r.q.front().second} * stride_ + k]);
+      if (from_small) {
+        ghost_.PrefetchSeq(r.q.front().second);  // a demotion writes its stamp
+      }
+    }
+  }
+
+  // Branchless over ALL K contiguous words; vectorizes. max_freq need not
+  // fill the field (e.g. max_freq=5 in a 3-bit field), so the saturation
+  // gate compares the value, not the field bits.
+  void OnHit(uint32_t oi, uint64_t /*mask*/) {
+    uint32_t* word = &seq_[size_t{oi} * stride_];
+    for (size_t k = 0; k < stride_; ++k) {
+      const uint32_t gate =
+          (word[k] >> 31) & (((word[k] >> seq_bits_) & freq_mask_) < max_freq_ ? 1u : 0u);
+      word[k] += gate * freq_one_;
+    }
+  }
+
+  void OnMiss(uint32_t oi, int k) {
+    PerSize& s = per_[k];
+    if (adaptive_) {
+      OnMissLookup(s, oi, k);  // fires before any eviction, as in Access()
+    }
+    EnsureFree(s, k);
+    if (ghost_.HitAndErase(oi, k)) {
+      Push(main_[k], oi, k, /*in_small=*/false);
+    } else {
+      Push(small_[k], oi, k, /*in_small=*/true);
+    }
+  }
+
+  void OnDelete(uint32_t oi, uint64_t mask) {
+    while (mask != 0) {
+      const int k = std::countr_zero(mask);
+      mask &= mask - 1;
+      uint32_t& word = seq_[size_t{oi} * stride_ + k];
+      if ((word & kInSmallBit) != 0) {
+        --small_[k].live;
+      } else {
+        --main_[k].live;
+      }
+      word = ((word & seq_mask_) + 1) & seq_mask_;  // bump: entry goes stale
+      // S3FifoCache::Remove never touches the ghost queues.
+    }
+  }
+
+ private:
+  struct PerSize {
+    uint64_t cap = 0;
+    uint64_t small_target = 0;
+    uint64_t main_target = 0;
+    // S3-FIFO-D adaptation state.
+    uint64_t small_ghost_hits = 0;
+    uint64_t main_ghost_hits = 0;
+    uint64_t min_hits = 0;
+    double imbalance = 2.0;
+    uint64_t step = 1;
+  };
+
+  static constexpr uint32_t kInSmallBit = 0x40000000u;
+
+  // An object is in at most one of small/main per size, and both rings draw
+  // stamps from the same per-size counter, so a stamp match identifies the
+  // object's unique live entry regardless of which ring it sits in. Entries
+  // die only by being popped (eviction, promotion) or by a delete-bump.
+  bool Live(uint32_t oi, int k, uint32_t s) const {
+    return (seq_[size_t{oi} * stride_ + k] & seq_mask_) == s;
+  }
+
+  void Push(Ring& r, uint32_t oi, int k, bool in_small) {
+    const uint32_t s = next_seq_[k];
+    next_seq_[k] = (s + 1) & seq_mask_;
+    // freq resets to 0
+    seq_[size_t{oi} * stride_ + k] = s | kResidentBit | (in_small ? kInSmallBit : 0);
+    r.q.push_back(s, oi);
+    ++r.live;
+    if (r.q.size() > 2 * r.live + 64) {
+      r.q.Compact([this, k](uint32_t v, uint32_t es) { return Live(v, k, es); });
+    }
+  }
+
+  void EnsureFree(PerSize& s, int k) {
+    while (small_[k].live + main_[k].live + 1 > s.cap) {
+      if ((small_[k].live > s.small_target && small_[k].live > 0) || main_[k].live == 0) {
+        EvictFromSmall(s, k);
+      } else {
+        EvictFromMain(s, k);
+      }
+      if (small_[k].live == 0 && main_[k].live == 0) {
+        return;
+      }
+    }
+  }
+
+  void EvictFromSmall(PerSize& s, int k) {
+    Ring& r = small_[k];
+    for (;;) {
+      if (r.q.empty()) {
+        return;  // mirrors the tail == end() guard
+      }
+      const auto [es, t] = r.q.front();
+      r.q.pop_front();
+      if (!r.q.empty()) {
+        __builtin_prefetch(&seq_[size_t{r.q.front().second} * stride_ + k]);
+      }
+      uint32_t& word = seq_[size_t{t} * stride_ + k];
+      if ((word & seq_mask_) != es) {
+        continue;  // stale
+      }
+      --r.live;
+      if (((word >> seq_bits_) & freq_mask_) >= move_threshold_) {
+        // Promote to M; access bits are cleared during the move (§4.1).
+        Push(main_[k], t, k, /*in_small=*/false);
+        while (main_[k].live > s.main_target) {
+          EvictFromMain(s, k);
+        }
+      } else {
+        word = (es + 1) & seq_mask_;  // bump: demoted to ghost
+        ghost_.Insert(t, k);
+        if (adaptive_) {
+          small_ev_.Insert(t, k);
+        }
+      }
+      return;
+    }
+  }
+
+  void EvictFromMain(PerSize& /*s*/, int k) {
+    // FIFO-reinsertion: terminates because every reinsertion decrements freq.
+    Ring& r = main_[k];
+    for (;;) {
+      if (r.q.empty()) {
+        return;
+      }
+      const auto [es, t] = r.q.front();
+      r.q.pop_front();
+      if (!r.q.empty()) {
+        __builtin_prefetch(&seq_[size_t{r.q.front().second} * stride_ + k]);
+      }
+      uint32_t& word = seq_[size_t{t} * stride_ + k];
+      if ((word & seq_mask_) != es) {
+        continue;  // stale
+      }
+      if ((word & freq_field_) != 0) {  // freq > 0
+        word -= freq_one_;
+        r.q.push_back(es, t);  // reinsertion keeps the stamp
+      } else {
+        --r.live;
+        word = (es + 1) & seq_mask_;  // bump: evicted
+        if (adaptive_) {
+          main_ev_.Insert(t, k);
+        }
+        return;
+      }
+    }
+  }
+
+  void OnMissLookup(PerSize& s, uint32_t oi, int k) {
+    if (small_ev_.HitAndErase(oi, k)) {
+      ++s.small_ghost_hits;
+    }
+    if (main_ev_.HitAndErase(oi, k)) {
+      ++s.main_ghost_hits;
+    }
+    MaybeRebalance(s);
+  }
+
+  void MaybeRebalance(PerSize& s) {
+    if (s.small_ghost_hits + s.main_ghost_hits <= s.min_hits) {
+      return;
+    }
+    const double hi = static_cast<double>(std::max(s.small_ghost_hits, s.main_ghost_hits));
+    const double lo = static_cast<double>(std::min(s.small_ghost_hits, s.main_ghost_hits));
+    if (hi < s.imbalance * std::max(lo, 1.0)) {
+      return;
+    }
+    uint64_t target;
+    if (s.small_ghost_hits > s.main_ghost_hits) {
+      target = std::min<uint64_t>(s.small_target + s.step, s.cap - 1);
+    } else {
+      target = s.small_target > s.step ? s.small_target - s.step : 1;
+    }
+    // set_small_target's clamp; guarded for cap == 1, where the brute-force
+    // path would clamp to an empty [1, 0] range (UB it never hits in the
+    // committed configurations — the engine pins target = 1 there).
+    s.small_target = s.cap > 1 ? std::clamp<uint64_t>(target, 1, s.cap - 1) : 1;
+    s.main_target = s.cap - s.small_target;
+    s.small_ghost_hits = 0;
+    s.main_ghost_hits = 0;
+  }
+
+  EngineCore core_;
+  bool adaptive_;
+  uint32_t move_threshold_ = 2;
+  uint32_t max_freq_ = 3;
+  uint32_t seq_bits_ = 28;
+  uint32_t seq_mask_ = (1u << 28) - 1;
+  uint32_t freq_one_ = 1u << 28;
+  uint32_t freq_mask_ = 3;
+  uint32_t freq_field_ = 3u << 28;
+  size_t stride_;
+  std::vector<uint32_t> seq_;  // [oi * stride + k] packed resident | in_small | freq | stamp
+  std::vector<uint32_t> next_seq_;  // [k], shared by both rings of a size
+  std::vector<Ring> small_;
+  std::vector<Ring> main_;
+  GhostDense ghost_;
+  GhostDense small_ev_;  // S3-FIFO-D shadow ghosts (empty unless adaptive)
+  GhostDense main_ev_;
+  std::vector<PerSize> per_;
+};
+
+// The shared traversal: per-size work only on the miss set, no hash probe
+// at all (ids were interned up front by InternTrace). Mirrors simulator.cc's
+// RunLoop metric rules exactly (deletes and warmup excluded from the counts).
+// The dense-id array is read sequentially, so the only scattered line the
+// request path touches — the object's per-size words — is prefetched
+// kPrefetchDistance ahead with a perfectly known address.
+template <typename Engine>
+std::vector<SimResult> DrivePass(const TraceView& view, const uint32_t* dense, Engine& engine,
+                                 const std::vector<uint64_t>& caps, uint64_t warmup_requests) {
+  const size_t num_sizes = caps.size();
+  std::vector<uint64_t> misses(num_sizes, 0);
+  std::vector<uint64_t> bytes_missed(num_sizes, 0);
+  uint64_t measured = 0;
+  uint64_t bytes_requested = 0;
+  const uint64_t grid_mask = engine.core().grid_mask();
+  const uint64_t n = view.size();
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i + kPrefetchDistance < n) {
+      engine.PrefetchWords(dense[i + kPrefetchDistance]);
+    }
+    const uint32_t oi = dense[i];
+    const uint64_t mask = engine.ResidentMask(oi);
+    if (view.op(i) == OpType::kDelete) {
+      if (mask != 0) {
+        engine.OnDelete(oi, mask);
+      }
+      continue;
+    }
+    const bool measure = i >= warmup_requests;
+    const uint32_t size = view.object_size(i);
+    if (measure) {
+      ++measured;
+      bytes_requested += size;
+    }
+    if (mask != 0) {
+      engine.OnHit(oi, mask);
+    }
+    uint64_t miss = ~mask & grid_mask;
+    for (uint64_t m = miss; m != 0; m &= m - 1) {
+      engine.PrefetchVictim(oi, std::countr_zero(m));
+    }
+    while (miss != 0) {
+      const int k = std::countr_zero(miss);
+      miss &= miss - 1;
+      if (measure) {
+        ++misses[k];
+        bytes_missed[k] += size;
+      }
+      engine.OnMiss(oi, k);
+    }
+  }
+  std::vector<SimResult> results(num_sizes);
+  for (size_t k = 0; k < num_sizes; ++k) {
+    results[k].requests = measured;
+    results[k].misses = misses[k];
+    results[k].hits = measured - misses[k];
+    results[k].bytes_requested = bytes_requested;
+    results[k].bytes_missed = bytes_missed[k];
+  }
+  return results;
+}
+
+std::vector<SimResult> RunChunk(const TraceView& view, const DenseIds& dense,
+                                const std::string& policy, const std::vector<uint64_t>& caps,
+                                const CacheConfig& config, uint64_t warmup_requests) {
+  if (policy == "fifo") {
+    FifoEngine engine(caps, config, dense.num_objects);
+    return DrivePass(view, dense.oi.data(), engine, caps, warmup_requests);
+  }
+  if (policy == "clock") {
+    ClockEngine engine(caps, config, dense.num_objects);
+    return DrivePass(view, dense.oi.data(), engine, caps, warmup_requests);
+  }
+  if (policy == "sieve") {
+    SieveEngine engine(caps, config, dense.num_objects);
+    return DrivePass(view, dense.oi.data(), engine, caps, warmup_requests);
+  }
+  if (policy == "s3fifo" || policy == "s3fifo-d") {
+    S3FifoEngine engine(caps, config, policy == "s3fifo-d", dense.num_objects);
+    return DrivePass(view, dense.oi.data(), engine, caps, warmup_requests);
+  }
+  throw std::invalid_argument("one-pass MRC engine does not support policy '" + policy + "'");
+}
+
+}  // namespace
+
+MrcMode ParseMrcMode(const std::string& name) {
+  if (name == "auto" || name == "onepass") {
+    return MrcMode::kAuto;
+  }
+  if (name == "brute") {
+    return MrcMode::kBrute;
+  }
+  if (name == "shards") {
+    return MrcMode::kShards;
+  }
+  throw std::invalid_argument("unknown MRC mode '" + name +
+                              "' (expected auto|onepass|brute|shards)");
+}
+
+bool MrcEngineSupports(const std::string& policy, const CacheConfig& config) {
+  if (!config.count_based) {
+    return false;  // byte-sized objects break the one-slot-per-object layout
+  }
+  if (policy == "fifo" || policy == "clock" || policy == "sieve") {
+    return true;
+  }
+  if (policy == "s3fifo" || policy == "s3fifo-d") {
+    const Params params(config.params);
+    return params.GetString("ghost_type", "exact") == "exact" &&
+           !params.GetBool("small_lru", false) && !params.GetBool("main_lru", false) &&
+           !params.GetBool("main_sieve", false);
+  }
+  return false;
+}
+
+MrcCurve OnePassMrc(const TraceView& view, const std::string& policy,
+                    const std::vector<uint64_t>& sizes, const CacheConfig& base_config,
+                    uint64_t warmup_requests) {
+  if (!MrcEngineSupports(policy, base_config)) {
+    throw std::invalid_argument("one-pass MRC engine does not support policy '" + policy +
+                                "' with params '" + base_config.params + "'");
+  }
+  MrcCurve curve;
+  curve.policy = policy;
+  curve.exact = true;
+  curve.sizes = sizes;
+  if (sizes.empty()) {
+    return curve;
+  }
+  for (const uint64_t size : sizes) {
+    if (size == 0) {
+      throw std::invalid_argument("MRC size grid entries must be > 0");
+    }
+  }
+
+  // Deduplicate: each distinct capacity is simulated once per pass; the
+  // requested order (and any duplicates) is restored from the result table.
+  std::vector<uint64_t> unique_sizes = sizes;
+  std::sort(unique_sizes.begin(), unique_sizes.end());
+  unique_sizes.erase(std::unique(unique_sizes.begin(), unique_sizes.end()), unique_sizes.end());
+
+  const DenseIds dense = InternTrace(view);
+  std::vector<SimResult> by_unique;
+  by_unique.reserve(unique_sizes.size());
+  for (size_t start = 0; start < unique_sizes.size(); start += kMaxSizesPerPass) {
+    const size_t end = std::min(unique_sizes.size(), start + kMaxSizesPerPass);
+    const std::vector<uint64_t> chunk(unique_sizes.begin() + start, unique_sizes.begin() + end);
+    std::vector<SimResult> chunk_results =
+        RunChunk(view, dense, policy, chunk, base_config, warmup_requests);
+    by_unique.insert(by_unique.end(), chunk_results.begin(), chunk_results.end());
+  }
+
+  curve.results.reserve(sizes.size());
+  curve.miss_ratios.reserve(sizes.size());
+  for (const uint64_t size : sizes) {
+    const size_t at = static_cast<size_t>(
+        std::lower_bound(unique_sizes.begin(), unique_sizes.end(), size) - unique_sizes.begin());
+    curve.results.push_back(by_unique[at]);
+    curve.miss_ratios.push_back(by_unique[at].MissRatio());
+  }
+  return curve;
+}
+
+MrcCurve ComputeMrcCurve(const TraceView& view, const std::string& policy,
+                         const std::vector<uint64_t>& sizes, const MrcOptions& options) {
+  switch (options.mode) {
+    case MrcMode::kOnePass:
+      return OnePassMrc(view, policy, sizes, options.base_config, options.warmup_requests);
+    case MrcMode::kShards:
+      return ShardsMrc(view, policy, sizes, options.shards_rate, options.base_config,
+                       options.warmup_requests);
+    case MrcMode::kAuto:
+      if (MrcEngineSupports(policy, options.base_config)) {
+        return OnePassMrc(view, policy, sizes, options.base_config, options.warmup_requests);
+      }
+      [[fallthrough]];
+    case MrcMode::kBrute:
+      break;
+  }
+  MrcCurve curve;
+  curve.policy = policy;
+  curve.exact = true;
+  curve.sizes = sizes;
+  curve.results =
+      ComputeMrcResults(view, policy, sizes, options.base_config, options.warmup_requests);
+  curve.miss_ratios.reserve(curve.results.size());
+  for (const SimResult& r : curve.results) {
+    curve.miss_ratios.push_back(r.MissRatio());
+  }
+  return curve;
+}
+
+}  // namespace s3fifo

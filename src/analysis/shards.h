@@ -3,23 +3,50 @@
 // proportionally downsized cache. Rate R keeps ids with hash(id) mod P < R*P
 // — every request to a sampled object is kept, preserving per-object reuse
 // behaviour.
+//
+// The hash salt is derived from an explicit seed (no hidden constant), so
+// two samples are reproducible for equal seeds and draw disjoint-ish object
+// subsets for different seeds; ShardsMissRatio and ShardsMrc propagate
+// CacheConfig::seed into it.
 #ifndef SRC_ANALYSIS_SHARDS_H_
 #define SRC_ANALYSIS_SHARDS_H_
 
 #include <string>
+#include <vector>
 
+#include "src/analysis/mrc_engine.h"
 #include "src/core/cache.h"
 #include "src/trace/trace.h"
+#include "src/trace/trace_view.h"
 
 namespace s3fifo {
 
-// Returns the sampled sub-trace (deterministic in the id hash).
-Trace ShardsSample(const Trace& trace, double rate);
+// The seed the legacy entry points default to; matches CacheConfig's default
+// seed so Trace-level and TraceView-level calls agree.
+inline constexpr uint64_t kShardsDefaultSeed = 42;
+
+// Returns the sampled sub-trace (deterministic in the id hash and the seed).
+Trace ShardsSample(const Trace& trace, double rate, uint64_t hash_seed = kShardsDefaultSeed);
 
 // Estimates the full-size miss ratio of `policy` at `cache_size` by
 // simulating the sampled trace with a cache of size cache_size * rate.
+// base_config.seed doubles as the sampling hash seed.
 double ShardsMissRatio(const Trace& trace, const std::string& policy, uint64_t cache_size,
                        double rate, const CacheConfig& base_config = {1, true, "", 42});
+
+// Streaming one-pass approximate MRC: a single traversal of the view feeds
+// the hash-sampled request stream (~rate of the requests) into one downsized
+// cache per grid size — no materialized sub-trace, any policy. Applies the
+// FAST'15 expected-error correction: the shortfall between the expected
+// sample size N*R and the actual sample is credited to the hit count before
+// the ratio is formed, which removes most of the small-sample bias.
+// miss_ratios holds the corrected estimates; results holds the raw sampled
+// counts. base_config.seed doubles as the sampling hash seed. At rate 1.0
+// the curve equals the exact brute-force curve.
+MrcCurve ShardsMrc(const TraceView& view, const std::string& policy,
+                   const std::vector<uint64_t>& sizes, double rate,
+                   const CacheConfig& base_config = {1, true, "", 42},
+                   uint64_t warmup_requests = 0);
 
 }  // namespace s3fifo
 

@@ -1,12 +1,18 @@
 #include "src/check/invariants.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
+#include "src/analysis/mrc.h"
+#include "src/analysis/mrc_engine.h"
+#include "src/analysis/shards.h"
 #include "src/core/cache_factory.h"
 #include "src/policies/s3fifo.h"
 #include "src/sim/simulator.h"
 #include "src/trace/next_access.h"
 #include "src/trace/trace.h"
+#include "src/trace/trace_view.h"
 
 namespace s3fifo {
 namespace check {
@@ -129,6 +135,135 @@ std::string CheckBeladyLowerBound(std::string_view policy, const CacheConfig& co
     out << "belady missed more than " << policy << ": " << opt.misses << " > " << got.misses
         << " (optimality violated)";
     return out.str();
+  }
+  return "";
+}
+
+std::string CheckMrcMatchesBruteForce(std::string_view policy, const CacheConfig& config,
+                                      const std::vector<Request>& requests,
+                                      const std::vector<uint64_t>& sizes) {
+  const std::string name(policy);
+  if (!MrcEngineSupports(name, config)) {
+    return "one-pass MRC engine does not support '" + name + "'";
+  }
+  const Trace trace(requests, "mrc-differential");
+  const TraceView view = TraceView::Borrow(trace);
+  const MrcCurve onepass = OnePassMrc(view, name, sizes, config);
+  const std::vector<SimResult> brute = ComputeMrcResults(view, name, sizes, config);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const SimResult& a = onepass.results[i];
+    const SimResult& b = brute[i];
+    if (a.requests != b.requests || a.hits != b.hits || a.misses != b.misses ||
+        a.bytes_requested != b.bytes_requested || a.bytes_missed != b.bytes_missed) {
+      std::ostringstream out;
+      out << name << " one-pass diverged from brute force at size " << sizes[i]
+          << ": onepass(hits=" << a.hits << " misses=" << a.misses << ") vs brute(hits="
+          << b.hits << " misses=" << b.misses << ")";
+      return out.str();
+    }
+  }
+  return "";
+}
+
+std::string CheckMrcMonotone(std::string_view policy, const CacheConfig& config,
+                             const std::vector<Request>& requests,
+                             const std::vector<uint64_t>& sizes, uint64_t slack) {
+  const std::string name(policy);
+  if (!MrcEngineSupports(name, config)) {
+    return "one-pass MRC engine does not support '" + name + "'";
+  }
+  std::vector<uint64_t> sorted = sizes;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  const Trace trace(requests, "mrc-monotone");
+  const TraceView view = TraceView::Borrow(trace);
+  const MrcCurve curve = OnePassMrc(view, name, sorted, config);
+  if (curve.results.empty()) {
+    return "";
+  }
+  if (slack == UINT64_MAX) {
+    slack = std::max<uint64_t>(8, curve.results.front().requests / 50);
+  }
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    const uint64_t prev = curve.results[i - 1].misses;
+    const uint64_t cur = curve.results[i].misses;
+    if (cur > prev + slack) {
+      std::ostringstream out;
+      out << name << " misses grew with cache size beyond the Belady-anomaly slack: size "
+          << sorted[i - 1] << " -> " << sorted[i] << " took misses " << prev << " -> " << cur
+          << " (slack " << slack << ")";
+      return out.str();
+    }
+  }
+  return "";
+}
+
+std::string CheckMrcGridRefinement(std::string_view policy, const CacheConfig& config,
+                                   const std::vector<Request>& requests,
+                                   const std::vector<uint64_t>& sizes) {
+  const std::string name(policy);
+  if (!MrcEngineSupports(name, config)) {
+    return "one-pass MRC engine does not support '" + name + "'";
+  }
+  std::vector<uint64_t> base = sizes;
+  std::sort(base.begin(), base.end());
+  base.erase(std::unique(base.begin(), base.end()), base.end());
+  // Refine: wedge a midpoint between every adjacent pair.
+  std::vector<uint64_t> refined;
+  for (size_t i = 0; i < base.size(); ++i) {
+    refined.push_back(base[i]);
+    if (i + 1 < base.size()) {
+      const uint64_t mid = base[i] + (base[i + 1] - base[i]) / 2;
+      if (mid != base[i] && mid != base[i + 1]) {
+        refined.push_back(mid);
+      }
+    }
+  }
+  const Trace trace(requests, "mrc-refinement");
+  const TraceView view = TraceView::Borrow(trace);
+  const MrcCurve coarse = OnePassMrc(view, name, base, config);
+  const MrcCurve fine = OnePassMrc(view, name, refined, config);
+  size_t fi = 0;
+  for (size_t i = 0; i < base.size(); ++i) {
+    while (fi < refined.size() && refined[fi] != base[i]) {
+      ++fi;
+    }
+    const SimResult& a = coarse.results[i];
+    const SimResult& b = fine.results[fi];
+    if (a.hits != b.hits || a.misses != b.misses || a.bytes_missed != b.bytes_missed) {
+      std::ostringstream out;
+      out << name << " grid refinement changed the result at size " << base[i] << ": coarse(hits="
+          << a.hits << " misses=" << a.misses << ") vs refined(hits=" << b.hits
+          << " misses=" << b.misses << ")";
+      return out.str();
+    }
+  }
+  return "";
+}
+
+std::string CheckShardsConvergence(std::string_view policy, const CacheConfig& config,
+                                   const std::vector<Request>& requests,
+                                   const std::vector<uint64_t>& sizes, double rate,
+                                   double tolerance) {
+  const std::string name(policy);
+  const Trace trace(requests, "mrc-shards");
+  const TraceView view = TraceView::Borrow(trace);
+  MrcOptions exact_options;
+  exact_options.mode = MrcMode::kAuto;  // one-pass when supported, else brute
+  exact_options.base_config = config;
+  const MrcCurve exact = ComputeMrcCurve(view, name, sizes, exact_options);
+  const MrcCurve sampled = ShardsMrc(view, name, sizes, rate, config);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const double err = std::fabs(sampled.miss_ratios[i] - exact.miss_ratios[i]);
+    const bool violated = rate >= 1.0 ? sampled.miss_ratios[i] != exact.miss_ratios[i]
+                                      : err > tolerance;
+    if (violated) {
+      std::ostringstream out;
+      out << name << " SHARDS(rate=" << rate << ") off the exact curve at size " << sizes[i]
+          << ": sampled " << sampled.miss_ratios[i] << " vs exact " << exact.miss_ratios[i]
+          << " (|err| " << err << ", tolerance " << (rate >= 1.0 ? 0.0 : tolerance) << ")";
+      return out.str();
+    }
   }
   return "";
 }

@@ -13,6 +13,19 @@
 //   * Belady's MIN is a lower bound on the miss count (count-based,
 //     get-only traces — the optimality argument needs uniform sizes and no
 //     invalidation).
+//
+// MRC invariants (the one-pass engine's metamorphic contract):
+//
+//   * the one-pass curve equals the brute-force per-size simulations
+//     count-for-count;
+//   * miss counts are non-increasing in cache size up to a small slack
+//     (FIFO-family policies lack the inclusion property, so Belady's anomaly
+//     makes strict monotonicity genuinely false — the slack bounds it);
+//   * refining the size grid never changes the results at the original
+//     sizes (each size simulates independently; dedup/chunking must not
+//     leak state across grid shapes);
+//   * SHARDS converges to the exact curve as the sampling rate approaches
+//     1 (and is exactly equal at rate == 1).
 #ifndef SRC_CHECK_INVARIANTS_H_
 #define SRC_CHECK_INVARIANTS_H_
 
@@ -53,6 +66,40 @@ std::string CheckDeterministicReplay(std::string_view policy, const CacheConfig&
 // requests. The trace is annotated internally.
 std::string CheckBeladyLowerBound(std::string_view policy, const CacheConfig& config,
                                   const std::vector<Request>& requests);
+
+// --- One-pass MRC engine invariants -------------------------------------
+// All take a policy the engine supports (MrcEngineSupports), a count-based
+// base config (capacity is overridden per grid size), and return "" on
+// success or a violation description.
+
+// Differential: the one-pass curve must equal brute-force per-size
+// simulations on every count (requests/hits/misses/bytes).
+std::string CheckMrcMatchesBruteForce(std::string_view policy, const CacheConfig& config,
+                                      const std::vector<Request>& requests,
+                                      const std::vector<uint64_t>& sizes);
+
+// Metamorphic: a larger cache must not miss more, up to `slack` misses per
+// size step (Belady's anomaly is real for FIFO-family policies but small;
+// slack 0 disables the tolerance). Default slack: max(8, 2% of measured
+// requests).
+std::string CheckMrcMonotone(std::string_view policy, const CacheConfig& config,
+                             const std::vector<Request>& requests,
+                             const std::vector<uint64_t>& sizes, uint64_t slack = UINT64_MAX);
+
+// Metamorphic: inserting midpoints into the grid must not change the results
+// at the original sizes (sizes simulate independently; chunk/dedup logic
+// must not leak state between grid shapes). Exact — no tolerance.
+std::string CheckMrcGridRefinement(std::string_view policy, const CacheConfig& config,
+                                   const std::vector<Request>& requests,
+                                   const std::vector<uint64_t>& sizes);
+
+// SHARDS: at rate == 1.0 the streamed curve must equal the exact one; at
+// lower rates each point must be within `tolerance` of the exact miss
+// ratio. Uses the one-pass engine for the exact reference when supported.
+std::string CheckShardsConvergence(std::string_view policy, const CacheConfig& config,
+                                   const std::vector<Request>& requests,
+                                   const std::vector<uint64_t>& sizes, double rate,
+                                   double tolerance);
 
 }  // namespace check
 }  // namespace s3fifo

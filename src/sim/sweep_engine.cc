@@ -58,9 +58,16 @@ std::vector<SweepUnitResult> SweepEngine::Run(const std::vector<SweepUnit>& unit
       [this, &units, &results](size_t i) {
         const SweepUnit& unit = units[i];
         const TraceView view = unit.trace->Acquire();
-        std::vector<std::unique_ptr<Cache>> caches = unit.make_caches(view);
-        results[i].results = MultiSimulate(view, caches, unit.options);
-        simulated_requests_ += view.size() * caches.size();
+        if (unit.run) {
+          results[i].results = unit.run(view);
+        } else {
+          std::vector<std::unique_ptr<Cache>> caches = unit.make_caches(view);
+          results[i].results = MultiSimulate(view, caches, unit.options);
+        }
+        // Σ trace length × result streams: for a one-pass unit this counts
+        // the equivalent brute-force work the engine replaced, keeping
+        // requests/sec comparable across modes.
+        simulated_requests_ += view.size() * results[i].results.size();
         // Only a successful unit releases its claim; a permanently failing
         // one keeps the trace cached, which at worst delays the release
         // until the SharedTrace itself is destroyed.

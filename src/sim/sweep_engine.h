@@ -69,10 +69,17 @@ using SharedTracePtr = std::shared_ptr<SharedTrace>;
 // One unit of sweep work: a trace streamed once through a set of caches.
 // make_caches runs on the worker with the materialized view, so cache
 // capacities can be derived from trace statistics (footprint fractions).
+//
+// Alternatively a unit may supply `run`, an arbitrary view -> results
+// computation executed on the worker (the one-pass MRC engine path: one
+// traversal producing the results for a whole capacity grid). When `run` is
+// set it replaces the make_caches/MultiSimulate pipeline; options are the
+// callback's own business.
 struct SweepUnit {
   std::string label;
   SharedTracePtr trace;
   std::function<std::vector<std::unique_ptr<Cache>>(const TraceView&)> make_caches;
+  std::function<std::vector<SimResult>(const TraceView&)> run;
   SimOptions options;
 };
 

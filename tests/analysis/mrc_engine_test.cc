@@ -1,0 +1,281 @@
+// Differential MRC test wall: the one-pass engine must reproduce the
+// brute-force per-size simulations COUNT-FOR-COUNT — not just matching miss
+// ratios — for every supported policy, across workload shapes, seeds, and
+// degenerate size grids. These tests are the license for the bench binaries
+// to default to --mrc=onepass on published figures.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/mrc.h"
+#include "src/analysis/mrc_engine.h"
+#include "src/analysis/shards.h"
+#include "src/check/trace_fuzzer.h"
+#include "src/trace/trace_view.h"
+#include "src/workload/dataset_profiles.h"
+#include "src/workload/scan_workload.h"
+#include "src/workload/zipf_workload.h"
+
+namespace s3fifo {
+namespace {
+
+// The epsilon EXPERIMENTS.md documents for the s3fifo variants. The engine
+// replicates the ghost machinery exactly, so the bound is 0 — pinned here so
+// any future relaxation has to edit a named constant in the test wall.
+constexpr double kS3FifoCurveEpsilon = 0.0;
+
+Trace MixedZipf(uint64_t seed, uint64_t num_requests = 60000) {
+  ZipfWorkloadConfig c;
+  c.num_objects = 4000;
+  c.num_requests = num_requests;
+  c.alpha = 1.0;
+  c.write_fraction = 0.1;
+  c.delete_fraction = 0.02;
+  c.burst_fraction = 0.1;
+  c.seed = seed;
+  return GenerateZipfTrace(c);
+}
+
+Trace FuzzTrace(uint64_t seed, uint64_t num_requests = 30000) {
+  check::FuzzConfig config;
+  config.seed = seed;
+  config.num_requests = num_requests;
+  config.capacity = 128;
+  config.count_based = true;
+  return Trace(check::GenerateFuzzRequests(config), "fuzz");
+}
+
+std::vector<uint64_t> DefaultGrid() { return {16, 64, 128, 256, 512, 1024, 3000}; }
+
+// Asserts per-size count equality between the one-pass curve and the
+// brute-force reference, with `epsilon` as the documented bound on the
+// derived miss ratios (0 for exact policies).
+void ExpectOnePassMatchesBrute(const Trace& trace, const std::string& policy,
+                               const std::vector<uint64_t>& sizes, const CacheConfig& config,
+                               double epsilon, uint64_t warmup = 0) {
+  const TraceView view = TraceView::Borrow(trace);
+  const MrcCurve onepass = OnePassMrc(view, policy, sizes, config, warmup);
+  const std::vector<SimResult> brute = ComputeMrcResults(view, policy, sizes, config, warmup);
+  ASSERT_EQ(onepass.results.size(), sizes.size());
+  ASSERT_EQ(brute.size(), sizes.size());
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const SimResult& a = onepass.results[i];
+    const SimResult& b = brute[i];
+    EXPECT_NEAR(onepass.miss_ratios[i], b.MissRatio(), epsilon)
+        << policy << " size=" << sizes[i];
+    EXPECT_EQ(a.requests, b.requests) << policy << " size=" << sizes[i];
+    EXPECT_EQ(a.hits, b.hits) << policy << " size=" << sizes[i];
+    EXPECT_EQ(a.misses, b.misses) << policy << " size=" << sizes[i];
+    EXPECT_EQ(a.bytes_requested, b.bytes_requested) << policy << " size=" << sizes[i];
+    EXPECT_EQ(a.bytes_missed, b.bytes_missed) << policy << " size=" << sizes[i];
+  }
+  EXPECT_TRUE(onepass.exact);
+}
+
+CacheConfig CountConfig(const std::string& params = "") {
+  CacheConfig config;
+  config.capacity = 1;  // overridden per grid size
+  config.count_based = true;
+  config.params = params;
+  return config;
+}
+
+TEST(MrcEngineTest, FifoExactOnZipfAcrossSeeds) {
+  for (const uint64_t seed : {1, 7, 23}) {
+    ExpectOnePassMatchesBrute(MixedZipf(seed), "fifo", DefaultGrid(), CountConfig(), 0.0);
+  }
+}
+
+TEST(MrcEngineTest, ClockExactOnZipfAcrossSeeds) {
+  for (const uint64_t seed : {2, 11}) {
+    ExpectOnePassMatchesBrute(MixedZipf(seed), "clock", DefaultGrid(), CountConfig(), 0.0);
+  }
+}
+
+TEST(MrcEngineTest, ClockExactWithWiderCounters) {
+  ExpectOnePassMatchesBrute(MixedZipf(3), "clock", DefaultGrid(), CountConfig("bits=3"), 0.0);
+}
+
+TEST(MrcEngineTest, SieveExactOnZipfAcrossSeeds) {
+  for (const uint64_t seed : {4, 19}) {
+    ExpectOnePassMatchesBrute(MixedZipf(seed), "sieve", DefaultGrid(), CountConfig(), 0.0);
+  }
+}
+
+TEST(MrcEngineTest, S3FifoWithinPinnedEpsilonOnZipf) {
+  for (const uint64_t seed : {5, 13}) {
+    ExpectOnePassMatchesBrute(MixedZipf(seed), "s3fifo", DefaultGrid(), CountConfig(),
+                              kS3FifoCurveEpsilon);
+  }
+}
+
+TEST(MrcEngineTest, S3FifoNonDefaultParams) {
+  ExpectOnePassMatchesBrute(MixedZipf(6), "s3fifo", DefaultGrid(),
+                            CountConfig("small_ratio=0.25,move_to_main_threshold=1,max_freq=7"),
+                            kS3FifoCurveEpsilon);
+  ExpectOnePassMatchesBrute(MixedZipf(8), "s3fifo", DefaultGrid(),
+                            CountConfig("ghost_ratio=0.5"), kS3FifoCurveEpsilon);
+}
+
+TEST(MrcEngineTest, S3FifoDWithinPinnedEpsilonOnZipf) {
+  for (const uint64_t seed : {9, 17}) {
+    ExpectOnePassMatchesBrute(MixedZipf(seed), "s3fifo-d", DefaultGrid(), CountConfig(),
+                              kS3FifoCurveEpsilon);
+  }
+}
+
+TEST(MrcEngineTest, S3FifoDAggressiveAdaptation) {
+  // Low rebalance threshold + large steps makes the adaptive state machine
+  // fire constantly, exercising MaybeRebalance at every grid size.
+  ExpectOnePassMatchesBrute(MixedZipf(10), "s3fifo-d", DefaultGrid(),
+                            CountConfig("adapt_min_hits=5,adapt_step_ratio=0.05"),
+                            kS3FifoCurveEpsilon);
+}
+
+TEST(MrcEngineTest, ScanAndLoopWorkloads) {
+  const Trace scan = GenerateSequentialScan(20000);
+  const Trace loop = GenerateLoop(700, 40000);
+  const Trace twohit = GenerateTwoHitPattern(5000, 300);
+  for (const std::string policy : {"fifo", "clock", "sieve", "s3fifo", "s3fifo-d"}) {
+    ExpectOnePassMatchesBrute(scan, policy, {64, 256, 1024}, CountConfig(), 0.0);
+    ExpectOnePassMatchesBrute(loop, policy, {100, 350, 700, 1400}, CountConfig(), 0.0);
+    ExpectOnePassMatchesBrute(twohit, policy, {64, 600, 1200}, CountConfig(), 0.0);
+  }
+}
+
+TEST(MrcEngineTest, DatasetProfileWorkload) {
+  const DatasetProfile& d = AllDatasetProfiles().front();
+  const Trace trace = GenerateDatasetTrace(d, 0, 0.03);
+  const uint64_t footprint = trace.Stats().num_objects;
+  const std::vector<uint64_t> sizes = {footprint / 100 + 1, footprint / 10 + 1, footprint / 3 + 1};
+  for (const std::string policy : {"fifo", "clock", "sieve", "s3fifo", "s3fifo-d"}) {
+    ExpectOnePassMatchesBrute(trace, policy, sizes, CountConfig(),
+                              policy.rfind("s3fifo", 0) == 0 ? kS3FifoCurveEpsilon : 0.0);
+  }
+}
+
+TEST(MrcEngineTest, FuzzedTracesWithDeletesAndSets) {
+  for (const uint64_t seed : {1, 2, 3}) {
+    const Trace trace = FuzzTrace(seed);
+    for (const std::string policy : {"fifo", "clock", "sieve", "s3fifo", "s3fifo-d"}) {
+      ExpectOnePassMatchesBrute(trace, policy, {8, 32, 128, 512}, CountConfig(), 0.0);
+    }
+  }
+}
+
+TEST(MrcEngineTest, DegenerateGrids) {
+  const Trace trace = MixedZipf(21, 20000);
+  const uint64_t footprint = TraceView::Borrow(trace).stats().num_objects;
+  for (const std::string policy : {"fifo", "clock", "sieve"}) {
+    // Size 1: every eviction decision happens on every request.
+    ExpectOnePassMatchesBrute(trace, policy, {1}, CountConfig(), 0.0);
+    // Larger than the footprint: no evictions, pure cold misses.
+    ExpectOnePassMatchesBrute(trace, policy, {4 * footprint}, CountConfig(), 0.0);
+    // Single-element and duplicate-entry grids.
+    ExpectOnePassMatchesBrute(trace, policy, {97}, CountConfig(), 0.0);
+    ExpectOnePassMatchesBrute(trace, policy, {64, 64, 16, 64, 16}, CountConfig(), 0.0);
+  }
+  // The s3fifo variants need capacity >= 2 for a meaningful small/main split
+  // but must still agree on footprint-dwarfing and duplicated sizes.
+  for (const std::string policy : {"s3fifo", "s3fifo-d"}) {
+    ExpectOnePassMatchesBrute(trace, policy, {4 * footprint}, CountConfig(),
+                              kS3FifoCurveEpsilon);
+    ExpectOnePassMatchesBrute(trace, policy, {64, 64, 16, 64, 16}, CountConfig(),
+                              kS3FifoCurveEpsilon);
+  }
+}
+
+TEST(MrcEngineTest, UnsortedGridKeepsRequestedOrder) {
+  const Trace trace = MixedZipf(22, 20000);
+  const std::vector<uint64_t> sizes = {512, 16, 128, 16};
+  const MrcCurve curve = OnePassMrc(TraceView::Borrow(trace), "fifo", sizes, CountConfig());
+  ASSERT_EQ(curve.sizes, sizes);
+  ASSERT_EQ(curve.results.size(), sizes.size());
+  // Duplicate entries carry identical results; order matches the request.
+  EXPECT_EQ(curve.results[1].misses, curve.results[3].misses);
+  EXPECT_GE(curve.miss_ratios[1], curve.miss_ratios[0]);  // 16 misses more than 512
+}
+
+TEST(MrcEngineTest, WarmupExclusionMatchesBrute) {
+  const Trace trace = MixedZipf(25, 30000);
+  for (const std::string policy : {"fifo", "sieve", "s3fifo"}) {
+    ExpectOnePassMatchesBrute(trace, policy, {32, 256, 1024}, CountConfig(), 0.0,
+                              /*warmup=*/10000);
+  }
+}
+
+TEST(MrcEngineTest, GridWiderThanOnePassChunk) {
+  // 70 distinct sizes forces two 64-wide passes; results must still line up
+  // with brute force entry for entry.
+  const Trace trace = MixedZipf(26, 15000);
+  std::vector<uint64_t> sizes;
+  for (uint64_t s = 1; s <= 70; ++s) {
+    sizes.push_back(s * 13);
+  }
+  ExpectOnePassMatchesBrute(trace, "fifo", sizes, CountConfig(), 0.0);
+  ExpectOnePassMatchesBrute(trace, "s3fifo", sizes, CountConfig(), kS3FifoCurveEpsilon);
+}
+
+TEST(MrcEngineTest, SupportsMatrix) {
+  EXPECT_TRUE(MrcEngineSupports("fifo", CountConfig()));
+  EXPECT_TRUE(MrcEngineSupports("clock", CountConfig("bits=8")));
+  EXPECT_TRUE(MrcEngineSupports("sieve", CountConfig()));
+  EXPECT_TRUE(MrcEngineSupports("s3fifo", CountConfig()));
+  EXPECT_TRUE(MrcEngineSupports("s3fifo-d", CountConfig("adapt_min_hits=10")));
+
+  EXPECT_FALSE(MrcEngineSupports("lru", CountConfig()));
+  EXPECT_FALSE(MrcEngineSupports("arc", CountConfig()));
+  EXPECT_FALSE(MrcEngineSupports("s3fifo", CountConfig("ghost_type=table")));
+  EXPECT_FALSE(MrcEngineSupports("s3fifo", CountConfig("small_lru=1")));
+  EXPECT_FALSE(MrcEngineSupports("s3fifo", CountConfig("main_lru=1")));
+  EXPECT_FALSE(MrcEngineSupports("s3fifo", CountConfig("main_sieve=1")));
+  CacheConfig byte_config = CountConfig();
+  byte_config.count_based = false;
+  EXPECT_FALSE(MrcEngineSupports("fifo", byte_config));
+}
+
+TEST(MrcEngineTest, OnePassThrowsOnUnsupportedOrBadGrid) {
+  const Trace trace = MixedZipf(27, 1000);
+  const TraceView view = TraceView::Borrow(trace);
+  EXPECT_THROW(OnePassMrc(view, "lru", {16}, CountConfig()), std::invalid_argument);
+  EXPECT_THROW(OnePassMrc(view, "fifo", {16, 0, 64}, CountConfig()), std::invalid_argument);
+}
+
+TEST(MrcEngineTest, ParseMrcModeRoundTrip) {
+  EXPECT_EQ(ParseMrcMode("auto"), MrcMode::kAuto);
+  EXPECT_EQ(ParseMrcMode("onepass"), MrcMode::kAuto);
+  EXPECT_EQ(ParseMrcMode("brute"), MrcMode::kBrute);
+  EXPECT_EQ(ParseMrcMode("shards"), MrcMode::kShards);
+  EXPECT_THROW(ParseMrcMode("fast"), std::invalid_argument);
+}
+
+TEST(MrcEngineTest, AutoModeFallsBackToBruteForUnsupportedPolicies) {
+  const Trace trace = MixedZipf(28, 20000);
+  const TraceView view = TraceView::Borrow(trace);
+  const std::vector<uint64_t> sizes = {64, 256};
+  MrcOptions options;
+  options.mode = MrcMode::kAuto;
+  const MrcCurve curve = ComputeMrcCurve(view, "lru", sizes, options);
+  EXPECT_TRUE(curve.exact);
+  const std::vector<SimResult> brute = ComputeMrcResults(view, "lru", sizes);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(curve.results[i].misses, brute[i].misses);
+  }
+}
+
+TEST(MrcEngineTest, DifferentialWallBites) {
+  // Sanity-check the comparator itself: a curve from a *different* policy
+  // must NOT pass the equality gauntlet — i.e. the test wall can fail.
+  // (A pure loop won't do: fifo and sieve both miss 100% there. A zipf mix
+  // separates them through sieve's visited bits.)
+  const Trace trace = MixedZipf(29, 30000);
+  const TraceView view = TraceView::Borrow(trace);
+  const MrcCurve fifo = OnePassMrc(view, "fifo", {100}, CountConfig());
+  const std::vector<SimResult> sieve = ComputeMrcResults(view, "sieve", {100}, CountConfig());
+  EXPECT_NE(fifo.results[0].misses, sieve[0].misses);
+}
+
+}  // namespace
+}  // namespace s3fifo

@@ -5,10 +5,15 @@
 // for quick local iterations.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "src/check/differential.h"
+#include "src/check/invariants.h"
+#include "src/check/shrinker.h"
 #include "src/check/trace_fuzzer.h"
 
 namespace s3fifo {
@@ -49,6 +54,44 @@ TEST(LongFuzzTest, MillionRequestsPerPolicy) {
       const Divergence div = RunDifferential(GenerateFuzzRequests(fc), policy, config);
       EXPECT_FALSE(div.found) << policy << " (byte-based, seed " << fc.seed
                               << "): " << div.what;
+    }
+  }
+}
+
+// Fuzz the one-pass MRC engine against brute force across seeds; on a
+// divergence, ddmin-shrink the trace to a minimal reproducer and print it
+// seed-first so the failure is replayable from the log alone.
+TEST(LongFuzzTest, MrcEngineDifferentialFuzz) {
+  const uint64_t total = RequestsPerPolicy();
+  const uint64_t per_seed = std::max<uint64_t>(total / 20, 1000);
+  const std::vector<uint64_t> grid = {8, 24, 64, 200};
+  for (const std::string& policy : {"fifo", "clock", "sieve", "s3fifo", "s3fifo-d"}) {
+    for (uint64_t round = 0; round < 10; ++round) {
+      FuzzConfig fc;
+      fc.seed = 0x3fc0000 + round * 131 + policy.size();
+      fc.num_requests = per_seed;
+      fc.capacity = 64;
+      CacheConfig config;
+      config.capacity = 1;
+      const std::vector<Request> requests = GenerateFuzzRequests(fc);
+      const std::string violation = CheckMrcMatchesBruteForce(policy, config, requests, grid);
+      if (violation.empty()) {
+        const std::string mono = CheckMrcMonotone(policy, config, requests, grid);
+        EXPECT_EQ(mono, "") << policy << " seed " << fc.seed;
+        continue;
+      }
+      // Shrink before failing: the minimized stream is the actionable repro.
+      const std::vector<Request> shrunk = ShrinkTrace(requests, [&](const std::vector<Request>& t) {
+        return !CheckMrcMatchesBruteForce(policy, config, t, grid).empty();
+      });
+      std::fprintf(stderr, "MRC divergence for %s (seed %llu): %s\nshrunk to %zu requests:\n",
+                   policy.c_str(), static_cast<unsigned long long>(fc.seed), violation.c_str(),
+                   shrunk.size());
+      for (const Request& r : shrunk) {
+        std::fprintf(stderr, "  id=%llu op=%d size=%u\n",
+                     static_cast<unsigned long long>(r.id), static_cast<int>(r.op), r.size);
+      }
+      FAIL() << policy << " one-pass MRC diverged (seed " << fc.seed << "): " << violation;
     }
   }
 }

@@ -129,6 +129,67 @@ TEST(InvariantsTest, GhostQueueBoundedUnderGhostHeavyChurn) {
   EXPECT_TRUE(report.ok()) << report.violations.front();
 }
 
+// --- One-pass MRC engine invariants -------------------------------------
+
+const std::vector<std::string>& MrcPolicies() {
+  static const std::vector<std::string>* p =
+      new std::vector<std::string>{"fifo", "clock", "sieve", "s3fifo", "s3fifo-d"};
+  return *p;
+}
+
+std::vector<uint64_t> MrcGrid() { return {16, 48, 128, 320}; }
+
+TEST(InvariantsTest, MrcMatchesBruteForceOnFuzzedTraces) {
+  const auto trace = FuzzTrace(41, 128, true, 15000);
+  CacheConfig config;
+  config.capacity = 1;
+  for (const std::string& policy : MrcPolicies()) {
+    EXPECT_EQ(CheckMrcMatchesBruteForce(policy, config, trace, MrcGrid()), "") << policy;
+  }
+}
+
+TEST(InvariantsTest, MrcMonotoneWithinBeladySlack) {
+  const auto trace = FuzzTrace(42, 128, true, 15000);
+  CacheConfig config;
+  config.capacity = 1;
+  for (const std::string& policy : MrcPolicies()) {
+    EXPECT_EQ(CheckMrcMonotone(policy, config, trace, MrcGrid()), "") << policy;
+  }
+}
+
+TEST(InvariantsTest, MrcGridRefinementInvariant) {
+  const auto trace = FuzzTrace(43, 128, true, 15000);
+  CacheConfig config;
+  config.capacity = 1;
+  for (const std::string& policy : MrcPolicies()) {
+    EXPECT_EQ(CheckMrcGridRefinement(policy, config, trace, MrcGrid()), "") << policy;
+  }
+}
+
+TEST(InvariantsTest, ShardsConvergesToExactCurve) {
+  // A wider key universe than the default fuzz config: spatial sampling
+  // needs enough distinct objects that a rate-R sample is representative.
+  FuzzConfig fc;
+  fc.seed = 44;
+  fc.num_requests = 40000;
+  fc.capacity = 512;
+  fc.key_space = 4096;
+  fc.p_set = 0.0;
+  fc.p_delete = 0.0;
+  const auto trace = GenerateFuzzRequests(fc);
+  const std::vector<uint64_t> grid = {128, 512, 1024};
+  CacheConfig config;
+  config.capacity = 1;
+  // rate == 1.0 must be EXACT (hard equality inside the check); lower rates
+  // only need to land near the curve, with tolerance widening as the sample
+  // shrinks (the FAST'15 error model scales like 1/sqrt(sampled objects)).
+  for (const std::string& policy : {"s3fifo", "fifo", "lru"}) {
+    EXPECT_EQ(CheckShardsConvergence(policy, config, trace, grid, 1.0, 0.0), "") << policy;
+    EXPECT_EQ(CheckShardsConvergence(policy, config, trace, grid, 0.5, 0.08), "") << policy;
+    EXPECT_EQ(CheckShardsConvergence(policy, config, trace, grid, 0.25, 0.15), "") << policy;
+  }
+}
+
 TEST(InvariantsTest, ConcurrentShardsOneMatchesSerialSimulator) {
   // The concurrent prototype at cache_shards=1, driven single-threaded, must
   // reproduce the serial simulator's miss ratio (it shares the algorithm but
