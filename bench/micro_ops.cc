@@ -11,6 +11,8 @@
 #include "src/concurrent/mpmc_queue.h"
 #include "src/concurrent/striped_hash_map.h"
 #include "src/core/cache_factory.h"
+#include "src/trace/trace.h"
+#include "src/trace/trace_view.h"
 #include "src/util/count_min_sketch.h"
 #include "src/util/flat_map.h"
 #include "src/util/ghost_queue.h"
@@ -41,27 +43,31 @@ void BM_ZipfSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ZipfSample);
 
+// Ghost structures across working-set sizes: capacity = range(0), id universe
+// 5x capacity (the §4.2 regime — most lookups miss, inserts churn buckets).
 void BM_GhostQueue(benchmark::State& state) {
-  GhostQueue ghost(10000);
+  const uint64_t capacity = static_cast<uint64_t>(state.range(0));
+  GhostQueue ghost(capacity);
   Rng rng(2);
   for (auto _ : state) {
-    const uint64_t id = rng.NextBounded(50000);
+    const uint64_t id = rng.NextBounded(5 * capacity);
     ghost.Insert(id);
     benchmark::DoNotOptimize(ghost.Contains(id ^ 1));
   }
 }
-BENCHMARK(BM_GhostQueue);
+BENCHMARK(BM_GhostQueue)->RangeMultiplier(8)->Range(1 << 10, 1 << 19);
 
 void BM_GhostTable(benchmark::State& state) {
-  GhostTable ghost(10000);
+  const uint64_t capacity = static_cast<uint64_t>(state.range(0));
+  GhostTable ghost(capacity);
   Rng rng(2);
   for (auto _ : state) {
-    const uint64_t id = rng.NextBounded(50000);
+    const uint64_t id = rng.NextBounded(5 * capacity);
     ghost.Insert(id);
     benchmark::DoNotOptimize(ghost.Contains(id ^ 1));
   }
 }
-BENCHMARK(BM_GhostTable);
+BENCHMARK(BM_GhostTable)->RangeMultiplier(8)->Range(1 << 10, 1 << 19);
 
 void BM_CountMinSketch(benchmark::State& state) {
   CountMinSketch sketch(1 << 16);
@@ -152,6 +158,56 @@ void BM_FlatMapChurn(benchmark::State& state) {
   HashChurn(state, table);
 }
 BENCHMARK(BM_FlatMapChurn);
+
+// Pure probe cost across table sizes and load factors: a table of range(0)
+// hash slots filled to range(1)% (Reserve pins the slot count so the load
+// factor is exact, not wherever the growth policy landed), probed with a
+// uniform stream of resident keys (FindHit) or absent keys (FindMiss).
+// FindMiss is the probe-length stress: every lookup must walk to
+// termination, which the group-probing layout answers with one 16-wide
+// compare per group instead of a per-slot loop.
+void FlatMapProbeArgs(benchmark::internal::Benchmark* b) {
+  for (const int64_t slots : {1 << 12, 1 << 16, 1 << 20}) {
+    for (const int64_t load_pct : {50, 70}) {
+      b->Args({slots, load_pct});
+    }
+  }
+}
+
+void BM_FlatMapFindHit(benchmark::State& state) {
+  const uint64_t slots = static_cast<uint64_t>(state.range(0));
+  const uint64_t keys = slots * static_cast<uint64_t>(state.range(1)) / 100;
+  FlatMap<ChurnEntry> table;
+  table.Reserve(slots * 3 / 4);  // Reserve(3/4 * slots) allocates exactly `slots`
+  for (uint64_t k = 1; k <= keys; ++k) {
+    table.Emplace(k)->id = k;
+  }
+  Rng rng(11);
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    const uint64_t key = 1 + rng.NextBounded(keys);
+    const ChurnEntry* e = table.Find(key);
+    sum += e != nullptr ? e->id : 0;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_FlatMapFindHit)->Apply(FlatMapProbeArgs);
+
+void BM_FlatMapFindMiss(benchmark::State& state) {
+  const uint64_t slots = static_cast<uint64_t>(state.range(0));
+  const uint64_t keys = slots * static_cast<uint64_t>(state.range(1)) / 100;
+  FlatMap<ChurnEntry> table;
+  table.Reserve(slots * 3 / 4);
+  for (uint64_t k = 1; k <= keys; ++k) {
+    table.Emplace(k)->id = k;
+  }
+  Rng rng(13);
+  for (auto _ : state) {
+    const uint64_t key = (1ull << 40) + rng.NextBounded(1ull << 30);  // never inserted
+    benchmark::DoNotOptimize(table.Find(key));
+  }
+}
+BENCHMARK(BM_FlatMapFindMiss)->Apply(FlatMapProbeArgs);
 
 void BM_UnorderedMapChurn(benchmark::State& state) {
   std::unordered_map<uint64_t, ChurnEntry> table;
@@ -258,6 +314,64 @@ void BM_PolicyGet(benchmark::State& state, const std::string& policy) {
     benchmark::DoNotOptimize(cache->Get(req));
   }
 }
+// Batched vs scalar access on one shared pre-built Zipf trace: per-request
+// cost of Cache::GetBatch — the policies' devirtualized block loop plus
+// batched eviction sweeps — next to the equivalent prefetch-ahead Get()
+// loop (the pre-batching simulator hot path). Each iteration replays one
+// 4096-request chunk and advances through the trace, so the cache sits at
+// its steady-state resident set; counters report requests/s.
+void BM_AccessBatch(benchmark::State& state, const std::string& policy, bool batched) {
+  constexpr uint64_t kObjects = 1 << 16;
+  constexpr uint64_t kChunk = 4096;
+  static const Trace* trace = [] {
+    auto* t = new Trace;
+    ZipfDistribution zipf(kObjects, 1.0);
+    Rng rng(7);
+    Request req;
+    for (uint64_t i = 0; i < (1u << 20); ++i) {
+      req.id = zipf.Sample(rng);
+      t->Append(req);
+    }
+    return t;
+  }();
+  const TraceView view = TraceView::Borrow(*trace);
+  CacheConfig config;
+  config.capacity = kObjects / 10;
+  auto cache = CreateCache(policy, config);
+  std::vector<uint8_t> hits(kChunk);
+  cache->GetBatch(view, 0, kChunk, hits.data());  // warm past the cold start
+  uint64_t begin = 0;
+  for (auto _ : state) {
+    const uint64_t end = begin + kChunk;
+    if (batched) {
+      cache->GetBatch(view, begin, end, hits.data());
+    } else {
+      for (uint64_t i = begin; i < end; ++i) {
+        if (i + 16 < end) {
+          cache->Prefetch(view.id(i + 16));
+        }
+        hits[i - begin] = cache->Get(view.At(i)) ? 1 : 0;
+      }
+    }
+    benchmark::DoNotOptimize(hits.data());
+    benchmark::ClobberMemory();
+    begin = end < view.size() ? end : 0;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kChunk));
+}
+BENCHMARK_CAPTURE(BM_AccessBatch, fifo_scalar, "fifo", false);
+BENCHMARK_CAPTURE(BM_AccessBatch, fifo_batched, "fifo", true);
+BENCHMARK_CAPTURE(BM_AccessBatch, lru_scalar, "lru", false);
+BENCHMARK_CAPTURE(BM_AccessBatch, lru_batched, "lru", true);
+BENCHMARK_CAPTURE(BM_AccessBatch, clock_scalar, "clock", false);
+BENCHMARK_CAPTURE(BM_AccessBatch, clock_batched, "clock", true);
+BENCHMARK_CAPTURE(BM_AccessBatch, sieve_scalar, "sieve", false);
+BENCHMARK_CAPTURE(BM_AccessBatch, sieve_batched, "sieve", true);
+BENCHMARK_CAPTURE(BM_AccessBatch, s3fifo_scalar, "s3fifo", false);
+BENCHMARK_CAPTURE(BM_AccessBatch, s3fifo_batched, "s3fifo", true);
+BENCHMARK_CAPTURE(BM_AccessBatch, s3fifo_d_scalar, "s3fifo-d", false);
+BENCHMARK_CAPTURE(BM_AccessBatch, s3fifo_d_batched, "s3fifo-d", true);
+
 BENCHMARK_CAPTURE(BM_PolicyGet, fifo, "fifo");
 BENCHMARK_CAPTURE(BM_PolicyGet, lru, "lru");
 BENCHMARK_CAPTURE(BM_PolicyGet, clock, "clock");

@@ -139,6 +139,56 @@ std::string CheckBeladyLowerBound(std::string_view policy, const CacheConfig& co
   return "";
 }
 
+std::string CheckBatchedParity(std::string_view policy, const CacheConfig& config,
+                               const std::vector<Request>& requests, uint32_t batch_size) {
+  if (batch_size == 0) {
+    return "batch_size must be non-zero";
+  }
+  const Trace trace(requests, "batched-parity");
+  const TraceView view = TraceView::Borrow(trace);
+  auto scalar = CreateCache(policy, config);
+  auto batched = CreateCache(policy, config);
+  std::vector<uint8_t> hits(batch_size);
+  const uint64_t n = view.size();
+  for (uint64_t begin = 0; begin < n; begin += batch_size) {
+    const uint64_t end = std::min<uint64_t>(begin + batch_size, n);
+    batched->GetBatch(view, begin, end, hits.data());
+    for (uint64_t i = begin; i < end; ++i) {
+      const Request& req = requests[i];
+      const bool scalar_hit = scalar->Get(req);
+      if ((hits[i - begin] != 0) != scalar_hit) {
+        std::ostringstream out;
+        out << policy << " batched hit bit " << (hits[i - begin] != 0 ? 1 : 0)
+            << " != scalar " << (scalar_hit ? 1 : 0) << At(i, req);
+        return out.str();
+      }
+    }
+    // Both caches have now processed the same prefix; their residency sets
+    // must agree on every id the chunk touched.
+    for (uint64_t i = begin; i < end; ++i) {
+      const Request& req = requests[i];
+      if (batched->Contains(req.id) != scalar->Contains(req.id)) {
+        std::ostringstream out;
+        out << policy << " residency diverged at batch ending " << end << At(i, req);
+        return out.str();
+      }
+    }
+    if (batched->occupied() != scalar->occupied()) {
+      std::ostringstream out;
+      out << policy << " occupancy diverged after batch ending at " << end << ": batched "
+          << batched->occupied() << " vs scalar " << scalar->occupied();
+      return out.str();
+    }
+  }
+  if (batched->clock() != scalar->clock()) {
+    std::ostringstream out;
+    out << policy << " clock diverged: batched " << batched->clock() << " vs scalar "
+        << scalar->clock();
+    return out.str();
+  }
+  return "";
+}
+
 std::string CheckMrcMatchesBruteForce(std::string_view policy, const CacheConfig& config,
                                       const std::vector<Request>& requests,
                                       const std::vector<uint64_t>& sizes) {

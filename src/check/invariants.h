@@ -67,6 +67,14 @@ std::string CheckDeterministicReplay(std::string_view policy, const CacheConfig&
 std::string CheckBeladyLowerBound(std::string_view policy, const CacheConfig& config,
                                   const std::vector<Request>& requests);
 
+// Replays the trace on two fresh caches — one through Get() per request, one
+// through GetBatch() in batch_size chunks — and returns "" when every hit
+// bit, the final occupancy, and the final clock agree, else a description.
+// This pins the policies' devirtualized AccessBatch loops (and their batched
+// eviction sweeps) to the scalar path bit-for-bit.
+std::string CheckBatchedParity(std::string_view policy, const CacheConfig& config,
+                               const std::vector<Request>& requests, uint32_t batch_size = 512);
+
 // --- One-pass MRC engine invariants -------------------------------------
 // All take a policy the engine supports (MrcEngineSupports), a count-based
 // base config (capacity is overridden per grid size), and return "" on

@@ -20,4 +20,21 @@ bool Cache::Get(const Request& req) {
   return Access(req);
 }
 
+void Cache::GetBatch(const TraceView& view, uint64_t begin, uint64_t end, uint8_t* hits,
+                     uint32_t prefetch_distance) {
+  AccessBatch(view, begin, end, hits, prefetch_distance);
+}
+
+void Cache::AccessBatch(const TraceView& view, uint64_t begin, uint64_t end, uint8_t* hits,
+                        uint32_t prefetch_distance) {
+  const Request* aos = view.AsRequests();
+  for (uint64_t i = begin; i < end; ++i) {
+    if (prefetch_distance != 0 && i + prefetch_distance < end) {
+      Prefetch(view.id(i + prefetch_distance));
+    }
+    const Request req = aos != nullptr ? aos[i] : view.At(i);
+    hits[i - begin] = Get(req) ? 1 : 0;
+  }
+}
+
 }  // namespace s3fifo

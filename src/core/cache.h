@@ -1,10 +1,13 @@
 // The eviction-policy interface all algorithms implement, mirroring the
 // plugin architecture of libCacheSim (§5.1.2).
 //
-// A policy processes one request at a time through Get(); the base class owns
-// capacity accounting (in objects for slab-style simulation, or in bytes),
-// the logical clock, and an optional eviction listener used by the analysis
-// layer (frequency-at-eviction, eviction age, demotion studies).
+// A policy processes one request at a time through Get(), or a block of
+// requests through GetBatch() — the batched entry point the simulators (and
+// any future network front end) drive so the probe→update sequence can be
+// software-pipelined per policy. The base class owns capacity accounting (in
+// objects for slab-style simulation, or in bytes), the logical clock, and an
+// optional eviction listener used by the analysis layer
+// (frequency-at-eviction, eviction age, demotion studies).
 #ifndef SRC_CORE_CACHE_H_
 #define SRC_CORE_CACHE_H_
 
@@ -13,6 +16,7 @@
 #include <string>
 
 #include "src/trace/request.h"
+#include "src/trace/trace_view.h"
 
 namespace s3fifo {
 
@@ -53,6 +57,18 @@ class Cache {
   // remove the object and always return false.
   bool Get(const Request& req);
 
+  // Processes requests [begin, end) of `view` in order, writing one byte per
+  // request into `hits` (1 = hit, 0 = miss; kDelete requests write 0). The
+  // contract is BIT-IDENTICAL results to calling Get() once per request —
+  // batching only changes the instruction schedule, never a decision. The
+  // default implementation is that scalar loop with the probe slot for
+  // request i + prefetch_distance prefetched while request i is handled;
+  // the hot policies (fifo/lru/clock/sieve/s3fifo) override AccessBatch to
+  // run the same pipeline devirtualized, with the policy's Access inlined
+  // into the block loop. `hits` must hold end - begin bytes.
+  void GetBatch(const TraceView& view, uint64_t begin, uint64_t end, uint8_t* hits,
+                uint32_t prefetch_distance = 16);
+
   // Best-effort hint that `id` will be requested shortly. The prefetch-
   // batched simulation loops call this a fixed distance ahead of the request
   // being processed; FlatMap-backed policies pull the hash probe slot into
@@ -84,6 +100,48 @@ class Cache {
   // miss. Returns true on hit. kGet and kSet both route here (a kSet miss
   // admits the object, a kSet hit updates it in place).
   virtual bool Access(const Request& req) = 0;
+
+  // The batched access path behind GetBatch. Overrides must replicate Get()
+  // request-for-request: tick the clock once per request (TickClock), route
+  // kDelete to Remove, and report the same hit bits — see the specialized
+  // policies for the canonical shape. The base implementation loops Get().
+  virtual void AccessBatch(const TraceView& view, uint64_t begin, uint64_t end, uint8_t* hits,
+                           uint32_t prefetch_distance);
+
+  // Advances the logical clock exactly as Get() does — AccessBatch
+  // overrides call this once per request before touching any state.
+  uint64_t TickClock() { return ++clock_; }
+
+  // Shared body for specialized AccessBatch overrides: the same per-request
+  // pipeline as the default, but with Derived's Prefetch/Remove/Access
+  // statically bound (the qualified calls devirtualize, so Access inlines
+  // into the block loop) and only the three request fields the policies
+  // consume materialized from the view — no per-request virtual dispatch,
+  // no six-field gather on mmap backings. A Derived whose subclass
+  // overrides Access/Remove/Prefetch must give that subclass its own
+  // AccessBatch (the qualified calls bypass further overrides; virtual
+  // hooks *inside* Access still dispatch normally).
+  template <typename Derived>
+  void BatchLoop(const TraceView& view, uint64_t begin, uint64_t end, uint8_t* hits,
+                 uint32_t prefetch_distance) {
+    Derived* self = static_cast<Derived*>(this);
+    for (uint64_t i = begin; i < end; ++i) {
+      if (prefetch_distance != 0 && i + prefetch_distance < end) {
+        self->Derived::Prefetch(view.id(i + prefetch_distance));
+      }
+      TickClock();
+      Request req;
+      req.id = view.id(i);
+      req.size = view.object_size(i);
+      req.op = view.op(i);
+      if (req.op == OpType::kDelete) {
+        self->Derived::Remove(req.id);
+        hits[i - begin] = 0;
+        continue;
+      }
+      hits[i - begin] = self->Derived::Access(req) ? 1 : 0;
+    }
+  }
 
   uint64_t SizeOf(const Request& req) const { return count_based_ ? 1 : req.size; }
   bool count_based() const { return count_based_; }

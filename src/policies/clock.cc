@@ -6,6 +6,12 @@
 
 namespace s3fifo {
 
+namespace {
+// Tail entries examined per gather in the batched eviction sweep. 16 keeps
+// the survivor mask in one register and the entry pointers in one stack line.
+constexpr int kSweepBatch = 16;
+}  // namespace
+
 ClockCache::ClockCache(const CacheConfig& config) : Cache(config) {
   const Params params(config.params);
   const uint64_t bits = std::clamp<uint64_t>(params.GetU64("bits", 1), 1, 8);
@@ -38,12 +44,37 @@ void ClockCache::RemoveEntry(Entry* entry, bool explicit_delete) {
 void ClockCache::EvictOne() {
   // Reinsert referenced victims (decrementing), evict the first unreferenced
   // one. Terminates: every reinsertion decrements a counter.
-  while (Entry* victim = queue_.Back()) {
-    if (victim->ref > 0) {
-      --victim->ref;
-      queue_.MoveToFront(victim);
-    } else {
-      RemoveEntry(victim, /*explicit_delete=*/false);
+  //
+  // The sweep is batched: gather the referenced bits of up to kSweepBatch
+  // tail entries into a mask (reads only), find the first unreferenced entry
+  // with ctz, then decrement the survivors before it and rotate them to the
+  // head with one segment splice. Decision-for-decision identical to moving
+  // entries one at a time.
+  while (!queue_.empty()) {
+    Entry* chain[kSweepBatch];
+    uint32_t referenced = 0;
+    int n = 0;
+    for (Entry* e = queue_.Back(); e != nullptr && n < kSweepBatch; e = queue_.Newer(e)) {
+      chain[n] = e;
+      referenced |= static_cast<uint32_t>(e->ref > 0) << n;
+      ++n;
+      // The victim is the first unreferenced entry, so bits past it can never
+      // matter to the ctz below — stop gathering. Keeps the common case (tail
+      // immediately evictable) at one node visit instead of kSweepBatch hops.
+      if (e->ref == 0) {
+        break;
+      }
+    }
+    const uint32_t zeros = ~referenced & ((1u << n) - 1u);
+    const int victim = zeros != 0 ? __builtin_ctz(zeros) : n;
+    for (int k = 0; k < victim; ++k) {
+      --chain[k]->ref;
+    }
+    if (victim > 0) {
+      queue_.MoveSegmentToFront(chain[victim - 1], chain[0]);
+    }
+    if (victim < n) {
+      RemoveEntry(chain[victim], /*explicit_delete=*/false);
       return;
     }
   }
@@ -80,6 +111,11 @@ bool ClockCache::Access(const Request& req) {
   queue_.PushFront(&e);
   AddOccupied(need);
   return false;
+}
+
+void ClockCache::AccessBatch(const TraceView& view, uint64_t begin, uint64_t end, uint8_t* hits,
+                             uint32_t prefetch_distance) {
+  BatchLoop<ClockCache>(view, begin, end, hits, prefetch_distance);
 }
 
 }  // namespace s3fifo

@@ -20,8 +20,11 @@ class FifoCache : public Cache {
 
  protected:
   bool Access(const Request& req) override;
+  void AccessBatch(const TraceView& view, uint64_t begin, uint64_t end, uint8_t* hits,
+                   uint32_t prefetch_distance) override;
 
  private:
+  friend class Cache;  // BatchLoop statically binds the protected Access
   struct Entry {
     uint64_t id = 0;
     uint64_t size = 1;

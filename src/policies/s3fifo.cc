@@ -6,6 +6,11 @@
 
 namespace s3fifo {
 
+namespace {
+// Tail entries examined per gather in the batched FIFO-reinsertion sweep.
+constexpr int kSweepBatch = 16;
+}  // namespace
+
 S3FifoCache::S3FifoCache(const CacheConfig& config) : Cache(config) {
   const Params params(config.params);
   const double small_ratio = std::clamp(params.GetDouble("small_ratio", 0.1), 0.001, 0.999);
@@ -179,12 +184,36 @@ void S3FifoCache::EvictFromMain() {
     return;
   }
   // FIFO-reinsertion: terminates because every reinsertion decrements freq.
-  while (Entry* t = main_.Back()) {
-    if (t->freq > 0) {
-      --t->freq;
-      main_.MoveToFront(t);
-      ++stats_.main_reinsertions;
-    } else {
+  //
+  // The sweep is batched like ClockCache::EvictOne: gather the freq bits of
+  // up to kSweepBatch tail entries into a mask, find the first zero-freq
+  // victim with ctz, then decrement the survivors before it and rotate them
+  // to the head with one segment splice.
+  while (!main_.empty()) {
+    Entry* chain[kSweepBatch];
+    uint32_t referenced = 0;
+    int n = 0;
+    for (Entry* t = main_.Back(); t != nullptr && n < kSweepBatch; t = main_.Newer(t)) {
+      chain[n] = t;
+      referenced |= static_cast<uint32_t>(t->freq > 0) << n;
+      ++n;
+      // The victim is the first zero-freq entry — later bits never reach the
+      // ctz. Keeps the common case (tail immediately evictable) at one visit.
+      if (t->freq == 0) {
+        break;
+      }
+    }
+    const uint32_t zeros = ~referenced & ((1u << n) - 1u);
+    const int victim = zeros != 0 ? __builtin_ctz(zeros) : n;
+    for (int k = 0; k < victim; ++k) {
+      --chain[k]->freq;
+    }
+    stats_.main_reinsertions += static_cast<uint64_t>(victim);
+    if (victim > 0) {
+      main_.MoveSegmentToFront(chain[victim - 1], chain[0]);
+    }
+    if (victim < n) {
+      Entry* t = chain[victim];
       main_.Remove(t);
       main_occ_ -= t->size;
       SubOccupied(t->size);
@@ -264,6 +293,11 @@ bool S3FifoCache::Access(const Request& req) {
   }
   AddOccupied(need);
   return false;
+}
+
+void S3FifoCache::AccessBatch(const TraceView& view, uint64_t begin, uint64_t end, uint8_t* hits,
+                              uint32_t prefetch_distance) {
+  BatchLoop<S3FifoCache>(view, begin, end, hits, prefetch_distance);
 }
 
 }  // namespace s3fifo

@@ -62,7 +62,15 @@ class S3FifoCache : public Cache {
   bool Contains(uint64_t id) const override;
   void Remove(uint64_t id) override;
   std::string Name() const override { return "s3fifo"; }
-  void Prefetch(uint64_t id) const override { table_.Prefetch(id); }
+  // Pulls both structures a miss will touch: the entry table's probe group
+  // and — when the fingerprint ghost is active — the ghost bucket the
+  // admission check reads.
+  void Prefetch(uint64_t id) const override {
+    table_.Prefetch(id);
+    if (ghost_table_) {
+      ghost_table_->Prefetch(id);
+    }
+  }
 
   const Stats& stats() const { return stats_; }
   uint64_t small_occupied() const { return small_occ_; }
@@ -94,6 +102,11 @@ class S3FifoCache : public Cache {
   using Queue = IntrusiveList<Entry, &Entry::hook>;
 
   bool Access(const Request& req) override;
+  // Inherited unchanged by S3FifoD: the adaptation hooks it overrides are
+  // dispatched virtually inside Access, which BatchLoop's qualified calls
+  // do not bypass.
+  void AccessBatch(const TraceView& view, uint64_t begin, uint64_t end, uint8_t* hits,
+                   uint32_t prefetch_distance) override;
   void EnsureFree(uint64_t need);
   // Pops one S tail and routes it to M or G (one Algorithm-1 EVICTS step).
   void EvictFromSmall();
@@ -108,6 +121,8 @@ class S3FifoCache : public Cache {
   void set_small_target(uint64_t target);
 
  private:
+  friend class Cache;  // BatchLoop statically binds the protected Access
+
   void FireEviction(const Entry& e, bool explicit_delete);
   void NotifyDemotion(const Entry& e, bool promoted);
   void GhostInsert(uint64_t id);

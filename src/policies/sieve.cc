@@ -1,6 +1,14 @@
 #include "src/policies/sieve.h"
 
+#include <algorithm>
+
 namespace s3fifo {
+
+namespace {
+// Entries examined per gather in the batched hand sweep. 16 keeps the
+// visited mask in one register and the entry pointers in one stack line.
+constexpr int kSweepBatch = 16;
+}  // namespace
 
 SieveCache::SieveCache(const CacheConfig& config) : Cache(config) {}
 
@@ -31,20 +39,53 @@ void SieveCache::RemoveEntry(Entry* entry, bool explicit_delete) {
 }
 
 void SieveCache::EvictOne() {
-  Entry* obj = hand_ != nullptr ? hand_ : queue_.Back();
   // Walk from the hand toward the head, clearing visited bits; wrap to the
   // tail when the head is passed. Terminates within two passes: the first
   // pass clears every visited bit on its path.
-  while (obj != nullptr && obj->visited) {
-    obj->visited = false;
-    obj = queue_.Newer(obj);
-    if (obj == nullptr) {
-      obj = queue_.Back();
+  //
+  // The walk is batched: gather the visited bits of a chunk of entries into
+  // a mask (reads only), find the first unvisited entry with ctz, and clear
+  // the bits before it. The chunk is capped at the queue size so the
+  // wrapping walk never reads the same entry twice within a chunk — a
+  // duplicate would see the pre-clear visited bit and diverge from the
+  // one-at-a-time walk.
+  Entry* obj = hand_ != nullptr ? hand_ : queue_.Back();
+  while (obj != nullptr) {
+    const int limit = static_cast<int>(std::min<size_t>(kSweepBatch, queue_.size()));
+    Entry* chain[kSweepBatch];
+    uint32_t visited = 0;
+    int n = 0;
+    Entry* e = obj;
+    while (n < limit) {
+      chain[n] = e;
+      visited |= static_cast<uint32_t>(e->visited) << n;
+      ++n;
+      // The victim is the first unvisited entry — later bits can never matter
+      // to the ctz below. Stopping here keeps the common case (hand already
+      // on an unvisited entry) at one node visit.
+      if (!e->visited) {
+        break;
+      }
+      e = queue_.Newer(e);
+      if (e == nullptr) {
+        e = queue_.Back();
+      }
     }
-  }
-  if (obj != nullptr) {
-    hand_ = obj;  // RemoveEntry advances the hand to the next-newer entry
-    RemoveEntry(obj, /*explicit_delete=*/false);
+    const uint32_t unvisited = ~visited & ((1u << n) - 1u);
+    if (unvisited == 0) {
+      for (int k = 0; k < n; ++k) {
+        chain[k]->visited = false;
+      }
+      obj = e;  // resume the walk where the gather stopped (already wrapped)
+      continue;
+    }
+    const int victim = __builtin_ctz(unvisited);
+    for (int k = 0; k < victim; ++k) {
+      chain[k]->visited = false;
+    }
+    hand_ = chain[victim];  // RemoveEntry advances the hand to the next-newer entry
+    RemoveEntry(chain[victim], /*explicit_delete=*/false);
+    return;
   }
 }
 
@@ -79,6 +120,11 @@ bool SieveCache::Access(const Request& req) {
   queue_.PushFront(&e);
   AddOccupied(need);
   return false;
+}
+
+void SieveCache::AccessBatch(const TraceView& view, uint64_t begin, uint64_t end, uint8_t* hits,
+                             uint32_t prefetch_distance) {
+  BatchLoop<SieveCache>(view, begin, end, hits, prefetch_distance);
 }
 
 }  // namespace s3fifo

@@ -25,6 +25,12 @@ struct SimOptions {
   // How far ahead of the current request the cache's hash slot is
   // prefetched. 0 disables prefetching (the scalar reference loop).
   uint32_t prefetch_distance = 16;
+  // Requests handed to Cache::GetBatch per call when no observer is
+  // installed — the batched path runs the policy's devirtualized block loop.
+  // 0 forces the per-request reference loop (Get once per request), which is
+  // also the path every observer run takes. Results are bit-identical either
+  // way; this only changes the instruction schedule.
+  uint32_t batch_size = 4096;
   // Invoked after every request (warmup included) with the request index,
   // the request, and the hit/miss outcome, while the cache still holds the
   // post-request state. The correctness harness hangs its per-request

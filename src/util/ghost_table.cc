@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/hash.h"
+#include "src/util/simd_probe.h"
 
 namespace s3fifo {
 namespace {
@@ -22,58 +23,57 @@ GhostTable::GhostTable(uint64_t capacity) : capacity_(std::max<uint64_t>(capacit
   // or overwritten entries are rare enough not to distort membership.
   const uint64_t num_buckets = NextPow2(std::max<uint64_t>(2 * capacity_ / kBucketWidth, 1));
   bucket_mask_ = num_buckets - 1;
-  slots_.assign(num_buckets * kBucketWidth, Slot{});
+  buckets_.assign(num_buckets, Bucket{});
 }
 
 uint64_t GhostTable::BucketFor(uint64_t id) const { return HashId(id) & bucket_mask_; }
 
-bool GhostTable::IsLive(const Slot& slot) const {
-  if (slot.fingerprint == 0) {
+bool GhostTable::IsLive(uint32_t fp, uint32_t time) const {
+  if (fp == 0) {
     return false;
   }
   // 32-bit modular distance; valid while capacity_ < 2^31.
-  const uint32_t age = static_cast<uint32_t>(insertions_) - slot.time;
+  const uint32_t age = static_cast<uint32_t>(insertions_) - time;
   return age <= capacity_;
 }
 
 void GhostTable::Insert(uint64_t id) {
-  const uint64_t base = BucketFor(id) * kBucketWidth;
+  Bucket& bucket = buckets_[BucketFor(id)];
   const uint32_t fp = Fingerprint32(id);
   ++insertions_;
   const uint32_t now = static_cast<uint32_t>(insertions_);
 
+  if (const uint32_t match = probe::Match32x8(bucket.fp, fp)) {
+    bucket.time[__builtin_ctz(match)] = now;  // refresh position in the logical queue
+    return;
+  }
   int free_slot = -1;
   int oldest_slot = 0;
   uint32_t oldest_age = 0;
   for (int i = 0; i < kBucketWidth; ++i) {
-    Slot& slot = slots_[base + i];
-    if (slot.fingerprint == fp) {
-      slot.time = now;  // refresh position in the logical queue
-      return;
-    }
-    if (!IsLive(slot)) {
+    if (!IsLive(bucket.fp[i], bucket.time[i])) {
       if (free_slot < 0) {
         free_slot = i;  // expired/empty: reclaim on collision (paper §4.2)
       }
     } else {
-      const uint32_t age = now - slot.time;
+      const uint32_t age = now - bucket.time[i];
       if (age >= oldest_age) {
         oldest_age = age;
         oldest_slot = i;
       }
     }
   }
-  Slot& victim = slots_[base + (free_slot >= 0 ? free_slot : oldest_slot)];
-  victim.fingerprint = fp;
-  victim.time = now;
+  const int victim = free_slot >= 0 ? free_slot : oldest_slot;
+  bucket.fp[victim] = fp;
+  bucket.time[victim] = now;
 }
 
 bool GhostTable::Contains(uint64_t id) const {
-  const uint64_t base = BucketFor(id) * kBucketWidth;
+  const Bucket& bucket = buckets_[BucketFor(id)];
   const uint32_t fp = Fingerprint32(id);
-  for (int i = 0; i < kBucketWidth; ++i) {
-    const Slot& slot = slots_[base + i];
-    if (slot.fingerprint == fp && IsLive(slot)) {
+  for (uint32_t m = probe::Match32x8(bucket.fp, fp); m != 0; m &= m - 1) {
+    const int i = __builtin_ctz(m);
+    if (IsLive(bucket.fp[i], bucket.time[i])) {
       return true;
     }
   }
@@ -81,27 +81,27 @@ bool GhostTable::Contains(uint64_t id) const {
 }
 
 void GhostTable::Remove(uint64_t id) {
-  const uint64_t base = BucketFor(id) * kBucketWidth;
+  Bucket& bucket = buckets_[BucketFor(id)];
   const uint32_t fp = Fingerprint32(id);
-  for (int i = 0; i < kBucketWidth; ++i) {
-    Slot& slot = slots_[base + i];
-    if (slot.fingerprint == fp) {
-      slot = Slot{};
-      return;
-    }
+  if (const uint32_t match = probe::Match32x8(bucket.fp, fp)) {
+    const int i = __builtin_ctz(match);
+    bucket.fp[i] = 0;
+    bucket.time[i] = 0;
   }
 }
 
 void GhostTable::Clear() {
-  std::fill(slots_.begin(), slots_.end(), Slot{});
+  std::fill(buckets_.begin(), buckets_.end(), Bucket{});
   insertions_ = 0;
 }
 
 uint64_t GhostTable::CountLive() const {
   uint64_t live = 0;
-  for (const Slot& slot : slots_) {
-    if (IsLive(slot)) {
-      ++live;
+  for (const Bucket& bucket : buckets_) {
+    for (int i = 0; i < kBucketWidth; ++i) {
+      if (IsLive(bucket.fp[i], bucket.time[i])) {
+        ++live;
+      }
     }
   }
   return live;

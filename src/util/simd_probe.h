@@ -1,0 +1,208 @@
+// 16-wide control-byte group probing — the SIMD kernel under FlatMap and
+// GhostTable (Swiss-table-style metadata scans, §4.3 "FIFO queues win on
+// throughput" applied to the reproduction's own hot path).
+//
+// A probe group is 16 control bytes. Tags occupy the low 7 bits of a byte
+// (0x00..0x7f); 0x80 marks an empty slot, so the byte's sign bit doubles as
+// the empty flag. The three queries every caller needs:
+//
+//   * MatchTag(group, tag)  -> 16-bit mask, bit j set iff byte j == tag
+//     (callers verify candidates with a full key compare, so a backend may
+//     only ever produce a SUPERSET of the true matches — the portable SWAR
+//     backend exploits this);
+//   * MatchEmpty(group)     -> 16-bit mask of empty bytes (always exact);
+//   * Match32x8(lanes, x)   -> 8-bit mask over eight uint32 lanes (the
+//     GhostTable fingerprint-bucket probe).
+//
+// Backend selection is compile-time: SSE2 on x86-64 (baseline, no -march
+// flags needed), NEON on aarch64, and a scalar-on-uint64 SWAR fallback
+// everywhere else or when S3FIFO_DISABLE_SIMD is defined (the CMake option
+// of the same name forces it so both paths stay tested). The Portable*
+// entry points below are ALWAYS compiled, whatever the active backend, so
+// equivalence tests can compare the two in one binary.
+//
+// Bit-identity contract: every backend leads callers to the same decisions.
+// MatchEmpty and Match32x8 are bitwise identical across backends; MatchTag
+// candidate masks are checked against full keys, so spurious bits (SWAR)
+// cannot change any observable result.
+#ifndef SRC_UTIL_SIMD_PROBE_H_
+#define SRC_UTIL_SIMD_PROBE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#if !defined(S3FIFO_DISABLE_SIMD) && (defined(__SSE2__) || defined(_M_X64) || defined(__x86_64__))
+#define S3FIFO_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif !defined(S3FIFO_DISABLE_SIMD) && defined(__ARM_NEON)
+#define S3FIFO_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define S3FIFO_SIMD_PORTABLE 1
+#endif
+
+namespace s3fifo {
+namespace probe {
+
+inline constexpr int kGroupWidth = 16;
+// Control byte for an empty slot; tags are 7-bit (< 0x80).
+inline constexpr uint8_t kCtrlEmpty = 0x80;
+
+// ---- Portable SWAR backend (always compiled; also the fallback) ----------
+
+struct PortableGroup {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+};
+
+inline PortableGroup PortableLoadGroup(const uint8_t* ctrl) {
+  PortableGroup g;
+  std::memcpy(&g.lo, ctrl, sizeof(g.lo));
+  std::memcpy(&g.hi, ctrl + 8, sizeof(g.hi));
+  return g;
+}
+
+namespace detail {
+
+// Per-byte zero detector (Mycroft's haszero). The result can carry false
+// positives on bytes adjacent to a true zero — acceptable for MatchTag
+// (candidates are key-verified), never used for MatchEmpty.
+inline uint64_t ZeroBytes(uint64_t v) {
+  return (v - 0x0101010101010101ULL) & ~v & 0x8080808080808080ULL;
+}
+
+inline uint32_t ByteMaskToBits(uint64_t byte_mask, int bit_base) {
+  uint32_t bits = 0;
+  while (byte_mask != 0) {
+    bits |= 1u << (bit_base + (__builtin_ctzll(byte_mask) >> 3));
+    byte_mask &= byte_mask - 1;
+  }
+  return bits;
+}
+
+}  // namespace detail
+
+inline uint32_t PortableMatchTag(const PortableGroup& g, uint8_t tag) {
+  const uint64_t pattern = 0x0101010101010101ULL * tag;
+  return detail::ByteMaskToBits(detail::ZeroBytes(g.lo ^ pattern), 0) |
+         detail::ByteMaskToBits(detail::ZeroBytes(g.hi ^ pattern), 8);
+}
+
+inline uint32_t PortableMatchEmpty(const PortableGroup& g) {
+  // Exact: the sign bit is set on empty bytes only (tags are 7-bit).
+  return detail::ByteMaskToBits(g.lo & 0x8080808080808080ULL, 0) |
+         detail::ByteMaskToBits(g.hi & 0x8080808080808080ULL, 8);
+}
+
+inline uint32_t PortableMatch32x8(const uint32_t* lanes, uint32_t x) {
+  uint32_t mask = 0;
+  for (int i = 0; i < 8; ++i) {
+    mask |= static_cast<uint32_t>(lanes[i] == x) << i;
+  }
+  return mask;
+}
+
+// ---- Active backend ------------------------------------------------------
+
+#if defined(S3FIFO_SIMD_SSE2)
+
+inline constexpr const char* kProbeBackend = "sse2";
+
+struct Group {
+  __m128i v;
+};
+
+inline Group LoadGroup(const uint8_t* ctrl) {
+  return Group{_mm_loadu_si128(reinterpret_cast<const __m128i*>(ctrl))};
+}
+
+inline uint32_t MatchTag(const Group& g, uint8_t tag) {
+  const __m128i pattern = _mm_set1_epi8(static_cast<char>(tag));
+  return static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(g.v, pattern)));
+}
+
+inline uint32_t MatchEmpty(const Group& g) {
+  // movemask collects the sign bits — set exactly on empty control bytes.
+  return static_cast<uint32_t>(_mm_movemask_epi8(g.v));
+}
+
+inline uint32_t Match32x8(const uint32_t* lanes, uint32_t x) {
+  const __m128i pattern = _mm_set1_epi32(static_cast<int>(x));
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes));
+  const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes + 4));
+  const uint32_t lo_mask =
+      static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(lo, pattern))));
+  const uint32_t hi_mask =
+      static_cast<uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(hi, pattern))));
+  return lo_mask | (hi_mask << 4);
+}
+
+#elif defined(S3FIFO_SIMD_NEON)
+
+inline constexpr const char* kProbeBackend = "neon";
+
+struct Group {
+  uint8x16_t v;
+};
+
+inline Group LoadGroup(const uint8_t* ctrl) { return Group{vld1q_u8(ctrl)}; }
+
+namespace detail {
+
+// NEON has no movemask; narrow each byte-lane compare result (0x00/0xff) to
+// 4 bits and extract with one 64-bit move.
+inline uint32_t NeonMaskBits(uint8x16_t eq) {
+  const uint8x8_t narrowed = vshrn_n_u16(vreinterpretq_u16_u8(eq), 4);
+  const uint64_t packed = vget_lane_u64(vreinterpret_u64_u8(narrowed), 0);
+  uint32_t bits = 0;
+  uint64_t m = packed & 0x1111111111111111ULL;
+  while (m != 0) {
+    bits |= 1u << (__builtin_ctzll(m) >> 2);
+    m &= m - 1;
+  }
+  return bits;
+}
+
+}  // namespace detail
+
+inline uint32_t MatchTag(const Group& g, uint8_t tag) {
+  return detail::NeonMaskBits(vceqq_u8(g.v, vdupq_n_u8(tag)));
+}
+
+inline uint32_t MatchEmpty(const Group& g) {
+  return detail::NeonMaskBits(vcgeq_u8(g.v, vdupq_n_u8(kCtrlEmpty)));
+}
+
+inline uint32_t Match32x8(const uint32_t* lanes, uint32_t x) {
+  const uint32x4_t pattern = vdupq_n_u32(x);
+  const uint32x4_t lo = vceqq_u32(vld1q_u32(lanes), pattern);
+  const uint32x4_t hi = vceqq_u32(vld1q_u32(lanes + 4), pattern);
+  uint32_t mask = 0;
+  mask |= vgetq_lane_u32(lo, 0) & 1u;
+  mask |= (vgetq_lane_u32(lo, 1) & 1u) << 1;
+  mask |= (vgetq_lane_u32(lo, 2) & 1u) << 2;
+  mask |= (vgetq_lane_u32(lo, 3) & 1u) << 3;
+  mask |= (vgetq_lane_u32(hi, 0) & 1u) << 4;
+  mask |= (vgetq_lane_u32(hi, 1) & 1u) << 5;
+  mask |= (vgetq_lane_u32(hi, 2) & 1u) << 6;
+  mask |= (vgetq_lane_u32(hi, 3) & 1u) << 7;
+  return mask;
+}
+
+#else  // portable
+
+inline constexpr const char* kProbeBackend = "swar";
+
+using Group = PortableGroup;
+
+inline Group LoadGroup(const uint8_t* ctrl) { return PortableLoadGroup(ctrl); }
+inline uint32_t MatchTag(const Group& g, uint8_t tag) { return PortableMatchTag(g, tag); }
+inline uint32_t MatchEmpty(const Group& g) { return PortableMatchEmpty(g); }
+inline uint32_t Match32x8(const uint32_t* lanes, uint32_t x) { return PortableMatch32x8(lanes, x); }
+
+#endif
+
+}  // namespace probe
+}  // namespace s3fifo
+
+#endif  // SRC_UTIL_SIMD_PROBE_H_

@@ -1,0 +1,105 @@
+// Batched-vs-scalar parity: GetBatch must replicate Get() request for
+// request on every policy. Exercises the specialized BatchLoop overrides
+// (fifo/lru/clock/sieve/s3fifo and the inherited s3fifo-d path), their
+// batched eviction sweeps, and the default per-request fallback that every
+// other policy takes — on fuzzed traces with deletes, scans, and resizes,
+// in both count- and byte-based configurations, across batch sizes chosen
+// to land chunk boundaries mid-eviction.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/check/invariants.h"
+#include "src/check/trace_fuzzer.h"
+#include "src/core/cache.h"
+#include "src/trace/request.h"
+
+namespace s3fifo {
+namespace check {
+namespace {
+
+struct ParityCase {
+  const char* policy;
+  const char* params;
+};
+
+// The policies with devirtualized AccessBatch overrides, their parameter
+// variants (LRU-mode queues, the SIEVE main queue, the fingerprint ghost,
+// multi-bit CLOCK), and representatives of the default scalar fallback.
+const ParityCase kCases[] = {
+    {"fifo", ""},
+    {"lru", ""},
+    {"clock", ""},
+    {"clock", "bits=3"},
+    {"sieve", ""},
+    {"s3fifo", ""},
+    {"s3fifo", "ghost_type=table"},
+    {"s3fifo", "small_lru=1,main_lru=1"},
+    {"s3fifo", "main_sieve=1"},
+    {"s3fifo-d", ""},
+    {"arc", ""},      // default AccessBatch (Get loop)
+    {"tinylfu", ""},  // default AccessBatch (Get loop)
+};
+
+std::vector<Request> FuzzTrace(uint64_t seed, uint64_t capacity, bool count_based) {
+  FuzzConfig fc;
+  fc.seed = seed;
+  fc.num_requests = 20000;
+  fc.capacity = capacity;
+  fc.count_based = count_based;
+  return GenerateFuzzRequests(fc);
+}
+
+TEST(BatchedParityTest, CountBased) {
+  const std::vector<Request> requests = FuzzTrace(0xba7c11, 64, true);
+  for (const ParityCase& c : kCases) {
+    CacheConfig config;
+    config.capacity = 64;
+    config.params = c.params;
+    EXPECT_EQ(CheckBatchedParity(c.policy, config, requests), "")
+        << c.policy << " params='" << c.params << "'";
+  }
+}
+
+TEST(BatchedParityTest, ByteBased) {
+  const std::vector<Request> requests = FuzzTrace(0xba7c22, 8192, false);
+  for (const ParityCase& c : kCases) {
+    CacheConfig config;
+    config.capacity = 8192;
+    config.count_based = false;
+    config.params = c.params;
+    EXPECT_EQ(CheckBatchedParity(c.policy, config, requests), "")
+        << c.policy << " params='" << c.params << "'";
+  }
+}
+
+// Odd and tiny batch sizes shift where chunk boundaries fall relative to
+// evictions and deletes; parity must hold for any partition of the trace.
+TEST(BatchedParityTest, BatchSizeInvariance) {
+  const std::vector<Request> requests = FuzzTrace(0xba7c33, 32, true);
+  CacheConfig config;
+  config.capacity = 32;
+  for (const uint32_t batch : {1u, 3u, 17u, 256u, 100000u}) {
+    EXPECT_EQ(CheckBatchedParity("s3fifo", config, requests, batch), "") << "batch " << batch;
+    EXPECT_EQ(CheckBatchedParity("sieve", config, requests, batch), "") << "batch " << batch;
+    EXPECT_EQ(CheckBatchedParity("clock", config, requests, batch), "") << "batch " << batch;
+  }
+}
+
+// A capacity small enough that the sieve hand wraps constantly and the
+// CLOCK/S3-FIFO sweeps routinely cover the whole queue in one gather — the
+// regime where a batched sweep bug (stale re-read, wrong splice order)
+// would surface immediately.
+TEST(BatchedParityTest, TinyCacheWrapStress) {
+  const std::vector<Request> requests = FuzzTrace(0xba7c44, 4, true);
+  for (const char* policy : {"fifo", "lru", "clock", "sieve", "s3fifo", "s3fifo-d"}) {
+    CacheConfig config;
+    config.capacity = 4;
+    EXPECT_EQ(CheckBatchedParity(policy, config, requests, 64), "") << policy;
+  }
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace s3fifo

@@ -58,6 +58,30 @@ TEST(LongFuzzTest, MillionRequestsPerPolicy) {
   }
 }
 
+// Batched GetBatch vs per-request Get on long fuzzed streams: the policies'
+// devirtualized block loops and batched eviction sweeps must be bit-
+// identical to the scalar path at every hit bit and occupancy checkpoint.
+TEST(LongFuzzTest, BatchedParityFuzz) {
+  const uint64_t total = RequestsPerPolicy();
+  const uint64_t per_run = std::max<uint64_t>(total / 10, 10000);
+  for (const std::string& policy : OracleCoveredPolicies()) {
+    for (const bool count_based : {true, false}) {
+      FuzzConfig fc;
+      fc.seed = 0xba7c0000 + (count_based ? 1 : 2);
+      fc.num_requests = per_run;
+      fc.capacity = count_based ? 64 : 8192;
+      fc.count_based = count_based;
+      CacheConfig config;
+      config.capacity = fc.capacity;
+      config.count_based = count_based;
+      const std::string violation =
+          CheckBatchedParity(policy, config, GenerateFuzzRequests(fc));
+      EXPECT_EQ(violation, "") << policy << (count_based ? " (count" : " (byte")
+                               << "-based, seed " << fc.seed << ")";
+    }
+  }
+}
+
 // Fuzz the one-pass MRC engine against brute force across seeds; on a
 // divergence, ddmin-shrink the trace to a minimal reproducer and print it
 // seed-first so the failure is replayable from the log alone.

@@ -1,0 +1,235 @@
+// Property/fuzz test: FlatMap against a std::unordered_map oracle on seeded
+// random operation streams. Checks, after every operation:
+//   * Find/Contains/size agree with the oracle;
+//   * Emplace's inserted flag agrees, and a fresh insertion (including a
+//     recycled slab slot) starts value-initialized;
+//   * value pointers are STABLE — the pointer Emplace returned stays valid
+//     and keeps its payload across any number of rehashes until erase;
+//   * ForEach visits exactly the oracle's key set.
+// On failure the driving operation stream is ddmin-shrunk (chunk removal)
+// to a minimal reproducer and printed seed-first, so a CI failure is
+// replayable from the log alone.
+#include "src/util/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/simd_probe.h"
+
+namespace s3fifo {
+namespace {
+
+struct Payload {
+  uint64_t value = 0;
+};
+
+struct Op {
+  enum Kind : uint8_t { kEmplace, kErase, kFind, kReserve } kind;
+  uint64_t key;
+};
+
+std::vector<Op> GenerateOps(uint64_t seed, size_t count) {
+  Rng rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Op op;
+    const double p = rng.NextDouble();
+    if (p < 0.45) {
+      op.kind = Op::kEmplace;
+    } else if (p < 0.70) {
+      op.kind = Op::kErase;
+    } else if (p < 0.99) {
+      op.kind = Op::kFind;
+    } else {
+      op.kind = Op::kReserve;
+    }
+    // Mostly a hot universe (forces collisions, recycling, and long probe
+    // chains); occasionally a wide key so growth keeps firing.
+    op.key = rng.NextDouble() < 0.9 ? rng.NextBounded(512)
+                                    : rng.NextBounded(uint64_t{1} << 48);
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+// Runs the stream against both maps; returns "" on success or a description
+// of the first divergence.
+std::string RunOps(const std::vector<Op>& ops) {
+  FlatMap<Payload> map;
+  std::unordered_map<uint64_t, uint64_t> oracle;   // key -> expected payload
+  std::unordered_map<uint64_t, Payload*> pointers;  // key -> stable address
+  uint64_t next_value = 1;
+
+  auto fail = [](size_t i, const Op& op, const std::string& what) {
+    std::ostringstream out;
+    out << what << " at op " << i << " (kind=" << static_cast<int>(op.kind)
+        << " key=" << op.key << ")";
+    return out.str();
+  };
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    switch (op.kind) {
+      case Op::kEmplace: {
+        bool inserted = false;
+        Payload* p = map.Emplace(op.key, &inserted);
+        const bool expect_insert = oracle.find(op.key) == oracle.end();
+        if (inserted != expect_insert) {
+          return fail(i, op, "inserted flag mismatch");
+        }
+        if (inserted) {
+          if (p->value != 0) {
+            return fail(i, op, "recycled slab slot not value-initialized");
+          }
+          p->value = next_value++;
+          oracle[op.key] = p->value;
+          pointers[op.key] = p;
+        } else {
+          if (p != pointers[op.key]) {
+            return fail(i, op, "Emplace moved an existing value");
+          }
+          if (p->value != oracle[op.key]) {
+            return fail(i, op, "existing payload clobbered");
+          }
+        }
+        break;
+      }
+      case Op::kErase: {
+        const bool erased = map.Erase(op.key);
+        if (erased != (oracle.erase(op.key) != 0)) {
+          return fail(i, op, "erase result mismatch");
+        }
+        pointers.erase(op.key);
+        break;
+      }
+      case Op::kFind: {
+        Payload* p = map.Find(op.key);
+        auto it = oracle.find(op.key);
+        if ((p != nullptr) != (it != oracle.end())) {
+          return fail(i, op, "find presence mismatch");
+        }
+        if (p != nullptr && (p != pointers[op.key] || p->value != it->second)) {
+          return fail(i, op, "find returned wrong address or payload");
+        }
+        if (map.Contains(op.key) != (p != nullptr)) {
+          return fail(i, op, "Contains disagrees with Find");
+        }
+        break;
+      }
+      case Op::kReserve:
+        // Rehash pressure; key doubles as the size hint. Pointers and
+        // payloads must survive (checked by every later op).
+        map.Reserve(op.key % 4096);
+        break;
+    }
+    if (map.size() != oracle.size()) {
+      return fail(i, op, "size mismatch");
+    }
+  }
+
+  // Full-table sweep: ForEach must visit exactly the oracle's pairs.
+  uint64_t visited = 0;
+  std::string sweep_error;
+  map.ForEach([&](uint64_t key, Payload& value) {
+    ++visited;
+    auto it = oracle.find(key);
+    if (it == oracle.end()) {
+      sweep_error = "ForEach visited a key the oracle lacks";
+    } else if (value.value != it->second) {
+      sweep_error = "ForEach saw a wrong payload";
+    }
+  });
+  if (!sweep_error.empty()) {
+    return sweep_error;
+  }
+  if (visited != oracle.size()) {
+    return "ForEach visit count != oracle size";
+  }
+  return "";
+}
+
+// ddmin-lite: repeatedly drop chunks while the stream still fails.
+std::vector<Op> ShrinkOps(std::vector<Op> ops) {
+  size_t chunk = ops.size() / 2;
+  while (chunk > 0) {
+    bool removed_any = false;
+    for (size_t start = 0; start + chunk <= ops.size();) {
+      std::vector<Op> candidate;
+      candidate.reserve(ops.size() - chunk);
+      candidate.insert(candidate.end(), ops.begin(), ops.begin() + start);
+      candidate.insert(candidate.end(), ops.begin() + start + chunk, ops.end());
+      if (!RunOps(candidate).empty()) {
+        ops = std::move(candidate);
+        removed_any = true;
+      } else {
+        start += chunk;
+      }
+    }
+    if (!removed_any) {
+      chunk /= 2;
+    }
+  }
+  return ops;
+}
+
+void FuzzSeed(uint64_t seed, size_t count) {
+  const std::vector<Op> ops = GenerateOps(seed, count);
+  const std::string error = RunOps(ops);
+  if (error.empty()) {
+    return;
+  }
+  const std::vector<Op> shrunk = ShrinkOps(ops);
+  std::fprintf(stderr, "FlatMap fuzz failure (backend=%s seed=%llu): %s\nshrunk to %zu ops:\n",
+               probe::kProbeBackend, static_cast<unsigned long long>(seed), error.c_str(),
+               shrunk.size());
+  for (const Op& op : shrunk) {
+    std::fprintf(stderr, "  kind=%d key=%llu\n", static_cast<int>(op.kind),
+                 static_cast<unsigned long long>(op.key));
+  }
+  FAIL() << "FlatMap diverged from oracle (seed " << seed << "): " << error;
+}
+
+TEST(FlatMapFuzzTest, OracleDifferentialAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    FuzzSeed(0xf1a7000 + seed, 40000);
+  }
+}
+
+TEST(FlatMapFuzzTest, ChurnHeavyRecycling) {
+  // Erase-heavy stream over a tiny universe: maximal slab recycling and
+  // backward-shift activity at a near-constant size.
+  Rng rng(0xc4u);
+  FlatMap<Payload> map;
+  std::unordered_map<uint64_t, uint64_t> oracle;
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t key = rng.NextBounded(64);
+    if (oracle.count(key) != 0) {
+      ASSERT_TRUE(map.Erase(key));
+      oracle.erase(key);
+    } else {
+      bool inserted = false;
+      Payload* p = map.Emplace(key, &inserted);
+      ASSERT_TRUE(inserted);
+      ASSERT_EQ(p->value, 0u) << "stale payload in recycled slot";
+      p->value = key + 1;
+      oracle[key] = key + 1;
+    }
+    ASSERT_EQ(map.size(), oracle.size());
+  }
+  for (const auto& [key, value] : oracle) {
+    Payload* p = map.Find(key);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->value, value);
+  }
+}
+
+}  // namespace
+}  // namespace s3fifo

@@ -1,0 +1,157 @@
+// Differential tests for the probe kernel: the active backend (SSE2, NEON,
+// or SWAR — whichever this binary compiled with) against the always-compiled
+// portable reference, on exhaustive small cases and seeded random groups.
+// The contract under test (simd_probe.h):
+//   * MatchEmpty and Match32x8 are bitwise identical across backends;
+//   * MatchTag may return a superset of the true equal-byte mask (the SWAR
+//     backend's allowance) but never misses a true match, and any extra bit
+//     must fall on a byte adjacent to a true zero of the XOR pattern — we
+//     check the superset property and that exact backends are exact.
+#include "src/util/simd_probe.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace s3fifo {
+namespace probe {
+namespace {
+
+// Ground truth computed one byte / one lane at a time.
+uint32_t NaiveMatchTag(const uint8_t* ctrl, uint8_t tag) {
+  uint32_t mask = 0;
+  for (int i = 0; i < kGroupWidth; ++i) {
+    mask |= static_cast<uint32_t>(ctrl[i] == tag) << i;
+  }
+  return mask;
+}
+
+uint32_t NaiveMatchEmpty(const uint8_t* ctrl) {
+  uint32_t mask = 0;
+  for (int i = 0; i < kGroupWidth; ++i) {
+    mask |= static_cast<uint32_t>(ctrl[i] >= kCtrlEmpty) << i;
+  }
+  return mask;
+}
+
+uint32_t NaiveMatch32x8(const uint32_t* lanes, uint32_t x) {
+  uint32_t mask = 0;
+  for (int i = 0; i < 8; ++i) {
+    mask |= static_cast<uint32_t>(lanes[i] == x) << i;
+  }
+  return mask;
+}
+
+void FillGroup(Rng& rng, uint8_t* ctrl, double p_empty) {
+  for (int i = 0; i < kGroupWidth; ++i) {
+    ctrl[i] = rng.NextDouble() < p_empty ? kCtrlEmpty
+                                         : static_cast<uint8_t>(rng.NextBounded(128));
+  }
+}
+
+TEST(SimdProbeTest, BackendIsCompiledIn) {
+  // Make the active backend visible in the test log; on x86-64 release
+  // builds this must be the SIMD path unless S3FIFO_DISABLE_SIMD is set.
+  SCOPED_TRACE(kProbeBackend);
+#if defined(S3FIFO_DISABLE_SIMD)
+  EXPECT_STREQ(kProbeBackend, "swar");
+#elif defined(__x86_64__) || defined(_M_X64)
+  EXPECT_STREQ(kProbeBackend, "sse2");
+#endif
+}
+
+TEST(SimdProbeTest, MatchEmptyExactOnRandomGroups) {
+  Rng rng(0x51abbed);
+  uint8_t ctrl[kGroupWidth];
+  for (int round = 0; round < 20000; ++round) {
+    FillGroup(rng, ctrl, 0.3);
+    const uint32_t naive = NaiveMatchEmpty(ctrl);
+    EXPECT_EQ(MatchEmpty(LoadGroup(ctrl)), naive);
+    EXPECT_EQ(PortableMatchEmpty(PortableLoadGroup(ctrl)), naive);
+  }
+}
+
+TEST(SimdProbeTest, MatchTagSupersetOnRandomGroups) {
+  Rng rng(0x7a95eed);
+  uint8_t ctrl[kGroupWidth];
+  for (int round = 0; round < 20000; ++round) {
+    FillGroup(rng, ctrl, 0.2);
+    const uint8_t tag = static_cast<uint8_t>(rng.NextBounded(128));
+    const uint32_t naive = NaiveMatchTag(ctrl, tag);
+    const uint32_t active = MatchTag(LoadGroup(ctrl), tag);
+    const uint32_t portable = PortableMatchTag(PortableLoadGroup(ctrl), tag);
+    // Supersets of the truth, confined to the 16 group bits.
+    EXPECT_EQ(active & naive, naive);
+    EXPECT_EQ(portable & naive, naive);
+    EXPECT_EQ(active >> kGroupWidth, 0u);
+    EXPECT_EQ(portable >> kGroupWidth, 0u);
+#if !defined(S3FIFO_SIMD_PORTABLE)
+    // Hardware byte compares are exact, not merely supersets.
+    EXPECT_EQ(active, naive);
+#endif
+  }
+}
+
+// The SWAR MatchTag allowance is narrow: an extra candidate bit may only
+// appear directly above a true match (a borrow artifact of the haszero
+// trick). FlatMap additionally masks empties out of the candidate set, so
+// the composition callers actually use must equal the exact filter.
+TEST(SimdProbeTest, MatchTagMaskedByEmptyMatchesExactFilter) {
+  Rng rng(0xf117e5);
+  uint8_t ctrl[kGroupWidth];
+  for (int round = 0; round < 20000; ++round) {
+    FillGroup(rng, ctrl, 0.3);
+    const uint8_t tag = static_cast<uint8_t>(rng.NextBounded(128));
+    const uint32_t naive = NaiveMatchTag(ctrl, tag);
+    const uint32_t empty = NaiveMatchEmpty(ctrl);
+    const PortableGroup g = PortableLoadGroup(ctrl);
+    const uint32_t candidates = PortableMatchTag(g, tag) & ~PortableMatchEmpty(g);
+    // Spurious candidates can only sit on occupied slots, where the caller's
+    // key compare rejects them; every true match must survive the mask.
+    EXPECT_EQ(candidates & naive, naive);
+    EXPECT_EQ(candidates & empty, 0u);
+  }
+}
+
+TEST(SimdProbeTest, Match32x8ExactOnRandomBuckets) {
+  Rng rng(0x320f8);
+  alignas(16) uint32_t lanes[8];
+  for (int round = 0; round < 20000; ++round) {
+    for (uint32_t& lane : lanes) {
+      // Small value range to force frequent equal lanes (and duplicates).
+      lane = static_cast<uint32_t>(rng.NextBounded(8));
+    }
+    const uint32_t x = static_cast<uint32_t>(rng.NextBounded(8));
+    const uint32_t naive = NaiveMatch32x8(lanes, x);
+    EXPECT_EQ(Match32x8(lanes, x), naive);
+    EXPECT_EQ(PortableMatch32x8(lanes, x), naive);
+  }
+}
+
+TEST(SimdProbeTest, ExhaustiveSingleByteTags) {
+  // Every (byte value, tag) pair in a one-hot group: the full 256x128 grid.
+  uint8_t ctrl[kGroupWidth];
+  for (int v = 0; v < 256; ++v) {
+    for (int i = 0; i < kGroupWidth; ++i) {
+      ctrl[i] = kCtrlEmpty;  // tags are 7-bit, so 0x80 never matches a tag
+    }
+    ctrl[5] = static_cast<uint8_t>(v);
+    const uint32_t empty_naive = NaiveMatchEmpty(ctrl);
+    EXPECT_EQ(MatchEmpty(LoadGroup(ctrl)), empty_naive);
+    EXPECT_EQ(PortableMatchEmpty(PortableLoadGroup(ctrl)), empty_naive);
+    for (int tag = 0; tag < 128; ++tag) {
+      const uint32_t naive = NaiveMatchTag(ctrl, static_cast<uint8_t>(tag));
+      const uint32_t active = MatchTag(LoadGroup(ctrl), static_cast<uint8_t>(tag));
+      const uint32_t portable =
+          PortableMatchTag(PortableLoadGroup(ctrl), static_cast<uint8_t>(tag));
+      EXPECT_EQ(active & naive, naive);
+      EXPECT_EQ(portable & naive, naive);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace probe
+}  // namespace s3fifo
