@@ -94,7 +94,11 @@ void Run() {
                            .Add("capacity_objects", config.capacity_objects)
                            .Add("threads", threads)
                            .Add("throughput_mops", r.throughput_mops)
-                           .Add("hit_ratio", r.hit_ratio));
+                           .Add("hit_ratio", r.hit_ratio)
+                           .Add("batch_size", options.batch_size)
+                           .Add("svc_p50_ns", r.latency.Percentile(50))
+                           .Add("svc_p99_ns", r.latency.Percentile(99))
+                           .Add("svc_p999_ns", r.latency.Percentile(99.9)));
       }
       std::printf("\n");
     }

@@ -1,10 +1,40 @@
 #include "src/concurrent/concurrent_s3fifo.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <new>
 
 #include "src/concurrent/value_payload.h"
 
 namespace s3fifo {
+
+namespace {
+// How far ahead of the current request GetBatch prefetches the index slot.
+constexpr uint32_t kBatchPrefetch = 8;
+}  // namespace
+
+ConcurrentS3Fifo::ValueBuf* ConcurrentS3Fifo::MakeBuf(const char* data, uint32_t size) {
+  void* mem = ::operator new(offsetof(ValueBuf, data) + std::max<uint32_t>(size, 1));
+  auto* buf = new (mem) ValueBuf;
+  buf->size = size;
+  if (size > 0) {
+    std::memcpy(buf->data, data, size);
+  }
+  return buf;
+}
+
+ConcurrentS3Fifo::ValueBuf* ConcurrentS3Fifo::MakeFillBuf(uint64_t id, uint32_t size) {
+  void* mem = ::operator new(offsetof(ValueBuf, data) + std::max<uint32_t>(size, 1));
+  auto* buf = new (mem) ValueBuf;
+  buf->size = size;
+  std::memset(buf->data, static_cast<int>(id & 0xFF), size);
+  return buf;
+}
+
+void ConcurrentS3Fifo::FreeBuf(ValueBuf* buf) { ::operator delete(buf); }
+
+ConcurrentS3Fifo::Entry::~Entry() { FreeBuf(value.load(std::memory_order_relaxed)); }
 
 ConcurrentS3Fifo::ConcurrentS3Fifo(const ConcurrentCacheConfig& config, double small_ratio,
                                    uint32_t move_threshold, uint32_t max_freq)
@@ -46,9 +76,9 @@ void ConcurrentS3Fifo::RetireEntry(Entry* e) {
   EbrDomain::Instance().Retire(e, [](void* p) { delete static_cast<Entry*>(p); });
 }
 
-bool ConcurrentS3Fifo::Get(uint64_t id) {
+bool ConcurrentS3Fifo::AccessPinned(uint64_t id, const char* set_data, uint32_t set_size,
+                                    uint32_t batch_index, ValueSink* sink) {
   Shard& s = ShardFor(id);
-  EbrDomain::Guard guard;
   if (Entry* e = s.index.Find(id)) {
     // Lock-free hit path: capped increment; popular objects (freq already at
     // the cap) need no store at all (§4.3.1).
@@ -56,14 +86,28 @@ bool ConcurrentS3Fifo::Get(uint64_t id) {
     while (f < max_freq_ &&
            !e->freq.compare_exchange_weak(f, f + 1, std::memory_order_relaxed)) {
     }
-    (void)ReadValuePayload(e->value.get(), config_.value_size);
+    if (set_data != nullptr) {
+      // In-place value replacement: publish the new buffer, retire the old
+      // one so concurrent readers mid-copy stay safe.
+      ValueBuf* old = e->value.exchange(MakeBuf(set_data, set_size), std::memory_order_acq_rel);
+      EbrDomain::Instance().Retire(old, [](void* p) { FreeBuf(static_cast<ValueBuf*>(p)); });
+    } else {
+      const ValueBuf* v = e->value.load(std::memory_order_acquire);
+      if (sink != nullptr) {
+        sink->OnValue(batch_index, v->data, v->size);
+      } else {
+        (void)ReadValuePayload(v->data, v->size);
+      }
+    }
     hits_.Add(1);
     return true;
   }
 
   Entry* e = new Entry;
   e->id = id;
-  e->value = MakeValuePayload(id, config_.value_size);
+  e->value.store(set_data != nullptr ? MakeBuf(set_data, set_size)
+                                     : MakeFillBuf(id, config_.value_size),
+                 std::memory_order_relaxed);
   if (!s.index.InsertIfAbsent(id, e)) {
     delete e;  // another thread admitted this id concurrently
     misses_.Add(1);
@@ -81,6 +125,66 @@ bool ConcurrentS3Fifo::Get(uint64_t id) {
   return false;
 }
 
+bool ConcurrentS3Fifo::Get(uint64_t id) {
+  EbrDomain::Guard guard;
+  return AccessPinned(id, nullptr, 0, 0, nullptr);
+}
+
+void ConcurrentS3Fifo::GetBatch(const uint64_t* ids, uint32_t count, uint8_t* hits,
+                                ValueSink* sink) {
+  EbrDomain::Guard guard;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (i + kBatchPrefetch < count) {
+      const uint64_t ahead = ids[i + kBatchPrefetch];
+      ShardFor(ahead).index.Prefetch(ahead);
+    }
+    hits[i] = AccessPinned(ids[i], nullptr, 0, i, sink) ? 1 : 0;
+  }
+}
+
+bool ConcurrentS3Fifo::Set(uint64_t id, const char* data, uint32_t size) {
+  static constexpr char kEmpty = '\0';
+  EbrDomain::Guard guard;
+  AccessPinned(id, data != nullptr ? data : &kEmpty, data != nullptr ? size : 0, 0, nullptr);
+  return true;
+}
+
+bool ConcurrentS3Fifo::Delete(uint64_t id) {
+  Shard& s = ShardFor(id);
+  EbrDomain::Guard guard;
+  Entry* e = s.index.Find(id);
+  if (e == nullptr) {
+    return false;
+  }
+  // Winning the unpublish race makes this thread the entry's sole remover.
+  if (!s.index.EraseIf(id, [e](Entry* v) { return v == e; })) {
+    return false;
+  }
+  bool unlinked = false;
+  s.gate.WithLock([&] {
+    if (e->hook.linked()) {
+      if (e->in_small) {
+        s.small.Remove(e);
+        --s.small_count;
+      } else {
+        s.main.Remove(e);
+        --s.main_count;
+      }
+      unlinked = true;
+    } else {
+      // Either still pending in the gate ring (DrainLocked discards dead
+      // entries) or a concurrent evictor already unlinked it and owns the
+      // retire; the flag is harmless in the latter case.
+      e->dead = true;
+    }
+  });
+  if (unlinked) {
+    s.resident.fetch_sub(1, std::memory_order_relaxed);
+    RetireEntry(e);
+  }
+  return true;
+}
+
 // Under the gate lock: link every pending entry, making room first so the
 // Algorithm-1 transition order (evict, then ghost-check, then insert) matches
 // the unsharded seed exactly — at cache_shards=1 the replayed decision
@@ -88,6 +192,12 @@ bool ConcurrentS3Fifo::Get(uint64_t id) {
 void ConcurrentS3Fifo::DrainLocked(Shard& s, std::vector<Entry*>& victims) {
   Entry* e = nullptr;
   while (s.gate.pending().TryPop(&e)) {
+    if (e->dead) {
+      // Deleted before it was ever linked; it is already unpublished.
+      s.resident.fetch_sub(1, std::memory_order_relaxed);
+      RetireEntry(e);
+      continue;
+    }
     while (s.small_count + s.main_count >= s.capacity_objects) {
       if ((s.small_count > s.small_target && !s.small.empty()) || s.main.empty()) {
         EvictFromSmall(s, victims);

@@ -38,17 +38,45 @@ class ConcurrentS3Fifo : public ConcurrentCache {
   ~ConcurrentS3Fifo() override;
 
   bool Get(uint64_t id) override;
+  // Software-pipelined batch: one EBR pin for the whole block, index slots
+  // prefetched kBatchPrefetch ids ahead; outcome bit-identical to Get() per
+  // id. Hits report their value bytes through `sink` (server data path).
+  void GetBatch(const uint64_t* ids, uint32_t count, uint8_t* hits,
+                ValueSink* sink = nullptr) override;
+  // Insert-or-replace with explicit bytes. A resident object's value is
+  // swapped via an atomic pointer exchange (old buffer EBR-retired so
+  // lock-free readers finish safely); a miss admits through the normal
+  // S3-FIFO miss path carrying the provided bytes.
+  bool Set(uint64_t id, const char* data, uint32_t size) override;
+  // Unpublishes from the index, unlinks from its queue under the gate lock
+  // (or marks a still-pending entry dead for DrainLocked to discard), and
+  // EBR-retires the entry. No ghost insertion — matches the simulator's
+  // explicit-delete semantics.
+  bool Delete(uint64_t id) override;
   std::string Name() const override { return "s3fifo"; }
   uint64_t ApproxSize() const override;
   ConcurrentCacheStats Stats() const override;
 
  private:
+  // Heap block holding one value; entries point at it through an atomic so
+  // `set` on a resident object can republish without disturbing concurrent
+  // lock-free readers (the old block is EBR-retired).
+  struct ValueBuf {
+    uint32_t size = 0;
+    char data[1];  // over-allocated to `size` bytes
+  };
+  static ValueBuf* MakeBuf(const char* data, uint32_t size);
+  static ValueBuf* MakeFillBuf(uint64_t id, uint32_t size);
+  static void FreeBuf(ValueBuf* buf);
+
   struct Entry {
+    ~Entry();
     uint64_t id = 0;
     std::atomic<uint8_t> freq{0};
-    bool in_small = true;  // guarded by the shard's gate lock
-    std::unique_ptr<char[]> value;
-    ListHook hook;
+    bool in_small = true;   // guarded by the shard's gate lock
+    bool dead = false;      // guarded by the gate lock: Delete'd while pending
+    std::atomic<ValueBuf*> value{nullptr};
+    ListHook hook;  // hook.linked() (under the gate lock) <=> on small/main
   };
   using Queue = IntrusiveList<Entry, &Entry::hook>;
 
@@ -75,6 +103,11 @@ class ConcurrentS3Fifo : public ConcurrentCache {
   };
 
   Shard& ShardFor(uint64_t id) { return *shards_[CacheShardFor(id, num_shards_)]; }
+
+  // One request, caller already pinned (EBR guard held). `set_data` non-null
+  // makes it a `set` (value stored/replaced); null is an on-demand-fill get.
+  bool AccessPinned(uint64_t id, const char* set_data, uint32_t set_size, uint32_t batch_index,
+                    ValueSink* sink);
 
   // All three run under the shard's gate lock. Victims are collected for
   // out-of-lock index unpublish + EBR retire.

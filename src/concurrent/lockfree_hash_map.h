@@ -90,6 +90,15 @@ class LockFreeHashMap {
     return nullptr;
   }
 
+  // Pulls the home slot of `key`'s probe chain toward the CPU cache — the
+  // batched access paths call this a fixed distance ahead of the probe so
+  // table misses overlap across a block. Pure hint: no observable effect.
+  void Prefetch(uint64_t key) const {
+    const Shard& s = ShardFor(key);
+    const Table* t = s.table.load(std::memory_order_acquire);
+    __builtin_prefetch(&t->slots[Mix64(key) & t->mask], 0, 1);
+  }
+
   // Inserts only if no live entry for `key` exists. Returns true if this call
   // inserted. Takes the shard writer lock.
   bool InsertIfAbsent(uint64_t key, V value) {

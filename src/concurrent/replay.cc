@@ -1,7 +1,9 @@
 #include "src/concurrent/replay.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -19,6 +21,9 @@ ReplayResult ReplayClosedLoop(ConcurrentCache& cache, const ReplayOptions& optio
 
   const ZipfDistribution zipf(options.num_objects, options.zipf_alpha);
 
+  ReplayResult result;
+  std::mutex merge_mu;
+
   for (unsigned t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + t);
@@ -26,13 +31,40 @@ ReplayResult ReplayClosedLoop(ConcurrentCache& cache, const ReplayOptions& optio
         std::this_thread::yield();
       }
       uint64_t hits = 0;
-      for (uint64_t i = 0; i < options.requests_per_thread; ++i) {
-        const uint64_t id = zipf.Sample(rng);
-        if (cache.Get(id)) {
-          ++hits;
+      if (options.batch_size == 0) {
+        // Scalar reference loop: one virtual call per request.
+        for (uint64_t i = 0; i < options.requests_per_thread; ++i) {
+          if (cache.Get(zipf.Sample(rng))) {
+            ++hits;
+          }
         }
+        total_hits.fetch_add(hits, std::memory_order_relaxed);
+        return;
+      }
+      const uint32_t batch = options.batch_size;
+      std::vector<uint64_t> ids(batch);
+      std::vector<uint8_t> hit_bits(batch);
+      LatencyHistogram local;
+      uint64_t remaining = options.requests_per_thread;
+      while (remaining > 0) {
+        const uint32_t n = static_cast<uint32_t>(
+            std::min<uint64_t>(batch, remaining));
+        for (uint32_t i = 0; i < n; ++i) {
+          ids[i] = zipf.Sample(rng);
+        }
+        const auto b0 = std::chrono::steady_clock::now();
+        cache.GetBatch(ids.data(), n, hit_bits.data());
+        const auto b1 = std::chrono::steady_clock::now();
+        local.Add(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(b1 - b0).count() / n));
+        for (uint32_t i = 0; i < n; ++i) {
+          hits += hit_bits[i];
+        }
+        remaining -= n;
       }
       total_hits.fetch_add(hits, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(merge_mu);
+      result.latency.Merge(local);
     });
   }
 
@@ -43,7 +75,6 @@ ReplayResult ReplayClosedLoop(ConcurrentCache& cache, const ReplayOptions& optio
   }
   const auto t1 = std::chrono::steady_clock::now();
 
-  ReplayResult result;
   result.total_requests = static_cast<uint64_t>(threads) * options.requests_per_thread;
   result.elapsed_seconds = std::chrono::duration<double>(t1 - t0).count();
   result.throughput_mops = result.elapsed_seconds > 0

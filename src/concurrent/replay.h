@@ -1,13 +1,20 @@
 // Closed-loop trace replay against a ConcurrentCache — the prototype
-// benchmark methodology of §5.3: each thread issues back-to-back requests
-// drawn from a Zipf distribution; misses are filled on demand with
+// benchmark methodology of §5.3: each thread issues back-to-back batches of
+// requests drawn from a Zipf distribution; misses are filled on demand with
 // pre-generated data; throughput is aggregated over all threads.
+//
+// Requests are routed through ConcurrentCache::GetBatch in blocks of
+// `batch_size` — the same software-pipelined path the network front end
+// (src/server/) drives per connection — and each batch's wall time is
+// recorded into a per-thread LatencyHistogram (as per-request service time:
+// batch nanoseconds / batch size), merged into ReplayResult::latency.
 #ifndef SRC_CONCURRENT_REPLAY_H_
 #define SRC_CONCURRENT_REPLAY_H_
 
 #include <cstdint>
 
 #include "src/concurrent/concurrent_cache.h"
+#include "src/sim/metrics.h"
 
 namespace s3fifo {
 
@@ -17,6 +24,9 @@ struct ReplayOptions {
   uint64_t num_objects = 1 << 20;  // Zipf universe
   double zipf_alpha = 1.0;
   uint64_t seed = 7;
+  // Requests per GetBatch call. 0 = the scalar reference loop (one Get per
+  // request, no latency recording). Results are bit-identical either way.
+  uint32_t batch_size = 64;
 };
 
 struct ReplayResult {
@@ -24,6 +34,9 @@ struct ReplayResult {
   double hit_ratio = 0.0;
   double elapsed_seconds = 0.0;
   uint64_t total_requests = 0;
+  // Per-request service time in nanoseconds, sampled at batch granularity
+  // and merged across threads. Empty when batch_size == 0.
+  LatencyHistogram latency;
 };
 
 ReplayResult ReplayClosedLoop(ConcurrentCache& cache, const ReplayOptions& options);

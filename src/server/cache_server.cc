@@ -1,0 +1,604 @@
+#include "src/server/cache_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/concurrent/concurrent_s3fifo.h"
+#include "src/server/protocol.h"
+#include "src/server/ring_buffer.h"
+
+namespace s3fifo {
+
+namespace {
+
+constexpr const char* kVersionLine = "VERSION s3fifo-server 1.0\r\n";
+
+void AppendU64(std::vector<char>& out, uint64_t v) {
+  char buf[20];
+  int n = 0;
+  do {
+    buf[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) {
+    out.push_back(buf[--n]);
+  }
+}
+
+void AppendStr(std::vector<char>& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void AppendStat(std::vector<char>& out, std::string_view name, uint64_t v) {
+  AppendStr(out, "STAT ");
+  AppendStr(out, name);
+  out.push_back(' ');
+  AppendU64(out, v);
+  AppendStr(out, "\r\n");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Per-connection and per-worker state
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Copies each batched hit's value bytes into the connection's arena while
+// the cache's read guard protects them; response rendering then references
+// the arena, never cache memory.
+struct ArenaSink final : public ValueSink {
+  std::vector<char>* arena = nullptr;
+  // offset in arena per batch index; kNoValue = miss or value-less cache.
+  std::vector<std::pair<uint32_t, uint32_t>>* slots = nullptr;
+  static constexpr uint32_t kNoValue = ~uint32_t{0};
+
+  void OnValue(uint32_t index, const char* data, uint32_t size) override {
+    (*slots)[index] = {static_cast<uint32_t>(arena->size()), size};
+    arena->insert(arena->end(), data, data + size);
+  }
+};
+
+struct Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  int fd;
+  RingBuffer in;
+  std::vector<char> out;
+  size_t out_sent = 0;
+  bool want_close = false;       // close once the out buffer drains
+  bool parse_blocked = false;    // backpressure: out above high watermark
+  ParseOutput parsed;
+
+  // Scratch for the fused get batch (reused every flush).
+  std::vector<uint64_t> batch_ids;
+  std::vector<std::string_view> batch_keys;
+  std::vector<uint8_t> batch_hits;
+  std::vector<std::pair<uint32_t, uint32_t>> batch_slots;
+  std::vector<char> value_arena;
+  // (op index, keys in that op) for END placement when rendering.
+  std::vector<uint32_t> batch_op_key_counts;
+
+  size_t OutPending() const { return out.size() - out_sent; }
+};
+
+}  // namespace
+
+struct CacheServer::Worker {
+  CacheServer* server = nullptr;
+  unsigned index = 0;
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+
+  // Relaxed striped counters; folded by TotalStats().
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> cmd_get{0};
+  std::atomic<uint64_t> cmd_set{0};
+  std::atomic<uint64_t> cmd_delete{0};
+  std::atomic<uint64_t> get_hits{0};
+  std::atomic<uint64_t> get_misses{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> batched_gets{0};
+  std::atomic<uint64_t> parse_errors{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+
+  void Bump(std::atomic<uint64_t>& c, uint64_t v = 1) {
+    c.store(c.load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+CacheServer::CacheServer(const ServerConfig& config, ConcurrentCache* cache)
+    : config_(config), cache_(cache) {
+  config_.workers = std::max(1u, config_.workers);
+}
+
+CacheServer::CacheServer(const ServerConfig& config)
+    : CacheServer(config, nullptr) {
+  owned_cache_ = std::make_unique<ConcurrentS3Fifo>(config_.cache);
+  cache_ = owned_cache_.get();
+}
+
+CacheServer::~CacheServer() { Stop(); }
+
+bool CacheServer::BindListener(Worker& w, std::string* error) {
+  auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + strerror(errno);
+    }
+    return false;
+  };
+  w.listen_fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (w.listen_fd < 0) {
+    return fail("socket");
+  }
+  const int one = 1;
+  setsockopt(w.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (setsockopt(w.listen_fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    return fail("setsockopt(SO_REUSEPORT)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);  // worker 0 binds config port (possibly 0)
+  if (inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton");
+  }
+  if (bind(w.listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  if (listen(w.listen_fd, config_.listen_backlog) != 0) {
+    return fail("listen");
+  }
+  if (port_ == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (getsockname(w.listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      return fail("getsockname");
+    }
+    port_ = ntohs(bound.sin_port);
+  }
+  return true;
+}
+
+bool CacheServer::Start(std::string* error) {
+  if (running_.exchange(true)) {
+    return true;
+  }
+  stop_.store(false);
+  port_ = config_.port;
+  workers_.clear();
+  for (unsigned i = 0; i < config_.workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->server = this;
+    w->index = i;
+    if (!BindListener(*w, error)) {
+      workers_.push_back(std::move(w));  // so Stop() closes the partial fds
+      Stop();
+      return false;
+    }
+    w->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    w->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (w->epoll_fd < 0 || w->wake_fd < 0) {
+      if (error != nullptr) {
+        *error = std::string("epoll/eventfd: ") + strerror(errno);
+      }
+      workers_.push_back(std::move(w));
+      Stop();
+      return false;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = 0;  // tag: listener
+    epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->listen_fd, &ev);
+    ev.events = EPOLLIN;
+    ev.data.u64 = 1;  // tag: wakeup
+    epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->wake_fd, &ev);
+    workers_.push_back(std::move(w));
+  }
+  threads_.reserve(workers_.size());
+  for (auto& w : workers_) {
+    threads_.emplace_back([this, worker = w.get()] { RunWorker(*worker); });
+  }
+  return true;
+}
+
+void CacheServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  stop_.store(true);
+  for (auto& w : workers_) {
+    if (w->wake_fd >= 0) {
+      const uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = write(w->wake_fd, &one, sizeof(one));
+    }
+  }
+  for (auto& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  threads_.clear();
+  for (auto& w : workers_) {
+    for (auto& [fd, conn] : w->conns) {
+      close(fd);
+    }
+    w->conns.clear();
+    if (w->listen_fd >= 0) {
+      close(w->listen_fd);
+    }
+    if (w->epoll_fd >= 0) {
+      close(w->epoll_fd);
+    }
+    if (w->wake_fd >= 0) {
+      close(w->wake_fd);
+    }
+    w->listen_fd = w->epoll_fd = w->wake_fd = -1;
+  }
+}
+
+ServerStats CacheServer::TotalStats() const {
+  ServerStats s;
+  for (const auto& w : workers_) {
+    s.connections_accepted += w->connections_accepted.load(std::memory_order_relaxed);
+    s.cmd_get += w->cmd_get.load(std::memory_order_relaxed);
+    s.cmd_set += w->cmd_set.load(std::memory_order_relaxed);
+    s.cmd_delete += w->cmd_delete.load(std::memory_order_relaxed);
+    s.get_hits += w->get_hits.load(std::memory_order_relaxed);
+    s.get_misses += w->get_misses.load(std::memory_order_relaxed);
+    s.batches += w->batches.load(std::memory_order_relaxed);
+    s.batched_gets += w->batched_gets.load(std::memory_order_relaxed);
+    s.parse_errors += w->parse_errors.load(std::memory_order_relaxed);
+    s.bytes_read += w->bytes_read.load(std::memory_order_relaxed);
+    s.bytes_written += w->bytes_written.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+void CacheServer::RunWorker(Worker& w) {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+
+  // Executes the fused get batch through the cache's pipelined path and
+  // renders one "VALUE…/END" group per original get command, in order.
+  auto flush_get_batch = [&](Connection& c) {
+    ConcurrentCache& cache = *cache_;
+    const uint32_t n = static_cast<uint32_t>(c.batch_ids.size());
+  if (n == 0) {
+    return;
+  }
+  c.batch_hits.assign(n, 0);
+  c.batch_slots.assign(n, {ArenaSink::kNoValue, 0});
+  c.value_arena.clear();
+  ArenaSink sink;
+  sink.arena = &c.value_arena;
+  sink.slots = &c.batch_slots;
+  cache.GetBatch(c.batch_ids.data(), n, c.batch_hits.data(), &sink);
+
+  uint64_t hits = 0;
+  uint32_t idx = 0;
+  for (uint32_t key_count : c.batch_op_key_counts) {
+    for (uint32_t k = 0; k < key_count; ++k, ++idx) {
+      if (c.batch_hits[idx] == 0 || c.batch_slots[idx].first == ArenaSink::kNoValue) {
+        continue;
+      }
+      ++hits;
+      const auto [off, size] = c.batch_slots[idx];
+      AppendStr(c.out, "VALUE ");
+      AppendStr(c.out, c.batch_keys[idx]);
+      AppendStr(c.out, " 0 ");
+      AppendU64(c.out, size);
+      AppendStr(c.out, "\r\n");
+      c.out.insert(c.out.end(), c.value_arena.data() + off, c.value_arena.data() + off + size);
+      AppendStr(c.out, "\r\n");
+    }
+    AppendStr(c.out, "END\r\n");
+  }
+  w.Bump(w.batches);
+  w.Bump(w.batched_gets, n);
+  w.Bump(w.get_hits, hits);
+  w.Bump(w.get_misses, n - hits);
+  c.batch_ids.clear();
+  c.batch_keys.clear();
+  c.batch_op_key_counts.clear();
+  };
+
+  auto close_conn = [&](Connection* c) {
+    epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, c->fd, nullptr);
+    close(c->fd);
+    w.conns.erase(c->fd);
+  };
+
+  // Writes until EAGAIN; returns false if the connection died (already
+  // closed) or was close-after-flush and drained.
+  auto flush_out = [&](Connection* c) -> bool {
+    while (c->out_sent < c->out.size()) {
+      // MSG_NOSIGNAL: a client that vanished mid-response must surface as
+      // EPIPE (we close the connection), not SIGPIPE the whole server.
+      const ssize_t n = send(c->fd, c->out.data() + c->out_sent,
+                             c->out.size() - c->out_sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        c->out_sent += static_cast<size_t>(n);
+        w.Bump(w.bytes_written, static_cast<uint64_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return true;  // EPOLLOUT will resume
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      close_conn(c);
+      return false;
+    }
+    c->out.clear();
+    c->out_sent = 0;
+    if (c->want_close) {
+      close_conn(c);
+      return false;
+    }
+    return true;
+  };
+
+  // Parses and executes everything buffered on the connection. Respects the
+  // out-buffer high watermark (backpressure) and the batch cap.
+  auto process_input = [&](Connection* c) {
+    ConcurrentCache& cache = *cache_;
+    c->parsed.Clear();
+    while (!c->want_close) {
+      if (c->OutPending() > config_.out_high_watermark) {
+        c->parse_blocked = true;  // resume after the next successful flush
+        break;
+      }
+      const size_t op_watermark = c->parsed.ops.size();
+      const ParseResult r = ParseCommand(c->in.view(), c->parsed);
+      if (r.status == ParseStatus::kNeedMore) {
+        break;
+      }
+      if (r.status == ParseStatus::kError || r.status == ParseStatus::kFatal) {
+        flush_get_batch(*c);
+        AppendStr(c->out, r.error);
+        w.Bump(w.parse_errors);
+        c->in.Consume(r.consumed);
+        if (r.status == ParseStatus::kFatal) {
+          c->want_close = true;
+        }
+        continue;
+      }
+      const ParsedOp op = c->parsed.ops[op_watermark];
+      c->in.Consume(r.consumed);
+      switch (op.type) {
+        case CmdType::kGet: {
+          w.Bump(w.cmd_get, op.key_count);
+          for (uint32_t k = 0; k < op.key_count; ++k) {
+            const std::string_view key = c->parsed.keys[op.key_begin + k];
+            c->batch_ids.push_back(KeyToId(key));
+            c->batch_keys.push_back(key);
+          }
+          c->batch_op_key_counts.push_back(op.key_count);
+          if (c->batch_ids.size() >= config_.max_batch) {
+            flush_get_batch(*c);
+          }
+          break;
+        }
+        case CmdType::kSet: {
+          flush_get_batch(*c);
+          w.Bump(w.cmd_set);
+          const std::string_view key = c->parsed.keys[op.key_begin];
+          const bool stored = cache.Set(KeyToId(key), op.value.data(),
+                                        static_cast<uint32_t>(op.value.size()));
+          if (!op.noreply) {
+            AppendStr(c->out, stored ? "STORED\r\n" : "SERVER_ERROR not supported\r\n");
+          }
+          break;
+        }
+        case CmdType::kDelete: {
+          flush_get_batch(*c);
+          w.Bump(w.cmd_delete);
+          const std::string_view key = c->parsed.keys[op.key_begin];
+          const bool removed = cache.Delete(KeyToId(key));
+          if (!op.noreply) {
+            AppendStr(c->out, removed ? "DELETED\r\n" : "NOT_FOUND\r\n");
+          }
+          break;
+        }
+        case CmdType::kStats: {
+          flush_get_batch(*c);
+          const ServerStats s = TotalStats();
+          AppendStat(c->out, "cmd_get", s.cmd_get);
+          AppendStat(c->out, "cmd_set", s.cmd_set);
+          AppendStat(c->out, "cmd_delete", s.cmd_delete);
+          AppendStat(c->out, "get_hits", s.get_hits);
+          AppendStat(c->out, "get_misses", s.get_misses);
+          AppendStat(c->out, "batches", s.batches);
+          AppendStat(c->out, "batched_gets", s.batched_gets);
+          AppendStat(c->out, "parse_errors", s.parse_errors);
+          AppendStat(c->out, "bytes_read", s.bytes_read);
+          AppendStat(c->out, "bytes_written", s.bytes_written);
+          AppendStat(c->out, "total_connections", s.connections_accepted);
+          AppendStat(c->out, "threads", config_.workers);
+          AppendStat(c->out, "curr_items", cache.ApproxSize());
+          {
+            const ConcurrentCacheStats cs = cache.Stats();
+            AppendStat(c->out, "cache_hits", cs.hits);
+            AppendStat(c->out, "cache_misses", cs.misses);
+          }
+          AppendStr(c->out, "END\r\n");
+          break;
+        }
+        case CmdType::kVersion:
+          flush_get_batch(*c);
+          AppendStr(c->out, kVersionLine);
+          break;
+        case CmdType::kQuit:
+          flush_get_batch(*c);
+          c->want_close = true;
+          break;
+      }
+    }
+    flush_get_batch(*c);
+  };
+
+  // Alternates parse and flush until neither can make progress: parsing
+  // stops at the out high watermark, flushing stops at EAGAIN, and room
+  // freed by a complete flush re-enables parsing within the same call (an
+  // EPOLLOUT edge never comes if the kernel buffer was never full).
+  auto pump = [&](Connection* c) -> bool {
+    for (;;) {
+      process_input(c);
+      if (!flush_out(c)) {
+        return false;
+      }
+      if (c->parse_blocked && c->OutPending() <= config_.out_high_watermark) {
+        c->parse_blocked = false;
+        continue;
+      }
+      return true;
+    }
+  };
+
+  // Reads until EAGAIN (or until the in-buffer is at capacity with the
+  // parser backpressured — then reading simply pauses and TCP flow control
+  // takes over), interleaving pump() so buffered commands are executed and
+  // their buffer space reclaimed.
+  auto handle_conn_io = [&](Connection* c) -> bool {
+    for (;;) {
+      bool in_full = false;
+      while (true) {
+        if (!c->in.EnsureWritable(4096)) {
+          in_full = true;
+          break;
+        }
+        const ssize_t n = read(c->fd, c->in.WritePtr(), c->in.WriteCapacity());
+        if (n > 0) {
+          c->in.CommitWrite(static_cast<size_t>(n));
+          w.Bump(w.bytes_read, static_cast<uint64_t>(n));
+          continue;
+        }
+        if (n == 0) {
+          close_conn(c);
+          return false;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          break;
+        }
+        if (errno == EINTR) {
+          continue;
+        }
+        close_conn(c);
+        return false;
+      }
+      if (!pump(c)) {
+        return false;
+      }
+      if (!in_full) {
+        return true;  // socket drained to EAGAIN
+      }
+      if (c->parse_blocked) {
+        // Buffer full of commands we may not execute yet: stop reading.
+        // The next EPOLLOUT flush unblocks the parser and re-enters here.
+        return true;
+      }
+      if (c->in.size() + 4096 > c->in.max_capacity()) {
+        // pump() freed nothing and parsing is not backpressured: a single
+        // frame fills the whole buffer without parsing fatal. Cannot
+        // happen with the current limits (kMaxLineLen, kMaxValueBytes are
+        // both well under the buffer cap); drop the connection to bound
+        // memory if a future limit change breaks that.
+        close_conn(c);
+        return false;
+      }
+    }
+  };
+
+  auto handle_accept = [&] {
+    while (true) {
+      const int fd = accept4(w.listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        return;  // EAGAIN or transient error: nothing more to accept now
+      }
+      const int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_unique<Connection>(fd);
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+      ev.data.ptr = conn.get();
+      if (epoll_ctl(w.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        close(fd);
+        continue;
+      }
+      w.Bump(w.connections_accepted);
+      w.conns.emplace(fd, std::move(conn));
+    }
+  };
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(w.epoll_fd, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[i];
+      if (ev.data.u64 == 0) {
+        handle_accept();
+        continue;
+      }
+      if (ev.data.u64 == 1) {
+        uint64_t drain = 0;
+        [[maybe_unused]] ssize_t r = read(w.wake_fd, &drain, sizeof(drain));
+        continue;  // stop_ checked at loop top
+      }
+      auto* c = static_cast<Connection*>(ev.data.ptr);
+      if (w.conns.find(c->fd) == w.conns.end()) {
+        continue;  // closed earlier in this event block
+      }
+      if ((ev.events & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(c);
+        continue;
+      }
+      if ((ev.events & EPOLLOUT) != 0) {
+        if (!flush_out(c)) {
+          continue;
+        }
+        if (c->parse_blocked && c->OutPending() <= config_.out_high_watermark) {
+          c->parse_blocked = false;
+          // Also resumes reads paused while the in-buffer sat full behind
+          // the blocked parser (no EPOLLIN edge will announce that data).
+          if (!handle_conn_io(c)) {
+            continue;
+          }
+        }
+      }
+      if ((ev.events & (EPOLLIN | EPOLLRDHUP)) != 0) {
+        handle_conn_io(c);
+      }
+    }
+  }
+}
+
+}  // namespace s3fifo

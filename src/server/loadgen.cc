@@ -1,0 +1,462 @@
+#include "src/server/loadgen.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/server/protocol.h"
+#include "src/server/ring_buffer.h"
+
+namespace s3fifo {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[20];
+  int n = 0;
+  do {
+    buf[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) {
+    out.push_back(buf[--n]);
+  }
+}
+
+// What the next response on the wire must look like.
+enum class RespKind : uint8_t { kGet, kLine };
+
+struct Pending {
+  RespKind kind;
+  uint64_t intended_ns;  // schedule time (open loop) or send time (closed)
+};
+
+struct ClientConn {
+  int fd = -1;
+  std::string out;
+  size_t out_sent = 0;
+  RingBuffer in{64 * 1024};
+  std::deque<Pending> pending;
+  // Replay cursor: requests trace[cursor], trace[cursor + stride], ...
+  uint64_t cursor = 0;
+  uint64_t stride = 1;
+  uint64_t issued = 0;
+  uint64_t budget = 0;       // requests this connection may issue
+  uint64_t next_due_ns = 0;  // open loop only
+  uint64_t stride_interval_ns = 0;  // open loop: gap between this conn's sends
+  // Mid-response state: bytes of a VALUE body (plus trailing \r\n) still to
+  // skip before line parsing resumes.
+  uint64_t skip_bytes = 0;
+
+  uint64_t ops = 0;
+  uint64_t gets = 0;
+  uint64_t get_hits = 0;
+  LatencyHistogram latency;
+
+  bool done_issuing() const { return issued >= budget; }
+  bool drained() const { return done_issuing() && pending.empty(); }
+};
+
+// Appends the memcached encoding of trace request `r` and its expected
+// response to the connection.
+void EncodeRequest(ClientConn& c, const Request& r, uint32_t set_value_bytes,
+                   uint64_t intended_ns) {
+  switch (r.op) {
+    case OpType::kGet:
+      c.out += "get ";
+      AppendU64(c.out, r.id);
+      c.out += "\r\n";
+      c.pending.push_back({RespKind::kGet, intended_ns});
+      break;
+    case OpType::kSet: {
+      const uint32_t bytes =
+          std::min(set_value_bytes, static_cast<uint32_t>(kMaxValueBytes));
+      c.out += "set ";
+      AppendU64(c.out, r.id);
+      c.out += " 0 0 ";
+      AppendU64(c.out, bytes);
+      c.out += "\r\n";
+      c.out.append(bytes, 'x');
+      c.out += "\r\n";
+      c.pending.push_back({RespKind::kLine, intended_ns});
+      break;
+    }
+    case OpType::kDelete:
+      c.out += "delete ";
+      AppendU64(c.out, r.id);
+      c.out += "\r\n";
+      c.pending.push_back({RespKind::kLine, intended_ns});
+      break;
+  }
+}
+
+// Consumes completed responses from the connection's in-buffer, recording a
+// latency sample per completed request. Returns false on protocol confusion
+// (an error line while a get was expected still completes that get).
+bool ConsumeResponses(ClientConn& c, uint64_t now_ns) {
+  for (;;) {
+    if (c.skip_bytes > 0) {
+      const uint64_t take = std::min<uint64_t>(c.skip_bytes, c.in.size());
+      c.in.Consume(take);
+      c.skip_bytes -= take;
+      if (c.skip_bytes > 0) {
+        return true;  // body still arriving
+      }
+    }
+    const std::string_view buf = c.in.view();
+    const size_t nl = buf.find('\n');
+    if (nl == std::string_view::npos) {
+      return true;
+    }
+    std::string_view line = buf.substr(0, nl);
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    if (c.pending.empty()) {
+      return false;  // response with no request outstanding
+    }
+    const Pending& p = c.pending.front();
+    if (p.kind == RespKind::kGet && line.substr(0, 6) == "VALUE ") {
+      // "VALUE <key> <flags> <bytes>": trailing token is the body length.
+      const size_t sp = line.rfind(' ');
+      uint64_t bytes = 0;
+      for (char ch : line.substr(sp + 1)) {
+        if (ch < '0' || ch > '9') {
+          return false;
+        }
+        bytes = bytes * 10 + static_cast<uint64_t>(ch - '0');
+      }
+      c.get_hits++;
+      c.in.Consume(nl + 1);
+      c.skip_bytes = bytes + 2;  // body + \r\n
+      continue;
+    }
+    c.in.Consume(nl + 1);
+    if (p.kind == RespKind::kGet && line != "END") {
+      // Error line aborts the get response; treat it as completed.
+    }
+    if (p.kind == RespKind::kGet) {
+      c.gets++;
+    }
+    c.ops++;
+    c.latency.Add(now_ns > p.intended_ns ? now_ns - p.intended_ns : 0);
+    c.pending.pop_front();
+  }
+}
+
+bool ConnectLoopback(ClientConn& c, const std::string& host, uint16_t port,
+                     std::string* error) {
+  c.fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (c.fd < 0) {
+    *error = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad host " + host;
+    return false;
+  }
+  if (connect(c.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = std::string("connect: ") + strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  setsockopt(c.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Nonblocking from here on; the poll loop multiplexes connections.
+  const int flags = fcntl(c.fd, F_GETFL, 0);
+  fcntl(c.fd, F_SETFL, flags | O_NONBLOCK);
+  return true;
+}
+
+struct ThreadOutcome {
+  uint64_t ops = 0, gets = 0, get_hits = 0;
+  LatencyHistogram latency;
+  bool ok = true;
+  std::string error;
+};
+
+// One client thread: owns `conns` connections and drives them with poll().
+void RunClientThread(const LoadGenConfig& cfg, const Trace& trace,
+                     std::vector<ClientConn>* conns, uint64_t deadline_ns,
+                     ThreadOutcome* outcome) {
+  const bool open_loop = cfg.target_rate > 0;
+  const auto& reqs = trace.requests();
+  std::vector<pollfd> pfds(conns->size());
+
+  auto issue_one = [&](ClientConn& c, uint64_t intended_ns) {
+    EncodeRequest(c, reqs[c.cursor % reqs.size()], cfg.set_value_bytes,
+                  intended_ns);
+    c.cursor += c.stride;
+    c.issued++;
+  };
+
+  // Closed loop: prime every connection's pipeline.
+  if (!open_loop) {
+    for (auto& c : *conns) {
+      for (unsigned d = 0; d < cfg.pipeline_depth && !c.done_issuing(); ++d) {
+        issue_one(c, NowNs());
+      }
+    }
+  }
+
+  for (;;) {
+    bool all_drained = true;
+    uint64_t now = NowNs();
+
+    for (auto& c : *conns) {
+      if (open_loop) {
+        // Issue everything the schedule says is due, independent of
+        // completions (the burst cap only bounds one iteration's work; the
+        // schedule itself never slips).
+        unsigned burst = 0;
+        while (!c.done_issuing() && now >= c.next_due_ns &&
+               (deadline_ns == 0 || c.next_due_ns < deadline_ns) &&
+               burst < 4096) {
+          issue_one(c, c.next_due_ns);
+          c.next_due_ns += c.stride_interval_ns;
+          burst++;
+        }
+        if (deadline_ns != 0 && c.next_due_ns >= deadline_ns) {
+          c.budget = c.issued;  // deadline reached: stop issuing
+        }
+      }
+      if (!c.drained()) {
+        all_drained = false;
+      }
+    }
+    if (all_drained) {
+      break;
+    }
+
+    for (size_t i = 0; i < conns->size(); ++i) {
+      auto& c = (*conns)[i];
+      pfds[i].fd = c.fd;
+      pfds[i].events = static_cast<short>(
+          POLLIN | (c.out_sent < c.out.size() ? POLLOUT : 0));
+      pfds[i].revents = 0;
+    }
+
+    int timeout_ms = 100;
+    if (open_loop) {
+      uint64_t next_due = ~uint64_t{0};
+      for (auto& c : *conns) {
+        if (!c.done_issuing()) {
+          next_due = std::min(next_due, c.next_due_ns);
+        }
+      }
+      if (next_due != ~uint64_t{0}) {
+        now = NowNs();
+        timeout_ms = next_due <= now
+                         ? 0
+                         : static_cast<int>(
+                               std::min<uint64_t>((next_due - now) / 1000000, 100));
+      }
+    }
+    const int pr = poll(pfds.data(), pfds.size(), timeout_ms);
+    if (pr < 0 && errno != EINTR) {
+      outcome->ok = false;
+      outcome->error = std::string("poll: ") + strerror(errno);
+      return;
+    }
+
+    now = NowNs();
+    for (size_t i = 0; i < conns->size(); ++i) {
+      auto& c = (*conns)[i];
+      const short re = pfds[i].revents;
+      if ((re & (POLLERR | POLLHUP | POLLNVAL)) != 0 && (re & POLLIN) == 0) {
+        outcome->ok = false;
+        outcome->error = "connection reset by server";
+        return;
+      }
+      if ((re & POLLOUT) != 0 || c.out_sent < c.out.size()) {
+        while (c.out_sent < c.out.size()) {
+          // MSG_NOSIGNAL: a reset connection must surface as EPIPE here,
+          // not kill the process.
+          const ssize_t n = send(c.fd, c.out.data() + c.out_sent,
+                                 c.out.size() - c.out_sent, MSG_NOSIGNAL);
+          if (n > 0) {
+            c.out_sent += static_cast<size_t>(n);
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;
+          }
+          if (n < 0 && errno == EINTR) {
+            continue;
+          }
+          outcome->ok = false;
+          outcome->error = std::string("write: ") + strerror(errno);
+          return;
+        }
+        if (c.out_sent == c.out.size()) {
+          c.out.clear();
+          c.out_sent = 0;
+        }
+      }
+      if ((re & POLLIN) != 0) {
+        for (;;) {
+          if (!c.in.EnsureWritable(4096)) {
+            // Drain parsed responses to reclaim buffer space before giving
+            // up — an open-loop backlog can exceed the buffer in one burst.
+            if (!ConsumeResponses(c, NowNs())) {
+              outcome->ok = false;
+              outcome->error = "malformed response from server";
+              return;
+            }
+            if (!c.in.EnsureWritable(4096)) {
+              outcome->ok = false;
+              outcome->error = "client in-buffer overflow";
+              return;
+            }
+          }
+          const ssize_t n = read(c.fd, c.in.WritePtr(), c.in.WriteCapacity());
+          if (n > 0) {
+            c.in.CommitWrite(static_cast<size_t>(n));
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;
+          }
+          if (n < 0 && errno == EINTR) {
+            continue;
+          }
+          outcome->ok = false;
+          outcome->error = n == 0 ? "server closed connection"
+                                  : std::string("read: ") + strerror(errno);
+          return;
+        }
+        if (!ConsumeResponses(c, now)) {
+          outcome->ok = false;
+          outcome->error = "malformed response from server";
+          return;
+        }
+        if (!open_loop) {
+          // Closed loop: refill the pipeline to depth.
+          while (!c.done_issuing() && c.pending.size() < cfg.pipeline_depth) {
+            issue_one(c, now);
+          }
+        }
+      }
+    }
+  }
+
+  for (auto& c : *conns) {
+    outcome->ops += c.ops;
+    outcome->gets += c.gets;
+    outcome->get_hits += c.get_hits;
+    outcome->latency.Merge(c.latency);
+  }
+}
+
+}  // namespace
+
+LoadGenResult RunLoadGen(const LoadGenConfig& config, const Trace& trace) {
+  LoadGenResult result;
+  if (trace.empty()) {
+    result.error = "empty trace";
+    return result;
+  }
+  const unsigned nthreads = std::max(1u, config.threads);
+  const unsigned nconns = std::max(nthreads, config.connections);
+  const bool open_loop = config.target_rate > 0;
+
+  uint64_t total_ops = config.max_ops == 0 ? trace.size() : config.max_ops;
+  if (open_loop && config.duration_s > 0) {
+    total_ops = ~uint64_t{0};  // the deadline is the stop condition
+  }
+
+  // Connections share the trace by stride so the merged request stream
+  // covers it; per-connection order stays deterministic.
+  std::vector<std::vector<ClientConn>> per_thread(nthreads);
+  const uint64_t per_conn_interval_ns =
+      open_loop ? static_cast<uint64_t>(1e9 * nconns / config.target_rate) : 0;
+  const uint64_t start_ns = NowNs();
+  for (unsigned i = 0; i < nconns; ++i) {
+    ClientConn c;
+    std::string err;
+    if (!ConnectLoopback(c, config.host, config.port, &err)) {
+      result.error = err;
+      for (auto& tconns : per_thread) {
+        for (auto& cc : tconns) {
+          close(cc.fd);
+        }
+      }
+      return result;
+    }
+    c.cursor = i;
+    c.stride = nconns;
+    c.budget = total_ops == ~uint64_t{0}
+                   ? total_ops
+                   : total_ops / nconns + (i < total_ops % nconns ? 1 : 0);
+    c.stride_interval_ns = per_conn_interval_ns;
+    // Stagger the schedules so the aggregate rate is smooth, not n-bursty.
+    c.next_due_ns =
+        start_ns + (open_loop ? per_conn_interval_ns * i / nconns : 0);
+    per_thread[i % nthreads].push_back(std::move(c));
+  }
+
+  const uint64_t deadline_ns =
+      open_loop && config.duration_s > 0
+          ? start_ns + static_cast<uint64_t>(config.duration_s * 1e9)
+          : 0;
+
+  std::vector<ThreadOutcome> outcomes(nthreads);
+  std::vector<std::thread> threads;
+  threads.reserve(nthreads);
+  for (unsigned t = 0; t < nthreads; ++t) {
+    threads.emplace_back(RunClientThread, std::cref(config), std::cref(trace),
+                         &per_thread[t], deadline_ns, &outcomes[t]);
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const uint64_t end_ns = NowNs();
+
+  for (auto& tconns : per_thread) {
+    for (auto& c : tconns) {
+      close(c.fd);
+    }
+  }
+  for (const auto& o : outcomes) {
+    if (!o.ok) {
+      result.error = o.error;
+      return result;
+    }
+    result.ops += o.ops;
+    result.gets += o.gets;
+    result.get_hits += o.get_hits;
+    result.latency.Merge(o.latency);
+  }
+  result.seconds = static_cast<double>(end_ns - start_ns) / 1e9;
+  result.achieved_rate =
+      result.seconds > 0 ? static_cast<double>(result.ops) / result.seconds : 0;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace s3fifo

@@ -1,0 +1,75 @@
+// Per-connection byte buffer backing the zero-copy incremental parser.
+//
+// The readable region is always contiguous, so the parser and the batched
+// request pipeline hold string_views straight into it — no per-command copy.
+// Consume() only advances the read cursor (views handed out this event-loop
+// iteration stay valid); the consumed prefix is reclaimed by sliding the
+// unread tail to the front the next time write space is needed, which is
+// after the views have been executed and dropped. Capacity grows on demand
+// up to `max_capacity`, bounding what one connection can make the server
+// buffer (a single over-long frame is a protocol error before that).
+#ifndef SRC_SERVER_RING_BUFFER_H_
+#define SRC_SERVER_RING_BUFFER_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace s3fifo {
+
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t initial_capacity = 16 * 1024,
+                      size_t max_capacity = (1 << 20) + 64 * 1024)
+      : buf_(initial_capacity), max_capacity_(max_capacity) {}
+
+  // Readable region (parsed commands view into this).
+  const char* data() const { return buf_.data() + begin_; }
+  size_t size() const { return end_ - begin_; }
+  std::string_view view() const { return {data(), size()}; }
+
+  // Marks `n` readable bytes as processed. Views already taken remain valid
+  // until the next EnsureWritable() call.
+  void Consume(size_t n) {
+    begin_ += n;
+    if (begin_ == end_) {
+      begin_ = end_ = 0;
+    }
+  }
+
+  // Makes room for at least `want` writable bytes (compacting, then growing
+  // up to max_capacity). Returns false if the unread data leaves no room.
+  bool EnsureWritable(size_t want) {
+    if (WriteCapacity() >= want) {
+      return true;
+    }
+    // Slide the unread tail to the front: cheap because begin_ only moves
+    // forward by whole parsed commands.
+    if (begin_ > 0) {
+      std::memmove(buf_.data(), buf_.data() + begin_, size());
+      end_ -= begin_;
+      begin_ = 0;
+    }
+    while (buf_.size() - end_ < want && buf_.size() < max_capacity_) {
+      buf_.resize(std::min(max_capacity_, buf_.size() * 2));
+    }
+    return WriteCapacity() >= want;
+  }
+
+  char* WritePtr() { return buf_.data() + end_; }
+  size_t WriteCapacity() const { return buf_.size() - end_; }
+  void CommitWrite(size_t n) { end_ += n; }
+
+  size_t max_capacity() const { return max_capacity_; }
+
+ private:
+  std::vector<char> buf_;
+  size_t begin_ = 0;  // first unread byte
+  size_t end_ = 0;    // one past the last written byte
+  size_t max_capacity_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_SERVER_RING_BUFFER_H_

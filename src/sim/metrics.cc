@@ -50,4 +50,91 @@ std::string FormatPercentileRow(const std::string& label, const PercentileRow& r
   return buf;
 }
 
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+// Values below kSubBuckets are recorded exactly (one bucket per integer);
+// above that, bucket = (octave, top kSubBucketBits mantissa bits).
+int LatencyHistogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  const int msb = 63 - __builtin_clzll(value);
+  const int shift = msb - kSubBucketBits;
+  const int sub = static_cast<int>((value >> shift) & (kSubBuckets - 1));
+  return (msb - kSubBucketBits + 1) * kSubBuckets + sub;
+}
+
+uint64_t LatencyHistogram::BucketUpperEdge(int index) {
+  if (index < kSubBuckets) {
+    return static_cast<uint64_t>(index);
+  }
+  const int octave = index / kSubBuckets + kSubBucketBits - 1;
+  const int sub = index % kSubBuckets;
+  const int shift = octave - kSubBucketBits;
+  return ((uint64_t{1} << octave) | (static_cast<uint64_t>(sub) << shift)) +
+         ((uint64_t{1} << shift) - 1);
+}
+
+void LatencyHistogram::Add(uint64_t value) {
+  ++buckets_[BucketIndex(value)];
+  ++count_;
+  sum_ += static_cast<double>(value);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = ~uint64_t{0};
+  max_ = 0;
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p <= 0.0) {
+    return min();
+  }
+  if (p >= 100.0) {
+    return max_;
+  }
+  const double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      return std::min(BucketUpperEdge(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::FormatLatencyUs(const std::string& label) const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%-12s p50=%8.1fus p99=%8.1fus p999=%8.1fus max=%8.1fus (n=%llu)",
+                label.c_str(), static_cast<double>(Percentile(50)) / 1e3,
+                static_cast<double>(Percentile(99)) / 1e3,
+                static_cast<double>(Percentile(99.9)) / 1e3, static_cast<double>(max_) / 1e3,
+                static_cast<unsigned long long>(count_));
+  return buf;
+}
+
 }  // namespace s3fifo

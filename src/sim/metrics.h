@@ -1,8 +1,10 @@
-// Metrics shared by the evaluation harness, chiefly the paper's bounded
-// miss-ratio-reduction statistic (§5.1.2).
+// Metrics shared by the evaluation harness: the paper's bounded
+// miss-ratio-reduction statistic (§5.1.2) and the latency histogram used by
+// the network load generator and the concurrent replay loop.
 #ifndef SRC_SIM_METRICS_H_
 #define SRC_SIM_METRICS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,51 @@ struct PercentileRow {
 };
 PercentileRow Percentiles(std::vector<double> values);
 std::string FormatPercentileRow(const std::string& label, const PercentileRow& row);
+
+// Log-bucketed histogram for long-tailed latency distributions (HDR-style):
+// each power-of-two octave is split into 2^kSubBucketBits linear sub-buckets,
+// so quantiles carry <= ~3% relative error at fixed memory, values up to
+// 2^63 never saturate, and two histograms merge by adding counts — each
+// worker thread records into its own histogram and the harness merges them.
+//
+// Units are whatever the caller feeds in (the server stack uses nanoseconds).
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kNumBuckets = (64 - kSubBucketBits + 1) * kSubBuckets;
+
+  LatencyHistogram();
+
+  void Add(uint64_t value);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  // p in [0, 100]. Returns the upper edge of the bucket where the CDF first
+  // reaches p (the recorded value is <= the returned value); exact min/max
+  // are reported at the extremes.
+  uint64_t Percentile(double p) const;
+
+  // "p50=... p99=... p999=... max=..." scaled to microseconds — the summary
+  // line the load generator and fig08 print.
+  std::string FormatLatencyUs(const std::string& label) const;
+
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  static int BucketIndex(uint64_t value);
+  static uint64_t BucketUpperEdge(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t min_ = ~uint64_t{0};
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
 
 }  // namespace s3fifo
 

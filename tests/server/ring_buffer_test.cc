@@ -1,0 +1,69 @@
+#include "src/server/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace s3fifo {
+namespace {
+
+void Write(RingBuffer& rb, std::string_view s) {
+  ASSERT_TRUE(rb.EnsureWritable(s.size()));
+  std::memcpy(rb.WritePtr(), s.data(), s.size());
+  rb.CommitWrite(s.size());
+}
+
+TEST(RingBufferTest, WriteReadConsume) {
+  RingBuffer rb(16, 64);
+  EXPECT_EQ(rb.size(), 0u);
+  Write(rb, "hello world");
+  EXPECT_EQ(rb.view(), "hello world");
+  rb.Consume(6);
+  EXPECT_EQ(rb.view(), "world");
+  rb.Consume(5);
+  EXPECT_EQ(rb.size(), 0u);
+}
+
+TEST(RingBufferTest, ViewsStayValidAcrossConsume) {
+  RingBuffer rb(32, 64);
+  Write(rb, "cmd1\ncmd2\n");
+  const std::string_view first = rb.view().substr(0, 5);
+  rb.Consume(5);
+  // Consume must not move memory: the earlier view still reads "cmd1\n".
+  EXPECT_EQ(first, "cmd1\n");
+  EXPECT_EQ(rb.view(), "cmd2\n");
+}
+
+TEST(RingBufferTest, CompactsConsumedPrefixOnDemand) {
+  RingBuffer rb(8, 8);
+  Write(rb, "abcdefgh");  // full
+  rb.Consume(6);
+  EXPECT_EQ(rb.view(), "gh");
+  // No room at the tail, but compaction reclaims the consumed prefix.
+  ASSERT_TRUE(rb.EnsureWritable(6));
+  Write(rb, "ijklmn");
+  EXPECT_EQ(rb.view(), "ghijklmn");
+}
+
+TEST(RingBufferTest, GrowsUpToMaxCapacityOnly) {
+  RingBuffer rb(4, 16);
+  Write(rb, "0123456789abcdef");  // grows 4 -> 16
+  EXPECT_EQ(rb.size(), 16u);
+  EXPECT_FALSE(rb.EnsureWritable(1));  // at max with everything unread
+  rb.Consume(10);
+  EXPECT_TRUE(rb.EnsureWritable(10));  // compaction frees the space
+  EXPECT_EQ(rb.view(), "abcdef");
+}
+
+TEST(RingBufferTest, ResetsCursorsWhenFullyConsumed) {
+  RingBuffer rb(8, 8);
+  for (int round = 0; round < 100; ++round) {
+    Write(rb, "12345678");
+    rb.Consume(8);  // full consume resets to offset 0: no compaction needed
+  }
+  EXPECT_TRUE(rb.EnsureWritable(8));
+}
+
+}  // namespace
+}  // namespace s3fifo

@@ -63,5 +63,92 @@ TEST(PercentilesTest, FormatRowContainsLabel) {
   EXPECT_NE(s.find("P50"), std::string::npos);
 }
 
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0u);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // Values below one octave of sub-buckets land in exact unit buckets.
+  LatencyHistogram h;
+  for (uint64_t v = 0; v < 32; ++v) {
+    h.Add(v);
+  }
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 31u);
+  EXPECT_EQ(h.Percentile(50), 15u);
+  EXPECT_EQ(h.Percentile(100), 31u);
+}
+
+TEST(LatencyHistogramTest, QuantileRelativeErrorBounded) {
+  // Uniform 1..1e6: every reported quantile's bucket upper edge must be
+  // within one sub-bucket (~1/32) of the true quantile.
+  LatencyHistogram h;
+  constexpr uint64_t kN = 1000000;
+  for (uint64_t v = 1; v <= kN; ++v) {
+    h.Add(v);
+  }
+  for (const double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    const double exact = p / 100.0 * kN;
+    const double reported = static_cast<double>(h.Percentile(p));
+    EXPECT_GE(reported, exact * (1.0 - 1.0 / 32));
+    EXPECT_LE(reported, exact * (1.0 + 2.0 / 32) + 1);
+  }
+}
+
+TEST(LatencyHistogramTest, HugeValuesDoNotSaturate) {
+  LatencyHistogram h;
+  h.Add(~uint64_t{0});
+  h.Add(uint64_t{1} << 63);
+  h.Add(3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), ~uint64_t{0});
+  EXPECT_EQ(h.Percentile(0), 3u);
+  EXPECT_EQ(h.Percentile(100), ~uint64_t{0});
+}
+
+TEST(LatencyHistogramTest, MergeEqualsCombinedStream) {
+  // Two workers recording halves of a stream, merged, must answer like one
+  // histogram that saw everything.
+  LatencyHistogram a, b, combined;
+  for (uint64_t v = 0; v < 10000; ++v) {
+    const uint64_t sample = (v * 2654435761u) % 500000;
+    ((v % 2 == 0) ? a : b).Add(sample);
+    combined.Add(sample);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.Mean(), combined.Mean());
+  for (const double p : {1.0, 25.0, 50.0, 75.0, 99.0, 99.9}) {
+    EXPECT_EQ(a.Percentile(p), combined.Percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Add(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  h.Add(7);
+  EXPECT_EQ(h.Percentile(50), 7u);
+}
+
+TEST(LatencyHistogramTest, FormatLatencyUsMentionsPercentiles) {
+  LatencyHistogram h;
+  h.Add(1500);  // 1.5us
+  const std::string s = h.FormatLatencyUs("svc");
+  EXPECT_NE(s.find("svc"), std::string::npos);
+  EXPECT_NE(s.find("p50"), std::string::npos);
+  EXPECT_NE(s.find("p999"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace s3fifo
