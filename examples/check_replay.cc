@@ -14,6 +14,18 @@
 //       --bytes         byte-based instead of count-based
 //       --params P      CacheConfig params string (default "")
 //       --out FILE      reproducer path (default <policy>.repro)
+//
+//   check_replay --fuzz-flash [options]
+//       Fuzzes LogStructuredFlashCache against the naive flash oracle.
+//
+//       --seed S         fuzzer seed (default 1)
+//       --requests N     requests per run (default 100000)
+//       --flash SPEC     LogFlashCacheConfig "k=v,..." string
+//       --admission A    none|probabilistic|flashield|s3fifo (default s3fifo)
+//       --horizon N      admission reuse horizon (default 1000)
+//       --admission-seed S   (default 17)
+//       --resizes P      resize the segment budget every P requests
+//       --out FILE       reproducer path (default flash.repro)
 #include <cstdint>
 #include <cstring>
 #include <iostream>
@@ -21,6 +33,7 @@
 #include <vector>
 
 #include "src/check/differential.h"
+#include "src/check/flash_oracle.h"
 #include "src/check/replay_file.h"
 #include "src/check/shrinker.h"
 #include "src/check/trace_fuzzer.h"
@@ -37,14 +50,37 @@ using s3fifo::check::RunDifferential;
 using s3fifo::check::ShrinkStats;
 using s3fifo::check::ShrinkTrace;
 
+s3fifo::check::FlashResizeSchedule ScheduleOf(const ReplayCase& replay) {
+  s3fifo::check::FlashResizeSchedule resizes;
+  resizes.period = replay.resize_period;
+  resizes.seed = replay.resize_seed;
+  resizes.min_segments = replay.resize_min_segments;
+  resizes.span = replay.resize_span;
+  return resizes;
+}
+
+Divergence RunReplay(const ReplayCase& replay) {
+  if (replay.mode == "flash") {
+    return s3fifo::check::RunFlashDifferential(
+        replay.requests, s3fifo::ParseLogFlashConfig(replay.flash_config), replay.admission,
+        replay.reuse_horizon, replay.admission_seed, ScheduleOf(replay));
+  }
+  return RunDifferential(replay.requests, replay.policy, replay.config);
+}
+
 int Replay(const std::string& path) {
   const ReplayCase replay = s3fifo::check::ReadReplayFile(path);
-  std::cout << "replaying " << replay.requests.size() << " requests against '"
-            << replay.policy << "' (capacity=" << replay.config.capacity
-            << (replay.config.count_based ? ", objects" : ", bytes") << ")\n";
-  const Divergence div = RunDifferential(replay.requests, replay.policy, replay.config);
+  if (replay.mode == "flash") {
+    std::cout << "replaying " << replay.requests.size() << " requests against the flash cache ("
+              << replay.flash_config << ", admission=" << replay.admission << ")\n";
+  } else {
+    std::cout << "replaying " << replay.requests.size() << " requests against '"
+              << replay.policy << "' (capacity=" << replay.config.capacity
+              << (replay.config.count_based ? ", objects" : ", bytes") << ")\n";
+  }
+  const Divergence div = RunReplay(replay);
   if (!div) {
-    std::cout << "no divergence: the optimized policy matches its oracle.\n";
+    std::cout << "no divergence: the optimized side matches its oracle.\n";
     return 0;
   }
   std::cout << "DIVERGENCE " << div.what << "\n";
@@ -86,6 +122,40 @@ int Fuzz(const std::string& policy, const FuzzConfig& fuzz, const CacheConfig& c
   return 1;
 }
 
+int FuzzFlash(ReplayCase replay, const s3fifo::check::FlashFuzzConfig& fuzz,
+              const std::string& out_path) {
+  const std::vector<Request> requests = s3fifo::check::GenerateFlashFuzzRequests(fuzz);
+  std::cout << "fuzzing flash cache (" << replay.flash_config
+            << ", admission=" << replay.admission << "): " << requests.size()
+            << " requests, seed " << fuzz.seed << "\n";
+  replay.requests = requests;
+  const Divergence div = RunReplay(replay);
+  if (!div) {
+    std::cout << "ok: no divergence.\n";
+    return 0;
+  }
+  std::cout << "DIVERGENCE " << div.what << "\nshrinking...\n";
+
+  std::vector<Request> prefix(requests.begin(), requests.begin() + div.index + 1);
+  ShrinkStats stats;
+  const std::vector<Request> shrunk = ShrinkTrace(
+      prefix,
+      [&](const std::vector<Request>& candidate) {
+        ReplayCase probe = replay;
+        probe.requests = candidate;
+        return RunReplay(probe).found;
+      },
+      20000, &stats);
+  std::cout << "shrunk " << stats.initial_size << " -> " << stats.final_size << " requests in "
+            << stats.probes << " probes\n";
+
+  replay.requests = shrunk;
+  s3fifo::check::WriteReplayFile(replay, out_path);
+  std::cout << "reproducer written to " << out_path << "\n";
+  std::cout << RunReplay(replay).what << "\n";
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,6 +166,54 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (args[0] == "--fuzz-flash") {
+      ReplayCase replay;
+      replay.mode = "flash";
+      s3fifo::LogFlashCacheConfig flash;
+      flash.dram_capacity_bytes = 4096;
+      flash.log.num_segments = 8;
+      replay.flash_config = s3fifo::FormatLogFlashConfig(flash);
+      replay.admission = "s3fifo";
+      replay.reuse_horizon = 1000;
+      replay.admission_seed = 17;
+      s3fifo::check::FlashFuzzConfig fuzz;
+      fuzz.num_requests = 100000;
+      std::string out_path = "flash.repro";
+      for (size_t i = 1; i < args.size(); ++i) {
+        auto next = [&]() -> std::string {
+          if (i + 1 >= args.size()) {
+            throw std::invalid_argument(args[i] + " requires a value");
+          }
+          return args[++i];
+        };
+        if (args[i] == "--seed") {
+          fuzz.seed = std::stoull(next());
+        } else if (args[i] == "--requests") {
+          fuzz.num_requests = std::stoull(next());
+        } else if (args[i] == "--flash") {
+          replay.flash_config = next();
+        } else if (args[i] == "--admission") {
+          replay.admission = next();
+        } else if (args[i] == "--horizon") {
+          replay.reuse_horizon = std::stoull(next());
+        } else if (args[i] == "--admission-seed") {
+          replay.admission_seed = std::stoull(next());
+        } else if (args[i] == "--resizes") {
+          replay.resize_period = std::stoull(next());
+          replay.resize_seed = fuzz.seed * 2 + 1;
+        } else if (args[i] == "--out") {
+          out_path = next();
+        } else {
+          throw std::invalid_argument("unknown option: " + args[i]);
+        }
+      }
+      const s3fifo::LogFlashCacheConfig parsed =
+          s3fifo::ParseLogFlashConfig(replay.flash_config);
+      replay.fuzz_seed = fuzz.seed;
+      fuzz.small_object_threshold = parsed.small_object_threshold;
+      fuzz.segment_bytes = parsed.log.segment_bytes;
+      return FuzzFlash(replay, fuzz, out_path);
+    }
     if (args[0] != "--fuzz") {
       return Replay(args[0]);
     }

@@ -38,13 +38,25 @@ OpType TokenToOp(const std::string& token) {
 std::string FormatReplay(const ReplayCase& replay) {
   std::ostringstream out;
   out << "# differential reproducer (" << replay.requests.size() << " requests)\n";
-  out << "policy " << replay.policy << "\n";
-  out << "capacity " << replay.config.capacity << "\n";
-  out << "count_based " << (replay.config.count_based ? 1 : 0) << "\n";
-  if (!replay.config.params.empty()) {
-    out << "params " << replay.config.params << "\n";
+  if (replay.mode == "flash") {
+    out << "mode flash\n";
+    out << "flash " << replay.flash_config << "\n";
+    out << "admission " << replay.admission << "\n";
+    out << "reuse_horizon " << replay.reuse_horizon << "\n";
+    out << "admission_seed " << replay.admission_seed << "\n";
+    if (replay.resize_period > 0) {
+      out << "resizes " << replay.resize_period << " " << replay.resize_seed << " "
+          << replay.resize_min_segments << " " << replay.resize_span << "\n";
+    }
+  } else {
+    out << "policy " << replay.policy << "\n";
+    out << "capacity " << replay.config.capacity << "\n";
+    out << "count_based " << (replay.config.count_based ? 1 : 0) << "\n";
+    if (!replay.config.params.empty()) {
+      out << "params " << replay.config.params << "\n";
+    }
+    out << "seed " << replay.config.seed << "\n";
   }
-  out << "seed " << replay.config.seed << "\n";
   out << "fuzz_seed " << replay.fuzz_seed << "\n";
   for (const Request& r : replay.requests) {
     out << "req " << OpToken(r.op) << " " << r.id << " " << r.size << "\n";
@@ -66,7 +78,25 @@ ReplayCase ParseReplay(const std::string& text) {
     if (!(fields >> key) || key[0] == '#') {
       continue;
     }
-    if (key == "policy") {
+    if (key == "mode") {
+      fields >> replay.mode;
+      if (replay.mode != "policy" && replay.mode != "flash") {
+        throw std::invalid_argument("replay: unknown mode '" + replay.mode + "'");
+      }
+    } else if (key == "flash") {
+      fields >> replay.flash_config;
+    } else if (key == "admission") {
+      fields >> replay.admission;
+    } else if (key == "reuse_horizon") {
+      fields >> replay.reuse_horizon;
+    } else if (key == "admission_seed") {
+      fields >> replay.admission_seed;
+    } else if (key == "resizes") {
+      if (!(fields >> replay.resize_period >> replay.resize_seed >>
+            replay.resize_min_segments >> replay.resize_span)) {
+        throw std::invalid_argument("replay: malformed resizes line");
+      }
+    } else if (key == "policy") {
       fields >> replay.policy;
       saw_policy = !replay.policy.empty();
     } else if (key == "capacity") {
@@ -99,7 +129,11 @@ ReplayCase ParseReplay(const std::string& text) {
       throw std::invalid_argument("replay: unknown key '" + key + "'");
     }
   }
-  if (!saw_policy || !saw_capacity) {
+  if (replay.mode == "flash") {
+    if (replay.flash_config.empty()) {
+      throw std::invalid_argument("replay: flash mode requires a 'flash' config line");
+    }
+  } else if (!saw_policy || !saw_capacity) {
     throw std::invalid_argument("replay: missing required 'policy' or 'capacity' line");
   }
   return replay;

@@ -16,6 +16,18 @@
 //   req get 17 1
 //   req set 9 4096
 //   req del 17 0
+//
+// Flash-mode reproducers (the two-tier log-structured cache vs its oracle)
+// replace `policy`/`capacity` with the flash config and admission tuple:
+//
+//   mode flash
+//   flash dram=4096,segment=4096,segments=8,ordering=ripq,small=128
+//   admission flashield
+//   reuse_horizon 1000
+//   admission_seed 17
+//   resizes 500 99 1 12        # period seed min_segments span; omitted = none
+//   fuzz_seed 1337
+//   req set 9 4096
 #ifndef SRC_CHECK_REPLAY_FILE_H_
 #define SRC_CHECK_REPLAY_FILE_H_
 
@@ -29,8 +41,25 @@ namespace s3fifo {
 namespace check {
 
 struct ReplayCase {
+  // "policy": single-tier policy vs reference model (the original format).
+  // "flash": LogStructuredFlashCache vs the naive flash oracle.
+  std::string mode = "policy";
+
+  // mode == "policy" (policy and capacity are required).
   std::string policy;
   CacheConfig config;
+
+  // mode == "flash" (flash config spec is required).
+  std::string flash_config;  // FormatLogFlashConfig round-trip
+  std::string admission = "none";
+  uint64_t reuse_horizon = 0;
+  uint64_t admission_seed = 0;
+  // Scheduled segment-budget resizes; period 0 = none.
+  uint64_t resize_period = 0;
+  uint64_t resize_seed = 0;
+  uint64_t resize_min_segments = 2;
+  uint64_t resize_span = 16;
+
   uint64_t fuzz_seed = 0;
   std::vector<Request> requests;
 };

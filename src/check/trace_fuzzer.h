@@ -50,6 +50,36 @@ struct FuzzConfig {
 
 std::vector<Request> GenerateFuzzRequests(const FuzzConfig& config);
 
+// Flash-flavoured stream for the two-tier log-structured cache: skewed keys,
+// deletes, and sizes drawn to straddle every routing boundary — sub-threshold
+// objects (set store), log-sized objects, near-segment sizes (seal edges) and
+// the occasional > segment_bytes oversize reject. Capacity resizes are NOT in
+// the stream (OpType has no resize); the differential driver applies them via
+// FlashResizeSchedule so shrinking and replay stay valid.
+struct FlashFuzzConfig {
+  uint64_t seed = 1;
+  uint64_t num_requests = 10000;
+
+  // Hot key universe, as in FuzzConfig.
+  uint64_t key_space = 512;
+  double alpha = 1.0;
+
+  // Operation mix (remainder is kGet).
+  double p_set = 0.2;
+  double p_delete = 0.05;
+
+  // Size classes. Mirror of the LogFlashCacheConfig the stream will be
+  // replayed against.
+  uint64_t small_object_threshold = 0;  // 0 = no set store, log-only sizes
+  uint64_t segment_bytes = 4096;
+  double p_small = 0.5;        // below threshold (set-store path)
+  double p_near_segment = 0.05;  // within a few bytes of segment_bytes
+  double p_oversize = 0.01;    // > segment_bytes (log oversize reject)
+  double p_resize_size = 0.3;  // fresh random size on re-request
+};
+
+std::vector<Request> GenerateFlashFuzzRequests(const FlashFuzzConfig& config);
+
 }  // namespace check
 }  // namespace s3fifo
 

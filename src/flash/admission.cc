@@ -40,22 +40,24 @@ bool FlashieldAdmission::Admit(const AdmissionCandidate& c) {
     // Remember the rejection; OnRejectedReuse supplies the error signal.
     // Capped to avoid unbounded growth.
     if (rejected_.size() < 4 * (reuse_horizon_ + 64)) {
-      rejected_[c.id] = {reads, residency};
+      Sample* s = rejected_.Emplace(c.id);
+      s->reads = reads;
+      s->residency = residency;
     }
   }
   return admit;
 }
 
 void FlashieldAdmission::OnRejectedReuse(uint64_t id, uint64_t delay) {
-  auto it = rejected_.find(id);
-  if (it == rejected_.end()) {
+  const Sample* s = rejected_.Find(id);
+  if (s == nullptr) {
     return;
   }
   if (delay <= reuse_horizon_) {
     // The rejected object was flashy: penalise the rejection.
-    Train(it->second.reads, it->second.residency, 1.0);
+    Train(s->reads, s->residency, 1.0);
   }
-  rejected_.erase(it);
+  rejected_.Erase(id);
 }
 
 std::unique_ptr<AdmissionPolicy> CreateAdmissionPolicy(const std::string& name,

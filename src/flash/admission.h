@@ -18,8 +18,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
+#include "src/util/flat_map.h"
 #include "src/util/rng.h"
 
 namespace s3fifo {
@@ -94,10 +94,10 @@ class FlashieldAdmission : public AdmissionPolicy {
   Rng rng_;
   // Features of recent rejections, for negative/positive feedback.
   struct Sample {
-    double reads;
-    double residency;
+    double reads = 0;
+    double residency = 0;
   };
-  std::unordered_map<uint64_t, Sample> rejected_;
+  FlatMap<Sample> rejected_;
 };
 
 std::unique_ptr<AdmissionPolicy> CreateAdmissionPolicy(const std::string& name,

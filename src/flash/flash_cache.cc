@@ -23,16 +23,16 @@ bool FlashCacheSim::Get(const Request& req) {
   ++stats_.requests;
   stats_.bytes_requested += req.size;
 
-  auto dram_it = dram_.find(req.id);
-  if (dram_it != dram_.end()) {
+  DramEntry* dram_e = dram_.Find(req.id);
+  if (dram_e != nullptr) {
     ++stats_.dram_hits;
-    ++dram_it->second.reads;
+    ++dram_e->reads;
     if (config_.dram_discipline == DramDiscipline::kLru) {
-      dram_queue_.MoveToFront(&dram_it->second);
+      dram_queue_.MoveToFront(dram_e);
     }
     return true;
   }
-  if (flash_.count(req.id)) {
+  if (flash_.Contains(req.id)) {
     // Flash tier is FIFO: hits update no ordering state.
     ++stats_.flash_hits;
     return true;
@@ -42,10 +42,10 @@ bool FlashCacheSim::Get(const Request& req) {
   stats_.bytes_missed += req.size;
 
   // Learned-admission feedback: a rejected object came back.
-  auto rej = rejected_at_.find(req.id);
-  if (rej != rejected_at_.end()) {
-    admission_->OnRejectedReuse(req.id, clock_ - rej->second);
-    rejected_at_.erase(rej);
+  uint64_t* rej = rejected_at_.Find(req.id);
+  if (rej != nullptr) {
+    admission_->OnRejectedReuse(req.id, clock_ - *rej);
+    rejected_at_.Erase(req.id);
   }
 
   if (config_.dram_discipline == DramDiscipline::kSmallFifo && ghost_.Contains(req.id)) {
@@ -75,12 +75,12 @@ void FlashCacheSim::InsertDram(uint64_t id, uint32_t size) {
   while (dram_occ_ + size > config_.dram_capacity_bytes && !dram_queue_.empty()) {
     EvictDramTail();
   }
-  DramEntry& e = dram_[id];
-  e.id = id;
-  e.size = size;
-  e.reads = 0;
-  e.insert_time = clock_;
-  dram_queue_.PushFront(&e);
+  DramEntry* e = dram_.Emplace(id);
+  e->id = id;
+  e->size = size;
+  e->reads = 0;
+  e->insert_time = clock_;
+  dram_queue_.PushFront(e);
   dram_occ_ += size;
 }
 
@@ -99,7 +99,7 @@ void FlashCacheSim::EvictDramTail() {
   const uint32_t size = tail->size;
   dram_queue_.Remove(tail);
   dram_occ_ -= size;
-  dram_.erase(id);
+  dram_.Erase(id);
 
   if (admission_->Admit(c)) {
     InsertFlash(id, size);
@@ -113,9 +113,9 @@ void FlashCacheSim::EvictDramTail() {
 
 void FlashCacheSim::RecordRejection(uint64_t id) {
   if (rejected_at_.size() > 4 * AutoGhostEntries(config_) + 1024) {
-    rejected_at_.clear();  // cheap bound; feedback is best-effort
+    rejected_at_.Clear();  // cheap bound; feedback is best-effort
   }
-  rejected_at_[id] = clock_;
+  *rejected_at_.Emplace(id) = clock_;
 }
 
 void FlashCacheSim::InsertFlash(uint64_t id, uint32_t size) {
@@ -126,12 +126,12 @@ void FlashCacheSim::InsertFlash(uint64_t id, uint32_t size) {
     FlashEntry* victim = flash_queue_.Back();
     flash_occ_ -= victim->size;
     flash_queue_.Remove(victim);
-    flash_.erase(victim->id);
+    flash_.Erase(victim->id);
   }
-  FlashEntry& e = flash_[id];
-  e.id = id;
-  e.size = size;
-  flash_queue_.PushFront(&e);
+  FlashEntry* e = flash_.Emplace(id);
+  e->id = id;
+  e->size = size;
+  flash_queue_.PushFront(e);
   flash_occ_ += size;
   stats_.flash_write_bytes += size;
   ++stats_.flash_writes;

@@ -16,10 +16,10 @@
 #define SRC_FLASH_FLASH_CACHE_H_
 
 #include <memory>
-#include <unordered_map>
 
 #include "src/flash/admission.h"
 #include "src/trace/trace.h"
+#include "src/util/flat_map.h"
 #include "src/util/ghost_queue.h"
 #include "src/util/intrusive_list.h"
 
@@ -90,16 +90,18 @@ class FlashCacheSim {
   std::unique_ptr<AdmissionPolicy> admission_;
   uint64_t clock_ = 0;
 
-  std::unordered_map<uint64_t, DramEntry> dram_;
+  // Hot-path maps are FlatMap (stable value addresses, so the intrusive
+  // hooks survive rehashing) — the same migration the policies got in PR 1.
+  FlatMap<DramEntry> dram_;
   IntrusiveList<DramEntry, &DramEntry::hook> dram_queue_;
   uint64_t dram_occ_ = 0;
 
-  std::unordered_map<uint64_t, FlashEntry> flash_;
+  FlatMap<FlashEntry> flash_;
   IntrusiveList<FlashEntry, &FlashEntry::hook> flash_queue_;
   uint64_t flash_occ_ = 0;
 
   GhostQueue ghost_;  // used by kSmallFifo
-  std::unordered_map<uint64_t, uint64_t> rejected_at_;  // id -> clock of rejection
+  FlatMap<uint64_t> rejected_at_;  // id -> clock of rejection
 
   FlashCacheStats stats_;
 };

@@ -1,0 +1,98 @@
+#include "src/flash/set_store.h"
+
+#include <algorithm>
+
+#include "src/util/hash.h"
+
+namespace s3fifo {
+
+SetAssocStore::SetAssocStore(const SetStoreConfig& config) : config_(config) {
+  config_.num_sets = std::max<uint64_t>(config_.num_sets, 1);
+  config_.set_bytes = std::max<uint64_t>(config_.set_bytes, 1);
+  sets_.resize(config_.num_sets);
+  set_occupied_.assign(config_.num_sets, 0);
+}
+
+uint64_t SetAssocStore::SetOf(uint64_t id) const {
+  return Mix64(id ^ config_.hash_seed) % config_.num_sets;
+}
+
+bool SetAssocStore::Contains(uint64_t id) const { return index_.Find(id) != nullptr; }
+
+uint32_t SetAssocStore::SizeOf(uint64_t id) const {
+  const uint32_t* set_idx = index_.Find(id);
+  if (set_idx == nullptr) {
+    return 0;
+  }
+  for (const SetEntry& e : sets_[*set_idx]) {
+    if (e.id == id) {
+      return e.size;
+    }
+  }
+  return 0;
+}
+
+bool SetAssocStore::Insert(uint64_t id, uint32_t size, std::vector<uint64_t>* evicted) {
+  if (size > config_.set_bytes) {
+    ++stats_.oversize_rejects;
+    return false;
+  }
+  const uint64_t set_idx = SetOf(id);
+  std::vector<SetEntry>& set = sets_[set_idx];
+  // Overwrite: drop the old copy, keep the others' FIFO order.
+  if (index_.Find(id) != nullptr) {
+    for (size_t i = 0; i < set.size(); ++i) {
+      if (set[i].id == id) {
+        set_occupied_[set_idx] -= set[i].size;
+        live_bytes_ -= set[i].size;
+        set.erase(set.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    index_.Erase(id);
+  }
+  while (set_occupied_[set_idx] + size > config_.set_bytes && !set.empty()) {
+    const SetEntry oldest = set.front();
+    set.erase(set.begin());
+    set_occupied_[set_idx] -= oldest.size;
+    live_bytes_ -= oldest.size;
+    index_.Erase(oldest.id);
+    ++stats_.dropped_objects;
+    stats_.dropped_bytes += oldest.size;
+    if (evicted != nullptr) {
+      evicted->push_back(oldest.id);
+    }
+  }
+  SetEntry e;
+  e.id = id;
+  e.size = size;
+  set.push_back(e);
+  set_occupied_[set_idx] += size;
+  live_bytes_ += size;
+  *index_.Emplace(id) = static_cast<uint32_t>(set_idx);
+  stats_.admitted_bytes += size;
+  ++stats_.admitted_objects;
+  ++stats_.page_writes;
+  stats_.device_bytes_written += config_.set_bytes;
+  return true;
+}
+
+bool SetAssocStore::Erase(uint64_t id) {
+  const uint32_t* set_idx = index_.Find(id);
+  if (set_idx == nullptr) {
+    return false;
+  }
+  std::vector<SetEntry>& set = sets_[*set_idx];
+  for (size_t i = 0; i < set.size(); ++i) {
+    if (set[i].id == id) {
+      set_occupied_[*set_idx] -= set[i].size;
+      live_bytes_ -= set[i].size;
+      set.erase(set.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  index_.Erase(id);
+  return true;
+}
+
+}  // namespace s3fifo

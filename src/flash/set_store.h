@@ -1,0 +1,91 @@
+// Kangaroo-style set-associative small-object store (SOSP'21).
+//
+// Sub-block objects are too small to justify a whole log entry's index
+// overhead; Kangaroo hashes them into fixed-size on-flash sets (one device
+// page each) instead. The cost this makes visible — and the reason the store
+// reports its own device-byte accounting — is that flash writes whole pages:
+// inserting a 100-byte object rewrites its entire set, so small-object write
+// amplification is set_bytes / object_size per insert unless admission
+// filters aggressively.
+//
+// Within a set the discipline is FIFO: an insert that overflows the set
+// evicts the set's oldest objects until the new one fits. Overwrites drop
+// the old copy and append. Deletes are metadata-only (the tombstone is
+// folded into the set's next page write, so no device bytes are charged).
+//
+// Byte accounting: device_bytes_written == page_writes * set_bytes — every
+// insert rewrites exactly one set page. Deterministic: set choice is a hash
+// of the id, eviction order is FIFO within the set.
+#ifndef SRC_FLASH_SET_STORE_H_
+#define SRC_FLASH_SET_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/flat_map.h"
+
+namespace s3fifo {
+
+struct SetStoreConfig {
+  uint64_t set_bytes = 4096;  // one device page per set
+  uint64_t num_sets = 64;
+  uint64_t hash_seed = 0x5e7a550cULL;
+};
+
+struct SetStoreStats {
+  uint64_t admitted_bytes = 0;
+  uint64_t admitted_objects = 0;
+  uint64_t device_bytes_written = 0;  // page_writes * set_bytes
+  uint64_t page_writes = 0;
+  uint64_t dropped_objects = 0;  // FIFO-evicted from a full set
+  uint64_t dropped_bytes = 0;
+  uint64_t oversize_rejects = 0;  // object larger than one set
+
+  double WriteAmplification() const {
+    return admitted_bytes == 0 ? 0.0
+                               : static_cast<double>(device_bytes_written) /
+                                     static_cast<double>(admitted_bytes);
+  }
+};
+
+class SetAssocStore {
+ public:
+  explicit SetAssocStore(const SetStoreConfig& config);
+
+  bool Contains(uint64_t id) const;
+  // FIFO sets: a hit updates no ordering state.
+  bool Lookup(uint64_t id) const { return Contains(id); }
+  uint32_t SizeOf(uint64_t id) const;
+
+  // Inserts (or overwrites) id, FIFO-evicting from its set as needed; the
+  // evicted ids are appended to `evicted` (may be null). Returns false (and
+  // counts an oversize reject) when size > set_bytes.
+  bool Insert(uint64_t id, uint32_t size, std::vector<uint64_t>* evicted);
+  // Metadata-only delete. Returns false if absent.
+  bool Erase(uint64_t id);
+
+  uint64_t live_bytes() const { return live_bytes_; }
+  uint64_t live_objects() const { return index_.size(); }
+  uint64_t num_sets() const { return config_.num_sets; }
+  uint64_t set_bytes() const { return config_.set_bytes; }
+  uint64_t capacity_bytes() const { return config_.set_bytes * config_.num_sets; }
+  uint64_t SetOf(uint64_t id) const;
+  const SetStoreStats& stats() const { return stats_; }
+
+ private:
+  struct SetEntry {
+    uint64_t id = 0;
+    uint32_t size = 0;
+  };
+
+  SetStoreConfig config_;
+  std::vector<std::vector<SetEntry>> sets_;  // oldest first within each set
+  std::vector<uint64_t> set_occupied_;
+  FlatMap<uint32_t> index_;  // id -> set index
+  uint64_t live_bytes_ = 0;
+  SetStoreStats stats_;
+};
+
+}  // namespace s3fifo
+
+#endif  // SRC_FLASH_SET_STORE_H_

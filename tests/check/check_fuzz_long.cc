@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/check/differential.h"
+#include "src/check/flash_oracle.h"
 #include "src/check/invariants.h"
 #include "src/check/shrinker.h"
 #include "src/check/trace_fuzzer.h"
@@ -79,6 +80,56 @@ TEST(LongFuzzTest, BatchedParityFuzz) {
       EXPECT_EQ(violation, "") << policy << (count_based ? " (count" : " (byte")
                                << "-based, seed " << fc.seed << ")";
     }
+  }
+}
+
+// Long flash wall: >= 1M requests through LogStructuredFlashCache vs the
+// naive flat oracle, split across the admission policies and the config axes
+// that matter (discipline, ordering, set store, mid-run resizes). Conservation
+// of device bytes is checked inside the driver after every request.
+TEST(LongFuzzTest, MillionRequestsFlashDifferential) {
+  const uint64_t total = RequestsPerPolicy();
+  struct Leg {
+    const char* admission;
+    DramDiscipline discipline;
+    LogOrdering ordering;
+    uint64_t small_threshold;  // 0 = log only
+    uint64_t resize_period;    // 0 = none
+  };
+  const Leg legs[] = {
+      {"none", DramDiscipline::kLru, LogOrdering::kFifo, 0, 0},
+      {"probabilistic", DramDiscipline::kLru, LogOrdering::kRipq, 0, 0},
+      {"s3fifo", DramDiscipline::kSmallFifo, LogOrdering::kFifo, 128, 0},
+      {"flashield", DramDiscipline::kSmallFifo, LogOrdering::kRipq, 128, 4096},
+  };
+  const uint64_t per_leg = std::max<uint64_t>(total / std::size(legs), 1000);
+  for (const Leg& leg : legs) {
+    LogFlashCacheConfig config;
+    config.dram_capacity_bytes = 4096;
+    config.dram_discipline = leg.discipline;
+    config.log.segment_bytes = 4096;
+    config.log.num_segments = 8;
+    config.log.ordering = leg.ordering;
+    config.small_object_threshold = leg.small_threshold;
+    config.set_store.set_bytes = 512;
+    config.set_store.num_sets = 16;
+
+    FlashFuzzConfig fc;
+    fc.seed = 0xf1a50000 + leg.resize_period + leg.small_threshold +
+              static_cast<uint64_t>(leg.ordering);
+    fc.num_requests = per_leg;
+    fc.small_object_threshold = config.small_object_threshold;
+    fc.segment_bytes = config.log.segment_bytes;
+
+    FlashResizeSchedule resizes;
+    resizes.period = leg.resize_period;
+    resizes.seed = fc.seed ^ 0x5a5a;
+
+    const Divergence div =
+        RunFlashDifferential(GenerateFlashFuzzRequests(fc), config, leg.admission,
+                             /*reuse_horizon=*/1000, /*admission_seed=*/17, resizes);
+    EXPECT_FALSE(div.found) << leg.admission << " (seed " << fc.seed
+                            << "): " << div.what;
   }
 }
 

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""CI smoke check for the log-structured flash backend.
+
+Usage:
+  check_flash_smoke.py BENCH_flash.json
+
+Validates a BENCH_flash.json produced by bench_flash_wa:
+  1. the full grid ran: every (dataset, backend, admission) row is present;
+  2. byte conservation holds exactly in every row —
+       log_device_bytes == log_admitted_bytes + gc_rewrite_bytes
+       set_device_bytes == set_page_writes * set_bytes
+     and the combined totals are the sums of the components;
+  3. write amplification is consistent (device/admitted) and >= 1, with
+     WA == 1.0 exactly for the pure-FIFO no-readmit backend (it never
+     rewrites) and gc_rewrite_bytes == 0 there;
+  4. the paper's Fig. 9 shape: per dataset and backend, no-admission writes
+     strictly more device bytes than the s3fifo filter, and the s3fifo
+     filter's miss ratio is at or below no-admission's.
+
+Exits non-zero with a diagnostic on any violation.
+"""
+
+import json
+import sys
+
+DATASETS = ("wiki", "tencent_photo")
+BACKENDS = ("log-fifo", "log-fifo-readmit", "log-ripq", "log-ripq+sets")
+ADMISSIONS = ("none", "probabilistic", "flashield", "s3fifo")
+
+
+def fail(msg):
+    print(f"flash smoke FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    if len(argv) != 2:
+        fail(f"expected 1 argument, got {len(argv) - 1} (see module docstring)")
+    bench = json.load(open(argv[1]))
+    if bench.get("bench") != "flash":
+        fail(f"not a flash bench file: {bench.get('bench')!r}")
+
+    rows = {}
+    for row in bench["rows"]:
+        rows[(row["dataset"], row["backend"], row["admission"])] = row
+
+    for dataset in DATASETS:
+        for backend in BACKENDS:
+            for admission in ADMISSIONS:
+                if (dataset, backend, admission) not in rows:
+                    fail(f"missing row: {dataset}/{backend}/{admission}")
+
+    for key, row in rows.items():
+        name = "/".join(key)
+        log_dev = row["log_device_bytes"]
+        log_adm = row["log_admitted_bytes"]
+        gc = row["gc_rewrite_bytes"]
+        set_dev = row["set_device_bytes"]
+        if log_dev != log_adm + gc:
+            fail(
+                f"{name}: log conservation violated: device={log_dev} "
+                f"admitted={log_adm} gc_rewrite={gc}"
+            )
+        if set_dev != row["set_page_writes"] * row["set_bytes"]:
+            fail(
+                f"{name}: set conservation violated: device={set_dev} "
+                f"page_writes={row['set_page_writes']} set_bytes={row['set_bytes']}"
+            )
+        if row["device_bytes_written"] != log_dev + set_dev:
+            fail(f"{name}: combined device bytes != log + set components")
+        if row["admitted_bytes"] != log_adm + row["set_admitted_bytes"]:
+            fail(f"{name}: combined admitted bytes != log + set components")
+
+        wa = row["write_amplification"]
+        admitted = row["admitted_bytes"]
+        if admitted > 0:
+            expect = row["device_bytes_written"] / admitted
+            if abs(wa - expect) > 1e-9 * max(1.0, expect):
+                fail(f"{name}: WA {wa} != device/admitted {expect}")
+            if wa < 1.0:
+                fail(f"{name}: WA {wa} < 1 (device lost bytes?)")
+        if key[1] == "log-fifo":
+            if gc != 0:
+                fail(f"{name}: pure FIFO backend rewrote {gc} bytes")
+            if admitted > 0 and wa != 1.0:
+                fail(f"{name}: pure FIFO backend has WA {wa} != 1.0")
+
+    for dataset in DATASETS:
+        for backend in BACKENDS:
+            none_row = rows[(dataset, backend, "none")]
+            s3_row = rows[(dataset, backend, "s3fifo")]
+            if none_row["device_bytes_written"] <= s3_row["device_bytes_written"]:
+                fail(
+                    f"{dataset}/{backend}: no-admission wrote "
+                    f"{none_row['device_bytes_written']} <= s3fifo filter "
+                    f"{s3_row['device_bytes_written']} (Fig. 9 shape inverted)"
+                )
+            if s3_row["miss_ratio"] > none_row["miss_ratio"] + 1e-12:
+                fail(
+                    f"{dataset}/{backend}: s3fifo filter miss ratio "
+                    f"{s3_row['miss_ratio']} above no-admission "
+                    f"{none_row['miss_ratio']} (Fig. 9 shape inverted)"
+                )
+
+    print(
+        f"flash smoke OK: {len(rows)} rows, conservation exact, "
+        "WA consistent, Fig. 9 shape holds"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv)
