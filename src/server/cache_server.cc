@@ -2,12 +2,8 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
-#include <fcntl.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <string.h>
-#include <sys/epoll.h>
-#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -17,6 +13,7 @@
 #include "src/concurrent/concurrent_s3fifo.h"
 #include "src/server/protocol.h"
 #include "src/server/ring_buffer.h"
+#include "src/server/transport.h"
 
 namespace s3fifo {
 
@@ -48,14 +45,6 @@ void AppendStat(std::vector<char>& out, std::string_view name, uint64_t v) {
   AppendStr(out, "\r\n");
 }
 
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Per-connection and per-worker state
-// ---------------------------------------------------------------------------
-
-namespace {
-
 // Copies each batched hit's value bytes into the connection's arena while
 // the cache's read guard protects them; response rendering then references
 // the arena, never cache memory.
@@ -72,13 +61,13 @@ struct ArenaSink final : public ValueSink {
 };
 
 struct Connection {
-  explicit Connection(int fd_in) : fd(fd_in) {}
-  int fd;
+  Transport::Conn* tconn = nullptr;
   RingBuffer in;
-  std::vector<char> out;
-  size_t out_sent = 0;
-  bool want_close = false;       // close once the out buffer drains
-  bool parse_blocked = false;    // backpressure: out above high watermark
+  std::vector<char> out;  // response bytes not yet handed to the transport
+  bool want_close = false;     // close once everything queued has drained
+  bool parse_blocked = false;  // backpressure: unsent output above watermark
+  bool read_paused = false;    // we returned false from GetReadBuffer
+  bool pumping = false;        // re-entrancy guard (ResumeRead -> OnData)
   ParseOutput parsed;
 
   // Scratch for the fused get batch (reused every flush).
@@ -89,19 +78,20 @@ struct Connection {
   std::vector<char> value_arena;
   // (op index, keys in that op) for END placement when rendering.
   std::vector<uint32_t> batch_op_key_counts;
-
-  size_t OutPending() const { return out.size() - out_sent; }
 };
 
 }  // namespace
 
-struct CacheServer::Worker {
+// ---------------------------------------------------------------------------
+// Per-worker state: one transport, one listener, the protocol handler.
+// ---------------------------------------------------------------------------
+
+struct CacheServer::Worker final : public Transport::Handler {
   CacheServer* server = nullptr;
   unsigned index = 0;
   int listen_fd = -1;
-  int epoll_fd = -1;
-  int wake_fd = -1;
-  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  std::unique_ptr<Transport> transport;
+  std::unordered_map<Connection*, std::unique_ptr<Connection>> conns;
 
   // Relaxed striped counters; folded by TotalStats().
   std::atomic<uint64_t> connections_accepted{0};
@@ -115,9 +105,307 @@ struct CacheServer::Worker {
   std::atomic<uint64_t> parse_errors{0};
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> bytes_written{0};
+  // Snapshots of the transport's (thread-local) counters, published after
+  // every Poll so stats served by other workers stay near-exact.
+  std::atomic<uint64_t> t_syscalls{0};
+  std::atomic<uint64_t> t_waits{0};
+  std::atomic<uint64_t> t_events{0};
+  std::atomic<uint64_t> t_sqes{0};
+  std::atomic<uint64_t> t_sqe_batches{0};
+  std::atomic<uint64_t> t_recv_merges{0};
 
   void Bump(std::atomic<uint64_t>& c, uint64_t v = 1) {
     c.store(c.load(std::memory_order_relaxed) + v, std::memory_order_relaxed);
+  }
+
+  void PublishTransportCounters() {
+    if (transport == nullptr) {
+      return;
+    }
+    const TransportCounters& tc = transport->counters();
+    t_syscalls.store(tc.syscalls, std::memory_order_relaxed);
+    t_waits.store(tc.waits, std::memory_order_relaxed);
+    t_events.store(tc.events, std::memory_order_relaxed);
+    t_sqes.store(tc.sqes, std::memory_order_relaxed);
+    t_sqe_batches.store(tc.sqe_batches, std::memory_order_relaxed);
+    t_recv_merges.store(tc.recv_merges, std::memory_order_relaxed);
+  }
+
+  // --- Transport::Handler --------------------------------------------------
+
+  void* OnAccept(Transport::Conn* tconn) override {
+    Bump(connections_accepted);
+    auto conn = std::make_unique<Connection>();
+    conn->tconn = tconn;
+    Connection* c = conn.get();
+    conns.emplace(c, std::move(conn));
+    return c;
+  }
+
+  bool GetReadBuffer(Transport::Conn* /*tconn*/, void* ud, char** buf,
+                     size_t* cap) override {
+    auto* c = static_cast<Connection*>(ud);
+    if (!c->in.EnsureWritable(4096)) {
+      if (!c->parse_blocked) {
+        // Buffer at capacity yet the parser is not backpressured: a single
+        // frame fills the whole buffer without parsing fatal. Cannot happen
+        // with the current limits (kMaxLineLen, kMaxValueBytes are both well
+        // under the buffer cap); drop the connection to bound memory if a
+        // future limit change breaks that.
+        CloseConn(c);
+        return false;
+      }
+      // Full of commands we may not execute yet: pause reading. The next
+      // drain unblocks the parser, frees space, and resumes (ResumeRead).
+      c->read_paused = true;
+      return false;
+    }
+    *buf = c->in.WritePtr();
+    *cap = c->in.WriteCapacity();
+    return true;
+  }
+
+  void OnData(Transport::Conn* /*tconn*/, void* ud, size_t n) override {
+    auto* c = static_cast<Connection*>(ud);
+    c->in.CommitWrite(n);
+    Bump(bytes_read, static_cast<uint64_t>(n));
+    Pump(c);
+  }
+
+  void OnWritable(Transport::Conn* /*tconn*/, void* ud) override {
+    auto* c = static_cast<Connection*>(ud);
+    if (c->want_close) {
+      CloseConn(c);
+      return;
+    }
+    if (c->parse_blocked && OutPending(c) <= server->config_.out_high_watermark) {
+      c->parse_blocked = false;
+      Pump(c);
+    }
+  }
+
+  void OnClose(Transport::Conn* /*tconn*/, void* ud) override {
+    conns.erase(static_cast<Connection*>(ud));
+  }
+
+  // --- protocol pump -------------------------------------------------------
+
+  size_t OutPending(const Connection* c) const {
+    return c->out.size() + transport->SendQueueBytes(c->tconn);
+  }
+
+  // Server-initiated close: the transport never calls OnClose for these.
+  void CloseConn(Connection* c) {
+    transport->Close(c->tconn);
+    conns.erase(c);
+  }
+
+  // Hands the rendered output to the transport. False if the connection was
+  // closed (want_close with nothing left queued).
+  bool FlushOut(Connection* c) {
+    if (!c->out.empty()) {
+      Bump(bytes_written, static_cast<uint64_t>(c->out.size()));
+      transport->Send(c->tconn, &c->out);  // comes back empty
+    }
+    if (c->want_close && transport->SendQueueBytes(c->tconn) == 0) {
+      CloseConn(c);
+      return false;
+    }
+    return true;
+  }
+
+  // Alternates parse and flush until neither can make progress: parsing
+  // stops at the out high watermark, and room freed by a drain re-enables
+  // parsing (OnWritable re-enters here). Resumes paused reads once the
+  // parser catches up.
+  void Pump(Connection* c) {
+    if (c->pumping) {
+      return;  // ResumeRead below re-entered OnData; outer loop continues
+    }
+    c->pumping = true;
+    for (;;) {
+      ProcessInput(c);
+      if (!FlushOut(c)) {
+        return;  // connection freed
+      }
+      if (c->parse_blocked &&
+          OutPending(c) <= server->config_.out_high_watermark) {
+        c->parse_blocked = false;
+        continue;
+      }
+      if (c->read_paused && !c->parse_blocked && c->in.EnsureWritable(4096)) {
+        c->read_paused = false;
+        transport->ResumeRead(c->tconn);  // may push more bytes via OnData
+        if (c->in.size() > 0) {
+          continue;
+        }
+      }
+      break;
+    }
+    c->pumping = false;
+  }
+
+  // Executes the fused get batch through the cache's pipelined path and
+  // renders one "VALUE…/END" group per original get command, in order.
+  void FlushGetBatch(Connection& c) {
+    ConcurrentCache& cache = *server->cache_;
+    const uint32_t n = static_cast<uint32_t>(c.batch_ids.size());
+    if (n == 0) {
+      return;
+    }
+    c.batch_hits.assign(n, 0);
+    c.batch_slots.assign(n, {ArenaSink::kNoValue, 0});
+    c.value_arena.clear();
+    ArenaSink sink;
+    sink.arena = &c.value_arena;
+    sink.slots = &c.batch_slots;
+    cache.GetBatch(c.batch_ids.data(), n, c.batch_hits.data(), &sink);
+
+    uint64_t hits = 0;
+    uint32_t idx = 0;
+    for (uint32_t key_count : c.batch_op_key_counts) {
+      for (uint32_t k = 0; k < key_count; ++k, ++idx) {
+        if (c.batch_hits[idx] == 0 ||
+            c.batch_slots[idx].first == ArenaSink::kNoValue) {
+          continue;
+        }
+        ++hits;
+        const auto [off, size] = c.batch_slots[idx];
+        AppendStr(c.out, "VALUE ");
+        AppendStr(c.out, c.batch_keys[idx]);
+        AppendStr(c.out, " 0 ");
+        AppendU64(c.out, size);
+        AppendStr(c.out, "\r\n");
+        c.out.insert(c.out.end(), c.value_arena.data() + off,
+                     c.value_arena.data() + off + size);
+        AppendStr(c.out, "\r\n");
+      }
+      AppendStr(c.out, "END\r\n");
+    }
+    Bump(batches);
+    Bump(batched_gets, n);
+    Bump(get_hits, hits);
+    Bump(get_misses, n - hits);
+    c.batch_ids.clear();
+    c.batch_keys.clear();
+    c.batch_op_key_counts.clear();
+  }
+
+  // Parses and executes everything buffered on the connection. Respects the
+  // out-buffer high watermark (backpressure) and the batch cap.
+  void ProcessInput(Connection* c) {
+    ConcurrentCache& cache = *server->cache_;
+    const ServerConfig& config = server->config_;
+    c->parsed.Clear();
+    while (!c->want_close) {
+      if (OutPending(c) > config.out_high_watermark) {
+        c->parse_blocked = true;  // resume after the next drain
+        break;
+      }
+      const size_t op_watermark = c->parsed.ops.size();
+      const ParseResult r = ParseCommand(c->in.view(), c->parsed);
+      if (r.status == ParseStatus::kNeedMore) {
+        break;
+      }
+      if (r.status == ParseStatus::kError || r.status == ParseStatus::kFatal) {
+        FlushGetBatch(*c);
+        AppendStr(c->out, r.error);
+        Bump(parse_errors);
+        c->in.Consume(r.consumed);
+        if (r.status == ParseStatus::kFatal) {
+          c->want_close = true;
+        }
+        continue;
+      }
+      const ParsedOp op = c->parsed.ops[op_watermark];
+      c->in.Consume(r.consumed);
+      switch (op.type) {
+        case CmdType::kGet: {
+          Bump(cmd_get, op.key_count);
+          for (uint32_t k = 0; k < op.key_count; ++k) {
+            const std::string_view key = c->parsed.keys[op.key_begin + k];
+            c->batch_ids.push_back(KeyToId(key));
+            c->batch_keys.push_back(key);
+          }
+          c->batch_op_key_counts.push_back(op.key_count);
+          if (c->batch_ids.size() >= config.max_batch) {
+            FlushGetBatch(*c);
+          }
+          break;
+        }
+        case CmdType::kSet: {
+          FlushGetBatch(*c);
+          Bump(cmd_set);
+          const std::string_view key = c->parsed.keys[op.key_begin];
+          const bool stored = cache.Set(KeyToId(key), op.value.data(),
+                                        static_cast<uint32_t>(op.value.size()));
+          if (!op.noreply) {
+            AppendStr(c->out,
+                      stored ? "STORED\r\n" : "SERVER_ERROR not supported\r\n");
+          }
+          break;
+        }
+        case CmdType::kDelete: {
+          FlushGetBatch(*c);
+          Bump(cmd_delete);
+          const std::string_view key = c->parsed.keys[op.key_begin];
+          const bool removed = cache.Delete(KeyToId(key));
+          if (!op.noreply) {
+            AppendStr(c->out, removed ? "DELETED\r\n" : "NOT_FOUND\r\n");
+          }
+          break;
+        }
+        case CmdType::kStats: {
+          FlushGetBatch(*c);
+          // Fold in this worker's own transport counters first; the other
+          // workers' snapshots lag by at most one Poll iteration.
+          PublishTransportCounters();
+          const ServerStats s = server->TotalStats();
+          AppendStat(c->out, "cmd_get", s.cmd_get);
+          AppendStat(c->out, "cmd_set", s.cmd_set);
+          AppendStat(c->out, "cmd_delete", s.cmd_delete);
+          AppendStat(c->out, "get_hits", s.get_hits);
+          AppendStat(c->out, "get_misses", s.get_misses);
+          AppendStat(c->out, "batches", s.batches);
+          AppendStat(c->out, "batched_gets", s.batched_gets);
+          AppendStat(c->out, "parse_errors", s.parse_errors);
+          AppendStat(c->out, "bytes_read", s.bytes_read);
+          AppendStat(c->out, "bytes_written", s.bytes_written);
+          AppendStat(c->out, "total_connections", s.connections_accepted);
+          AppendStat(c->out, "threads", config.workers);
+          AppendStat(c->out, "curr_items", cache.ApproxSize());
+          {
+            const ConcurrentCacheStats cs = cache.Stats();
+            AppendStat(c->out, "cache_hits", cs.hits);
+            AppendStat(c->out, "cache_misses", cs.misses);
+          }
+          AppendStr(c->out, "STAT transport ");
+          AppendStr(c->out, server->transport_name_);
+          AppendStr(c->out, "\r\n");
+          AppendStat(c->out, "transport_syscalls", s.transport_syscalls);
+          AppendStat(c->out, "transport_waits", s.transport_waits);
+          AppendStat(c->out, "transport_events", s.transport_events);
+          AppendStat(c->out, "transport_sqes", s.transport_sqes);
+          AppendStat(c->out, "transport_sqe_batches", s.transport_sqe_batches);
+          AppendStat(c->out, "transport_cqe_per_wait_x100",
+                     s.transport_waits == 0
+                         ? 0
+                         : s.transport_events * 100 / s.transport_waits);
+          AppendStat(c->out, "transport_recv_merges", s.transport_recv_merges);
+          AppendStr(c->out, "END\r\n");
+          break;
+        }
+        case CmdType::kVersion:
+          FlushGetBatch(*c);
+          AppendStr(c->out, kVersionLine);
+          break;
+        case CmdType::kQuit:
+          FlushGetBatch(*c);
+          c->want_close = true;
+          break;
+      }
+    }
+    FlushGetBatch(*c);
   }
 };
 
@@ -178,41 +466,96 @@ bool CacheServer::BindListener(Worker& w, std::string* error) {
   return true;
 }
 
-bool CacheServer::Start(std::string* error) {
-  if (running_.exchange(true)) {
-    return true;
-  }
-  stop_.store(false);
+bool CacheServer::SetupWorkers(TransportKind kind, std::string* error) {
   port_ = config_.port;
-  workers_.clear();
   for (unsigned i = 0; i < config_.workers; ++i) {
     auto w = std::make_unique<Worker>();
     w->server = this;
     w->index = i;
     if (!BindListener(*w, error)) {
-      workers_.push_back(std::move(w));  // so Stop() closes the partial fds
-      Stop();
+      workers_.push_back(std::move(w));  // so teardown closes the partial fds
       return false;
     }
-    w->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
-    w->wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-    if (w->epoll_fd < 0 || w->wake_fd < 0) {
+    std::string note;
+    w->transport = MakeTransport(kind, &note);
+    if (w->transport == nullptr) {
       if (error != nullptr) {
-        *error = std::string("epoll/eventfd: ") + strerror(errno);
+        *error = note;
       }
       workers_.push_back(std::move(w));
+      return false;
+    }
+    std::string terr;
+    if (!w->transport->Init(w.get(), w->listen_fd, &terr)) {
+      if (error != nullptr) {
+        *error = std::string(w->transport->name()) + " init: " + terr;
+      }
+      workers_.push_back(std::move(w));
+      return false;
+    }
+    workers_.push_back(std::move(w));
+  }
+  return true;
+}
+
+void CacheServer::TeardownWorkers() {
+  for (auto& w : workers_) {
+    w->transport.reset();  // closes connection fds, the ring, the eventfd
+    w->conns.clear();
+    if (w->listen_fd >= 0) {
+      close(w->listen_fd);
+      w->listen_fd = -1;
+    }
+  }
+  workers_.clear();
+}
+
+bool CacheServer::Start(std::string* error) {
+  if (running_.exchange(true)) {
+    return true;
+  }
+  stop_.store(false);
+  workers_.clear();
+  transport_note_.clear();
+
+  TransportKind kind = config_.transport;
+  if (kind == TransportKind::kAuto) {
+    std::string why;
+    if (MakeUringTransport() != nullptr && IoUringAvailable(&why)) {
+      kind = TransportKind::kUring;
+    } else {
+      kind = TransportKind::kEpoll;
+      transport_note_ =
+          "transport=auto: io_uring unavailable (" + why +
+          "), falling back to epoll";
+    }
+  }
+  std::string setup_error;
+  if (!SetupWorkers(kind, &setup_error)) {
+    if (kind == TransportKind::kUring &&
+        config_.transport == TransportKind::kAuto) {
+      // The probe passed but a full ring init failed (e.g. locked-memory
+      // limits): redo every worker on epoll so the fleet is homogeneous.
+      TeardownWorkers();
+      transport_note_ = "transport=auto: io_uring init failed (" + setup_error +
+                        "), falling back to epoll";
+      kind = TransportKind::kEpoll;
+      if (!SetupWorkers(kind, &setup_error)) {
+        if (error != nullptr) {
+          *error = setup_error;
+        }
+        Stop();
+        return false;
+      }
+    } else {
+      if (error != nullptr) {
+        *error = setup_error;
+      }
       Stop();
       return false;
     }
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = 0;  // tag: listener
-    epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->listen_fd, &ev);
-    ev.events = EPOLLIN;
-    ev.data.u64 = 1;  // tag: wakeup
-    epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->wake_fd, &ev);
-    workers_.push_back(std::move(w));
   }
+  transport_name_ = TransportKindName(kind);
   threads_.reserve(workers_.size());
   for (auto& w : workers_) {
     threads_.emplace_back([this, worker = w.get()] { RunWorker(*worker); });
@@ -226,9 +569,8 @@ void CacheServer::Stop() {
   }
   stop_.store(true);
   for (auto& w : workers_) {
-    if (w->wake_fd >= 0) {
-      const uint64_t one = 1;
-      [[maybe_unused]] ssize_t n = write(w->wake_fd, &one, sizeof(one));
+    if (w->transport != nullptr) {
+      w->transport->Wake();
     }
   }
   for (auto& t : threads_) {
@@ -237,21 +579,15 @@ void CacheServer::Stop() {
     }
   }
   threads_.clear();
+  // Keep the workers (their final counters back TotalStats after Stop), but
+  // release every kernel resource.
   for (auto& w : workers_) {
-    for (auto& [fd, conn] : w->conns) {
-      close(fd);
-    }
+    w->transport.reset();
     w->conns.clear();
     if (w->listen_fd >= 0) {
       close(w->listen_fd);
+      w->listen_fd = -1;
     }
-    if (w->epoll_fd >= 0) {
-      close(w->epoll_fd);
-    }
-    if (w->wake_fd >= 0) {
-      close(w->wake_fd);
-    }
-    w->listen_fd = w->epoll_fd = w->wake_fd = -1;
   }
 }
 
@@ -269,6 +605,12 @@ ServerStats CacheServer::TotalStats() const {
     s.parse_errors += w->parse_errors.load(std::memory_order_relaxed);
     s.bytes_read += w->bytes_read.load(std::memory_order_relaxed);
     s.bytes_written += w->bytes_written.load(std::memory_order_relaxed);
+    s.transport_syscalls += w->t_syscalls.load(std::memory_order_relaxed);
+    s.transport_waits += w->t_waits.load(std::memory_order_relaxed);
+    s.transport_events += w->t_events.load(std::memory_order_relaxed);
+    s.transport_sqes += w->t_sqes.load(std::memory_order_relaxed);
+    s.transport_sqe_batches += w->t_sqe_batches.load(std::memory_order_relaxed);
+    s.transport_recv_merges += w->t_recv_merges.load(std::memory_order_relaxed);
   }
   return s;
 }
@@ -278,327 +620,13 @@ ServerStats CacheServer::TotalStats() const {
 // ---------------------------------------------------------------------------
 
 void CacheServer::RunWorker(Worker& w) {
-  constexpr int kMaxEvents = 64;
-  epoll_event events[kMaxEvents];
-
-  // Executes the fused get batch through the cache's pipelined path and
-  // renders one "VALUE…/END" group per original get command, in order.
-  auto flush_get_batch = [&](Connection& c) {
-    ConcurrentCache& cache = *cache_;
-    const uint32_t n = static_cast<uint32_t>(c.batch_ids.size());
-  if (n == 0) {
-    return;
-  }
-  c.batch_hits.assign(n, 0);
-  c.batch_slots.assign(n, {ArenaSink::kNoValue, 0});
-  c.value_arena.clear();
-  ArenaSink sink;
-  sink.arena = &c.value_arena;
-  sink.slots = &c.batch_slots;
-  cache.GetBatch(c.batch_ids.data(), n, c.batch_hits.data(), &sink);
-
-  uint64_t hits = 0;
-  uint32_t idx = 0;
-  for (uint32_t key_count : c.batch_op_key_counts) {
-    for (uint32_t k = 0; k < key_count; ++k, ++idx) {
-      if (c.batch_hits[idx] == 0 || c.batch_slots[idx].first == ArenaSink::kNoValue) {
-        continue;
-      }
-      ++hits;
-      const auto [off, size] = c.batch_slots[idx];
-      AppendStr(c.out, "VALUE ");
-      AppendStr(c.out, c.batch_keys[idx]);
-      AppendStr(c.out, " 0 ");
-      AppendU64(c.out, size);
-      AppendStr(c.out, "\r\n");
-      c.out.insert(c.out.end(), c.value_arena.data() + off, c.value_arena.data() + off + size);
-      AppendStr(c.out, "\r\n");
-    }
-    AppendStr(c.out, "END\r\n");
-  }
-  w.Bump(w.batches);
-  w.Bump(w.batched_gets, n);
-  w.Bump(w.get_hits, hits);
-  w.Bump(w.get_misses, n - hits);
-  c.batch_ids.clear();
-  c.batch_keys.clear();
-  c.batch_op_key_counts.clear();
-  };
-
-  auto close_conn = [&](Connection* c) {
-    epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, c->fd, nullptr);
-    close(c->fd);
-    w.conns.erase(c->fd);
-  };
-
-  // Writes until EAGAIN; returns false if the connection died (already
-  // closed) or was close-after-flush and drained.
-  auto flush_out = [&](Connection* c) -> bool {
-    while (c->out_sent < c->out.size()) {
-      // MSG_NOSIGNAL: a client that vanished mid-response must surface as
-      // EPIPE (we close the connection), not SIGPIPE the whole server.
-      const ssize_t n = send(c->fd, c->out.data() + c->out_sent,
-                             c->out.size() - c->out_sent, MSG_NOSIGNAL);
-      if (n > 0) {
-        c->out_sent += static_cast<size_t>(n);
-        w.Bump(w.bytes_written, static_cast<uint64_t>(n));
-        continue;
-      }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        return true;  // EPOLLOUT will resume
-      }
-      if (n < 0 && errno == EINTR) {
-        continue;
-      }
-      close_conn(c);
-      return false;
-    }
-    c->out.clear();
-    c->out_sent = 0;
-    if (c->want_close) {
-      close_conn(c);
-      return false;
-    }
-    return true;
-  };
-
-  // Parses and executes everything buffered on the connection. Respects the
-  // out-buffer high watermark (backpressure) and the batch cap.
-  auto process_input = [&](Connection* c) {
-    ConcurrentCache& cache = *cache_;
-    c->parsed.Clear();
-    while (!c->want_close) {
-      if (c->OutPending() > config_.out_high_watermark) {
-        c->parse_blocked = true;  // resume after the next successful flush
-        break;
-      }
-      const size_t op_watermark = c->parsed.ops.size();
-      const ParseResult r = ParseCommand(c->in.view(), c->parsed);
-      if (r.status == ParseStatus::kNeedMore) {
-        break;
-      }
-      if (r.status == ParseStatus::kError || r.status == ParseStatus::kFatal) {
-        flush_get_batch(*c);
-        AppendStr(c->out, r.error);
-        w.Bump(w.parse_errors);
-        c->in.Consume(r.consumed);
-        if (r.status == ParseStatus::kFatal) {
-          c->want_close = true;
-        }
-        continue;
-      }
-      const ParsedOp op = c->parsed.ops[op_watermark];
-      c->in.Consume(r.consumed);
-      switch (op.type) {
-        case CmdType::kGet: {
-          w.Bump(w.cmd_get, op.key_count);
-          for (uint32_t k = 0; k < op.key_count; ++k) {
-            const std::string_view key = c->parsed.keys[op.key_begin + k];
-            c->batch_ids.push_back(KeyToId(key));
-            c->batch_keys.push_back(key);
-          }
-          c->batch_op_key_counts.push_back(op.key_count);
-          if (c->batch_ids.size() >= config_.max_batch) {
-            flush_get_batch(*c);
-          }
-          break;
-        }
-        case CmdType::kSet: {
-          flush_get_batch(*c);
-          w.Bump(w.cmd_set);
-          const std::string_view key = c->parsed.keys[op.key_begin];
-          const bool stored = cache.Set(KeyToId(key), op.value.data(),
-                                        static_cast<uint32_t>(op.value.size()));
-          if (!op.noreply) {
-            AppendStr(c->out, stored ? "STORED\r\n" : "SERVER_ERROR not supported\r\n");
-          }
-          break;
-        }
-        case CmdType::kDelete: {
-          flush_get_batch(*c);
-          w.Bump(w.cmd_delete);
-          const std::string_view key = c->parsed.keys[op.key_begin];
-          const bool removed = cache.Delete(KeyToId(key));
-          if (!op.noreply) {
-            AppendStr(c->out, removed ? "DELETED\r\n" : "NOT_FOUND\r\n");
-          }
-          break;
-        }
-        case CmdType::kStats: {
-          flush_get_batch(*c);
-          const ServerStats s = TotalStats();
-          AppendStat(c->out, "cmd_get", s.cmd_get);
-          AppendStat(c->out, "cmd_set", s.cmd_set);
-          AppendStat(c->out, "cmd_delete", s.cmd_delete);
-          AppendStat(c->out, "get_hits", s.get_hits);
-          AppendStat(c->out, "get_misses", s.get_misses);
-          AppendStat(c->out, "batches", s.batches);
-          AppendStat(c->out, "batched_gets", s.batched_gets);
-          AppendStat(c->out, "parse_errors", s.parse_errors);
-          AppendStat(c->out, "bytes_read", s.bytes_read);
-          AppendStat(c->out, "bytes_written", s.bytes_written);
-          AppendStat(c->out, "total_connections", s.connections_accepted);
-          AppendStat(c->out, "threads", config_.workers);
-          AppendStat(c->out, "curr_items", cache.ApproxSize());
-          {
-            const ConcurrentCacheStats cs = cache.Stats();
-            AppendStat(c->out, "cache_hits", cs.hits);
-            AppendStat(c->out, "cache_misses", cs.misses);
-          }
-          AppendStr(c->out, "END\r\n");
-          break;
-        }
-        case CmdType::kVersion:
-          flush_get_batch(*c);
-          AppendStr(c->out, kVersionLine);
-          break;
-        case CmdType::kQuit:
-          flush_get_batch(*c);
-          c->want_close = true;
-          break;
-      }
-    }
-    flush_get_batch(*c);
-  };
-
-  // Alternates parse and flush until neither can make progress: parsing
-  // stops at the out high watermark, flushing stops at EAGAIN, and room
-  // freed by a complete flush re-enables parsing within the same call (an
-  // EPOLLOUT edge never comes if the kernel buffer was never full).
-  auto pump = [&](Connection* c) -> bool {
-    for (;;) {
-      process_input(c);
-      if (!flush_out(c)) {
-        return false;
-      }
-      if (c->parse_blocked && c->OutPending() <= config_.out_high_watermark) {
-        c->parse_blocked = false;
-        continue;
-      }
-      return true;
-    }
-  };
-
-  // Reads until EAGAIN (or until the in-buffer is at capacity with the
-  // parser backpressured — then reading simply pauses and TCP flow control
-  // takes over), interleaving pump() so buffered commands are executed and
-  // their buffer space reclaimed.
-  auto handle_conn_io = [&](Connection* c) -> bool {
-    for (;;) {
-      bool in_full = false;
-      while (true) {
-        if (!c->in.EnsureWritable(4096)) {
-          in_full = true;
-          break;
-        }
-        const ssize_t n = read(c->fd, c->in.WritePtr(), c->in.WriteCapacity());
-        if (n > 0) {
-          c->in.CommitWrite(static_cast<size_t>(n));
-          w.Bump(w.bytes_read, static_cast<uint64_t>(n));
-          continue;
-        }
-        if (n == 0) {
-          close_conn(c);
-          return false;
-        }
-        if (errno == EAGAIN || errno == EWOULDBLOCK) {
-          break;
-        }
-        if (errno == EINTR) {
-          continue;
-        }
-        close_conn(c);
-        return false;
-      }
-      if (!pump(c)) {
-        return false;
-      }
-      if (!in_full) {
-        return true;  // socket drained to EAGAIN
-      }
-      if (c->parse_blocked) {
-        // Buffer full of commands we may not execute yet: stop reading.
-        // The next EPOLLOUT flush unblocks the parser and re-enters here.
-        return true;
-      }
-      if (c->in.size() + 4096 > c->in.max_capacity()) {
-        // pump() freed nothing and parsing is not backpressured: a single
-        // frame fills the whole buffer without parsing fatal. Cannot
-        // happen with the current limits (kMaxLineLen, kMaxValueBytes are
-        // both well under the buffer cap); drop the connection to bound
-        // memory if a future limit change breaks that.
-        close_conn(c);
-        return false;
-      }
-    }
-  };
-
-  auto handle_accept = [&] {
-    while (true) {
-      const int fd = accept4(w.listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-      if (fd < 0) {
-        return;  // EAGAIN or transient error: nothing more to accept now
-      }
-      const int one = 1;
-      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      auto conn = std::make_unique<Connection>(fd);
-      epoll_event ev{};
-      ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
-      ev.data.ptr = conn.get();
-      if (epoll_ctl(w.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
-        close(fd);
-        continue;
-      }
-      w.Bump(w.connections_accepted);
-      w.conns.emplace(fd, std::move(conn));
-    }
-  };
-
   while (!stop_.load(std::memory_order_acquire)) {
-    const int n = epoll_wait(w.epoll_fd, events, kMaxEvents, -1);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
+    if (!w.transport->Poll(-1)) {
       break;
     }
-    for (int i = 0; i < n; ++i) {
-      const epoll_event& ev = events[i];
-      if (ev.data.u64 == 0) {
-        handle_accept();
-        continue;
-      }
-      if (ev.data.u64 == 1) {
-        uint64_t drain = 0;
-        [[maybe_unused]] ssize_t r = read(w.wake_fd, &drain, sizeof(drain));
-        continue;  // stop_ checked at loop top
-      }
-      auto* c = static_cast<Connection*>(ev.data.ptr);
-      if (w.conns.find(c->fd) == w.conns.end()) {
-        continue;  // closed earlier in this event block
-      }
-      if ((ev.events & (EPOLLHUP | EPOLLERR)) != 0) {
-        close_conn(c);
-        continue;
-      }
-      if ((ev.events & EPOLLOUT) != 0) {
-        if (!flush_out(c)) {
-          continue;
-        }
-        if (c->parse_blocked && c->OutPending() <= config_.out_high_watermark) {
-          c->parse_blocked = false;
-          // Also resumes reads paused while the in-buffer sat full behind
-          // the blocked parser (no EPOLLIN edge will announce that data).
-          if (!handle_conn_io(c)) {
-            continue;
-          }
-        }
-      }
-      if ((ev.events & (EPOLLIN | EPOLLRDHUP)) != 0) {
-        handle_conn_io(c);
-      }
-    }
+    w.PublishTransportCounters();
   }
+  w.PublishTransportCounters();
 }
 
 }  // namespace s3fifo

@@ -13,13 +13,13 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/server/protocol.h"
 #include "src/server/ring_buffer.h"
+#include "src/server/transport.h"
 
 namespace s3fifo {
 
@@ -34,7 +34,7 @@ uint64_t NowNs() {
           .count());
 }
 
-void AppendU64(std::string& out, uint64_t v) {
+void AppendU64(std::vector<char>& out, uint64_t v) {
   char buf[20];
   int n = 0;
   do {
@@ -46,6 +46,10 @@ void AppendU64(std::string& out, uint64_t v) {
   }
 }
 
+void AppendStr(std::vector<char>& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
 // What the next response on the wire must look like.
 enum class RespKind : uint8_t { kGet, kLine };
 
@@ -55,9 +59,9 @@ struct Pending {
 };
 
 struct ClientConn {
-  int fd = -1;
-  std::string out;
-  size_t out_sent = 0;
+  int fd = -1;                        // until adopted by the transport
+  Transport::Conn* tconn = nullptr;   // null after the server closed it
+  std::vector<char> out;              // encoded requests awaiting Send()
   RingBuffer in{64 * 1024};
   std::deque<Pending> pending;
   // Replay cursor: requests trace[cursor], trace[cursor + stride], ...
@@ -86,28 +90,28 @@ void EncodeRequest(ClientConn& c, const Request& r, uint32_t set_value_bytes,
                    uint64_t intended_ns) {
   switch (r.op) {
     case OpType::kGet:
-      c.out += "get ";
+      AppendStr(c.out, "get ");
       AppendU64(c.out, r.id);
-      c.out += "\r\n";
+      AppendStr(c.out, "\r\n");
       c.pending.push_back({RespKind::kGet, intended_ns});
       break;
     case OpType::kSet: {
       const uint32_t bytes =
           std::min(set_value_bytes, static_cast<uint32_t>(kMaxValueBytes));
-      c.out += "set ";
+      AppendStr(c.out, "set ");
       AppendU64(c.out, r.id);
-      c.out += " 0 0 ";
+      AppendStr(c.out, " 0 0 ");
       AppendU64(c.out, bytes);
-      c.out += "\r\n";
-      c.out.append(bytes, 'x');
-      c.out += "\r\n";
+      AppendStr(c.out, "\r\n");
+      c.out.insert(c.out.end(), bytes, 'x');
+      AppendStr(c.out, "\r\n");
       c.pending.push_back({RespKind::kLine, intended_ns});
       break;
     }
     case OpType::kDelete:
-      c.out += "delete ";
+      AppendStr(c.out, "delete ");
       AppendU64(c.out, r.id);
-      c.out += "\r\n";
+      AppendStr(c.out, "\r\n");
       c.pending.push_back({RespKind::kLine, intended_ns});
       break;
   }
@@ -155,9 +159,6 @@ bool ConsumeResponses(ClientConn& c, uint64_t now_ns) {
       continue;
     }
     c.in.Consume(nl + 1);
-    if (p.kind == RespKind::kGet && line != "END") {
-      // Error line aborts the get response; treat it as completed.
-    }
     if (p.kind == RespKind::kGet) {
       c.gets++;
     }
@@ -182,12 +183,34 @@ bool ConnectLoopback(ClientConn& c, const std::string& host, uint16_t port,
     return false;
   }
   if (connect(c.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    *error = std::string("connect: ") + strerror(errno);
-    return false;
+    // EINTR leaves the connect completing asynchronously (an in-process
+    // io_uring peer's task-work can interrupt us): wait for writability and
+    // read the final status instead of failing.
+    bool ok = false;
+    if (errno == EINTR) {
+      pollfd pfd{c.fd, POLLOUT, 0};
+      int pr;
+      do {
+        pr = poll(&pfd, 1, 5000);
+      } while (pr < 0 && errno == EINTR);
+      int soerr = 0;
+      socklen_t slen = sizeof(soerr);
+      if (pr == 1 &&
+          getsockopt(c.fd, SOL_SOCKET, SO_ERROR, &soerr, &slen) == 0 &&
+          soerr == 0) {
+        ok = true;
+      } else {
+        errno = soerr != 0 ? soerr : ETIMEDOUT;
+      }
+    }
+    if (!ok) {
+      *error = std::string("connect: ") + strerror(errno);
+      return false;
+    }
   }
   const int one = 1;
   setsockopt(c.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  // Nonblocking from here on; the poll loop multiplexes connections.
+  // Nonblocking from here on; the transport multiplexes connections.
   const int flags = fcntl(c.fd, F_GETFL, 0);
   fcntl(c.fd, F_SETFL, flags | O_NONBLOCK);
   return true;
@@ -200,178 +223,202 @@ struct ThreadOutcome {
   std::string error;
 };
 
-// One client thread: owns `conns` connections and drives them with poll().
-void RunClientThread(const LoadGenConfig& cfg, const Trace& trace,
-                     std::vector<ClientConn>* conns, uint64_t deadline_ns,
-                     ThreadOutcome* outcome) {
-  const bool open_loop = cfg.target_rate > 0;
-  const auto& reqs = trace.requests();
-  std::vector<pollfd> pfds(conns->size());
+// One client thread: owns a transport instance (listener-less) and the
+// connections adopted into it. Requests are encoded into each connection's
+// out buffer and handed to the transport; completed responses arrive through
+// the Handler callbacks.
+class ClientThread final : public Transport::Handler {
+ public:
+  ClientThread(const LoadGenConfig& cfg, const Trace& trace,
+               std::vector<ClientConn>* conns, uint64_t deadline_ns,
+               ThreadOutcome* outcome)
+      : cfg_(cfg),
+        reqs_(trace.requests()),
+        conns_(conns),
+        deadline_ns_(deadline_ns),
+        outcome_(outcome),
+        open_loop_(cfg.target_rate > 0) {}
 
-  auto issue_one = [&](ClientConn& c, uint64_t intended_ns) {
-    EncodeRequest(c, reqs[c.cursor % reqs.size()], cfg.set_value_bytes,
+  void Run(TransportKind kind) {
+    std::string note;
+    auto transport = MakeTransport(kind, &note);
+    std::string err;
+    if (transport == nullptr || !transport->Init(this, -1, &err)) {
+      for (auto& c : *conns_) {
+        if (c.fd >= 0) {
+          close(c.fd);
+          c.fd = -1;
+        }
+      }
+      Fail("transport init: " + (transport == nullptr ? note : err));
+      return;
+    }
+    transport_ = transport.get();
+    for (auto& c : *conns_) {
+      c.tconn = transport_->Adopt(c.fd, &c);
+      c.fd = -1;  // the transport owns it now
+      if (c.tconn == nullptr) {
+        Fail("transport adopt failed");
+        return;
+      }
+    }
+
+    // Closed loop: prime every connection's pipeline.
+    if (!open_loop_) {
+      const uint64_t now = NowNs();
+      for (auto& c : *conns_) {
+        for (unsigned d = 0; d < cfg_.pipeline_depth && !c.done_issuing();
+             ++d) {
+          IssueOne(c, now);
+        }
+        FlushOut(c);
+      }
+    }
+
+    while (!failed()) {
+      uint64_t now = NowNs();
+      bool all_drained = true;
+      for (auto& c : *conns_) {
+        if (open_loop_ && c.tconn != nullptr) {
+          // Issue everything the schedule says is due, independent of
+          // completions (the burst cap only bounds one iteration's work; the
+          // schedule itself never slips).
+          unsigned burst = 0;
+          while (!c.done_issuing() && now >= c.next_due_ns &&
+                 (deadline_ns_ == 0 || c.next_due_ns < deadline_ns_) &&
+                 burst < 4096) {
+            IssueOne(c, c.next_due_ns);
+            c.next_due_ns += c.stride_interval_ns;
+            burst++;
+          }
+          if (deadline_ns_ != 0 && c.next_due_ns >= deadline_ns_) {
+            c.budget = c.issued;  // deadline reached: stop issuing
+          }
+          FlushOut(c);
+        }
+        if (!c.drained()) {
+          all_drained = false;
+        }
+      }
+      if (all_drained || failed()) {
+        break;
+      }
+
+      int timeout_ms = 100;
+      if (open_loop_) {
+        uint64_t next_due = ~uint64_t{0};
+        for (auto& c : *conns_) {
+          if (!c.done_issuing()) {
+            next_due = std::min(next_due, c.next_due_ns);
+          }
+        }
+        if (next_due != ~uint64_t{0}) {
+          now = NowNs();
+          timeout_ms =
+              next_due <= now
+                  ? 0
+                  : static_cast<int>(std::min<uint64_t>(
+                        (next_due - now) / 1000000, 100));
+        }
+      }
+      if (!transport_->Poll(timeout_ms)) {
+        Fail("transport poll failed");
+        break;
+      }
+    }
+
+    for (auto& c : *conns_) {
+      outcome_->ops += c.ops;
+      outcome_->gets += c.gets;
+      outcome_->get_hits += c.get_hits;
+      outcome_->latency.Merge(c.latency);
+    }
+    transport_ = nullptr;  // `transport` destruction closes the fds
+  }
+
+  // --- Transport::Handler --------------------------------------------------
+
+  void* OnAccept(Transport::Conn* /*conn*/) override {
+    return nullptr;  // client-only transport: no listener, never called
+  }
+
+  bool GetReadBuffer(Transport::Conn* /*conn*/, void* ud, char** buf,
+                     size_t* cap) override {
+    auto* c = static_cast<ClientConn*>(ud);
+    if (!c->in.EnsureWritable(4096)) {
+      // Drain parsed responses to reclaim buffer space before giving up —
+      // an open-loop backlog can exceed the buffer in one burst.
+      if (!ConsumeResponses(*c, NowNs())) {
+        Fail("malformed response from server");
+        return false;
+      }
+      if (!c->in.EnsureWritable(4096)) {
+        Fail("client in-buffer overflow");
+        return false;
+      }
+    }
+    *buf = c->in.WritePtr();
+    *cap = c->in.WriteCapacity();
+    return true;
+  }
+
+  void OnData(Transport::Conn* /*conn*/, void* ud, size_t n) override {
+    auto* c = static_cast<ClientConn*>(ud);
+    c->in.CommitWrite(n);
+    const uint64_t now = NowNs();
+    if (!ConsumeResponses(*c, now)) {
+      Fail("malformed response from server");
+      return;
+    }
+    if (!open_loop_) {
+      // Closed loop: refill the pipeline to depth.
+      while (!c->done_issuing() && c->pending.size() < cfg_.pipeline_depth) {
+        IssueOne(*c, now);
+      }
+      FlushOut(*c);
+    }
+  }
+
+  void OnWritable(Transport::Conn* /*conn*/, void* /*ud*/) override {}
+
+  void OnClose(Transport::Conn* /*conn*/, void* ud) override {
+    auto* c = static_cast<ClientConn*>(ud);
+    c->tconn = nullptr;
+    if (!c->drained()) {
+      Fail("server closed connection");
+    }
+  }
+
+ private:
+  void Fail(std::string msg) {
+    if (outcome_->ok) {
+      outcome_->ok = false;
+      outcome_->error = std::move(msg);
+    }
+  }
+  bool failed() const { return !outcome_->ok; }
+
+  void IssueOne(ClientConn& c, uint64_t intended_ns) {
+    EncodeRequest(c, reqs_[c.cursor % reqs_.size()], cfg_.set_value_bytes,
                   intended_ns);
     c.cursor += c.stride;
     c.issued++;
-  };
+  }
 
-  // Closed loop: prime every connection's pipeline.
-  if (!open_loop) {
-    for (auto& c : *conns) {
-      for (unsigned d = 0; d < cfg.pipeline_depth && !c.done_issuing(); ++d) {
-        issue_one(c, NowNs());
-      }
+  void FlushOut(ClientConn& c) {
+    if (!c.out.empty() && c.tconn != nullptr) {
+      transport_->Send(c.tconn, &c.out);  // comes back empty
     }
   }
 
-  for (;;) {
-    bool all_drained = true;
-    uint64_t now = NowNs();
-
-    for (auto& c : *conns) {
-      if (open_loop) {
-        // Issue everything the schedule says is due, independent of
-        // completions (the burst cap only bounds one iteration's work; the
-        // schedule itself never slips).
-        unsigned burst = 0;
-        while (!c.done_issuing() && now >= c.next_due_ns &&
-               (deadline_ns == 0 || c.next_due_ns < deadline_ns) &&
-               burst < 4096) {
-          issue_one(c, c.next_due_ns);
-          c.next_due_ns += c.stride_interval_ns;
-          burst++;
-        }
-        if (deadline_ns != 0 && c.next_due_ns >= deadline_ns) {
-          c.budget = c.issued;  // deadline reached: stop issuing
-        }
-      }
-      if (!c.drained()) {
-        all_drained = false;
-      }
-    }
-    if (all_drained) {
-      break;
-    }
-
-    for (size_t i = 0; i < conns->size(); ++i) {
-      auto& c = (*conns)[i];
-      pfds[i].fd = c.fd;
-      pfds[i].events = static_cast<short>(
-          POLLIN | (c.out_sent < c.out.size() ? POLLOUT : 0));
-      pfds[i].revents = 0;
-    }
-
-    int timeout_ms = 100;
-    if (open_loop) {
-      uint64_t next_due = ~uint64_t{0};
-      for (auto& c : *conns) {
-        if (!c.done_issuing()) {
-          next_due = std::min(next_due, c.next_due_ns);
-        }
-      }
-      if (next_due != ~uint64_t{0}) {
-        now = NowNs();
-        timeout_ms = next_due <= now
-                         ? 0
-                         : static_cast<int>(
-                               std::min<uint64_t>((next_due - now) / 1000000, 100));
-      }
-    }
-    const int pr = poll(pfds.data(), pfds.size(), timeout_ms);
-    if (pr < 0 && errno != EINTR) {
-      outcome->ok = false;
-      outcome->error = std::string("poll: ") + strerror(errno);
-      return;
-    }
-
-    now = NowNs();
-    for (size_t i = 0; i < conns->size(); ++i) {
-      auto& c = (*conns)[i];
-      const short re = pfds[i].revents;
-      if ((re & (POLLERR | POLLHUP | POLLNVAL)) != 0 && (re & POLLIN) == 0) {
-        outcome->ok = false;
-        outcome->error = "connection reset by server";
-        return;
-      }
-      if ((re & POLLOUT) != 0 || c.out_sent < c.out.size()) {
-        while (c.out_sent < c.out.size()) {
-          // MSG_NOSIGNAL: a reset connection must surface as EPIPE here,
-          // not kill the process.
-          const ssize_t n = send(c.fd, c.out.data() + c.out_sent,
-                                 c.out.size() - c.out_sent, MSG_NOSIGNAL);
-          if (n > 0) {
-            c.out_sent += static_cast<size_t>(n);
-            continue;
-          }
-          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-            break;
-          }
-          if (n < 0 && errno == EINTR) {
-            continue;
-          }
-          outcome->ok = false;
-          outcome->error = std::string("write: ") + strerror(errno);
-          return;
-        }
-        if (c.out_sent == c.out.size()) {
-          c.out.clear();
-          c.out_sent = 0;
-        }
-      }
-      if ((re & POLLIN) != 0) {
-        for (;;) {
-          if (!c.in.EnsureWritable(4096)) {
-            // Drain parsed responses to reclaim buffer space before giving
-            // up — an open-loop backlog can exceed the buffer in one burst.
-            if (!ConsumeResponses(c, NowNs())) {
-              outcome->ok = false;
-              outcome->error = "malformed response from server";
-              return;
-            }
-            if (!c.in.EnsureWritable(4096)) {
-              outcome->ok = false;
-              outcome->error = "client in-buffer overflow";
-              return;
-            }
-          }
-          const ssize_t n = read(c.fd, c.in.WritePtr(), c.in.WriteCapacity());
-          if (n > 0) {
-            c.in.CommitWrite(static_cast<size_t>(n));
-            continue;
-          }
-          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-            break;
-          }
-          if (n < 0 && errno == EINTR) {
-            continue;
-          }
-          outcome->ok = false;
-          outcome->error = n == 0 ? "server closed connection"
-                                  : std::string("read: ") + strerror(errno);
-          return;
-        }
-        if (!ConsumeResponses(c, now)) {
-          outcome->ok = false;
-          outcome->error = "malformed response from server";
-          return;
-        }
-        if (!open_loop) {
-          // Closed loop: refill the pipeline to depth.
-          while (!c.done_issuing() && c.pending.size() < cfg.pipeline_depth) {
-            issue_one(c, now);
-          }
-        }
-      }
-    }
-  }
-
-  for (auto& c : *conns) {
-    outcome->ops += c.ops;
-    outcome->gets += c.gets;
-    outcome->get_hits += c.get_hits;
-    outcome->latency.Merge(c.latency);
-  }
-}
+  const LoadGenConfig& cfg_;
+  const std::vector<Request>& reqs_;
+  std::vector<ClientConn>* conns_;
+  const uint64_t deadline_ns_;
+  ThreadOutcome* outcome_;
+  const bool open_loop_;
+  Transport* transport_ = nullptr;
+};
 
 }  // namespace
 
@@ -384,6 +431,22 @@ LoadGenResult RunLoadGen(const LoadGenConfig& config, const Trace& trace) {
   const unsigned nthreads = std::max(1u, config.threads);
   const unsigned nconns = std::max(nthreads, config.connections);
   const bool open_loop = config.target_rate > 0;
+
+  // Resolve the backend once so every thread runs the same one.
+  TransportKind kind = config.transport;
+  if (kind == TransportKind::kAuto) {
+    std::string why;
+    kind = (MakeUringTransport() != nullptr && IoUringAvailable(&why))
+               ? TransportKind::kUring
+               : TransportKind::kEpoll;
+  } else if (kind == TransportKind::kUring) {
+    std::string why;
+    if (MakeUringTransport() == nullptr || !IoUringAvailable(&why)) {
+      result.error = "transport=uring: io_uring unavailable (" + why + ")";
+      return result;
+    }
+  }
+  result.transport_used = TransportKindName(kind);
 
   uint64_t total_ops = config.max_ops == 0 ? trace.size() : config.max_ops;
   if (open_loop && config.duration_s > 0) {
@@ -401,6 +464,9 @@ LoadGenResult RunLoadGen(const LoadGenConfig& config, const Trace& trace) {
     std::string err;
     if (!ConnectLoopback(c, config.host, config.port, &err)) {
       result.error = err;
+      if (c.fd >= 0) {
+        close(c.fd);
+      }
       for (auto& tconns : per_thread) {
         for (auto& cc : tconns) {
           close(cc.fd);
@@ -426,22 +492,22 @@ LoadGenResult RunLoadGen(const LoadGenConfig& config, const Trace& trace) {
           : 0;
 
   std::vector<ThreadOutcome> outcomes(nthreads);
+  std::vector<std::unique_ptr<ClientThread>> drivers;
   std::vector<std::thread> threads;
+  drivers.reserve(nthreads);
   threads.reserve(nthreads);
   for (unsigned t = 0; t < nthreads; ++t) {
-    threads.emplace_back(RunClientThread, std::cref(config), std::cref(trace),
-                         &per_thread[t], deadline_ns, &outcomes[t]);
+    drivers.push_back(std::make_unique<ClientThread>(
+        config, trace, &per_thread[t], deadline_ns, &outcomes[t]));
+    threads.emplace_back([driver = drivers.back().get(), kind] {
+      driver->Run(kind);  // the transport (and every adopted fd) dies here
+    });
   }
   for (auto& t : threads) {
     t.join();
   }
   const uint64_t end_ns = NowNs();
 
-  for (auto& tconns : per_thread) {
-    for (auto& c : tconns) {
-      close(c.fd);
-    }
-  }
   for (const auto& o : outcomes) {
     if (!o.ok) {
       result.error = o.error;

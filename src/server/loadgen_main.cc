@@ -3,12 +3,15 @@
 //   s3fifo_loadgen --port N [--host H] [--threads N] [--connections N]
 //                  [--depth N] [--ops N] [--rate OPS/S] [--duration S]
 //                  [--objects N] [--alpha A] [--seed N]
+//                  [--transport auto|uring|epoll] [--latency-csv PATH]
 //
 // Replays a Zipf workload against a running s3fifo_server in the memcached
 // text protocol. Default is closed-loop (each connection keeps --depth
 // requests in flight); --rate switches to a fixed-rate open loop whose
 // latencies are measured from intended send times (coordinated-omission
-// safe). Prints throughput and p50/p99/p999.
+// safe). Prints throughput and p50/p99/p999. --transport picks the client
+// data plane (same backends as the server); --latency-csv dumps the HDR
+// histogram buckets for offline plotting, in both modes.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,9 +26,36 @@ namespace {
   std::fprintf(stderr,
                "usage: %s --port N [--host H] [--threads N] [--connections N] "
                "[--depth N] [--ops N] [--rate OPS/S] [--duration S] "
-               "[--objects N] [--alpha A] [--seed N]\n",
+               "[--objects N] [--alpha A] [--seed N] "
+               "[--transport auto|uring|epoll] [--latency-csv PATH]\n",
                argv0);
   std::exit(2);
+}
+
+// One row per non-empty bucket: inclusive upper edge (ns), count, and the
+// running cumulative count — enough to rebuild the CDF offline.
+bool WriteLatencyCsv(const std::string& path,
+                     const s3fifo::LatencyHistogram& hist) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f, "bucket_upper_ns,count,cumulative\n");
+  uint64_t cumulative = 0;
+  const auto& buckets = hist.buckets();
+  for (int i = 0; i < static_cast<int>(buckets.size()); ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    cumulative += buckets[i];
+    std::fprintf(f, "%llu,%llu,%llu\n",
+                 static_cast<unsigned long long>(
+                     s3fifo::LatencyHistogram::BucketEdge(i)),
+                 static_cast<unsigned long long>(buckets[i]),
+                 static_cast<unsigned long long>(cumulative));
+  }
+  const bool ok = std::fclose(f) == 0;
+  return ok;
 }
 
 }  // namespace
@@ -33,6 +63,7 @@ namespace {
 int main(int argc, char** argv) {
   s3fifo::LoadGenConfig config;
   s3fifo::ZipfWorkloadConfig workload;
+  std::string latency_csv;
   workload.num_objects = 1 << 17;
   workload.num_requests = 1 << 20;
   for (int i = 1; i < argc; ++i) {
@@ -67,6 +98,14 @@ int main(int argc, char** argv) {
       workload.alpha = std::atof(next());
     } else if (arg == "--seed") {
       workload.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--transport") {
+      if (!s3fifo::ParseTransportKind(next(), &config.transport)) {
+        Usage(argv[0]);
+      }
+    } else if (arg == "--latency-csv") {
+      latency_csv = next();
+    } else if (arg.rfind("--latency-csv=", 0) == 0) {
+      latency_csv = arg.substr(strlen("--latency-csv="));
     } else {
       Usage(argv[0]);
     }
@@ -82,12 +121,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   const char* mode = config.target_rate > 0 ? "open" : "closed";
-  std::printf("mode=%s conns=%u depth=%u ops=%llu secs=%.3f rate=%.0f/s "
-              "hit_ratio=%.4f\n",
-              mode, config.connections, config.pipeline_depth,
-              static_cast<unsigned long long>(r.ops), r.seconds,
-              r.achieved_rate,
+  std::printf("mode=%s transport=%s conns=%u depth=%u ops=%llu secs=%.3f "
+              "rate=%.0f/s hit_ratio=%.4f\n",
+              mode, r.transport_used.c_str(), config.connections,
+              config.pipeline_depth, static_cast<unsigned long long>(r.ops),
+              r.seconds, r.achieved_rate,
               r.gets > 0 ? static_cast<double>(r.get_hits) / r.gets : 0.0);
   std::printf("%s\n", r.latency.FormatLatencyUs("latency").c_str());
+  if (!latency_csv.empty()) {
+    if (!WriteLatencyCsv(latency_csv, r.latency)) {
+      std::fprintf(stderr, "failed to write %s\n", latency_csv.c_str());
+      return 1;
+    }
+    std::printf("latency histogram written to %s (%llu samples)\n",
+                latency_csv.c_str(),
+                static_cast<unsigned long long>(r.latency.count()));
+  }
   return 0;
 }

@@ -1,0 +1,69 @@
+#include "src/server/transport.h"
+
+namespace s3fifo {
+
+bool ParseTransportKind(std::string_view name, TransportKind* out) {
+  if (name == "auto") {
+    *out = TransportKind::kAuto;
+    return true;
+  }
+  if (name == "epoll") {
+    *out = TransportKind::kEpoll;
+    return true;
+  }
+  if (name == "uring" || name == "io_uring") {
+    *out = TransportKind::kUring;
+    return true;
+  }
+  return false;
+}
+
+const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kAuto:
+      return "auto";
+    case TransportKind::kEpoll:
+      return "epoll";
+    case TransportKind::kUring:
+      return "uring";
+  }
+  return "?";
+}
+
+std::unique_ptr<Transport> MakeTransport(TransportKind kind,
+                                         std::string* note) {
+  std::string why;
+  switch (kind) {
+    case TransportKind::kEpoll:
+      return MakeEpollTransport();
+    case TransportKind::kUring: {
+      auto t = MakeUringTransport();
+      if (t == nullptr) {
+        if (note != nullptr) {
+          *note = "transport=uring: io_uring support not compiled in";
+        }
+        return nullptr;
+      }
+      if (!IoUringAvailable(&why)) {
+        if (note != nullptr) {
+          *note = "transport=uring: io_uring unavailable (" + why + ")";
+        }
+        return nullptr;
+      }
+      return t;
+    }
+    case TransportKind::kAuto:
+      break;
+  }
+  if (auto t = MakeUringTransport(); t != nullptr && IoUringAvailable(&why)) {
+    return t;
+  }
+  if (note != nullptr) {
+    *note = "transport=auto: io_uring unavailable (" +
+            (why.empty() ? std::string("not compiled in") : why) +
+            "), falling back to epoll";
+  }
+  return MakeEpollTransport();
+}
+
+}  // namespace s3fifo

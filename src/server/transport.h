@@ -1,0 +1,163 @@
+// Pluggable data plane for the cache server and the load generator.
+//
+// A Transport owns the event loop mechanics of one worker thread — accepting
+// connections, moving bytes between sockets and the protocol layer, and
+// waking up for shutdown — behind one interface with two backends:
+//
+//  * epoll (src/server/epoll_transport.cc): the readiness model. Per-fd
+//    nonblocking read/write syscalls driven by edge-triggered epoll. Always
+//    available; the default-on-failure path.
+//
+//  * io_uring (src/server/uring_transport.cc): the completion model. One
+//    multishot accept per listener, one multishot recv per connection
+//    delivering into a registered provided-buffer ring, sends queued as
+//    SQEs, and one io_uring_submit_and_wait per loop iteration replacing the
+//    per-fd syscall storm. Probed at runtime (io_uring_setup may be denied
+//    by the kernel or a seccomp sandbox) and cleanly replaced by epoll.
+//
+// The protocol layer implements Transport::Handler. The contract is
+// completion-shaped because epoll can emulate completions cheaply while the
+// reverse (readiness on top of io_uring) would forfeit the batching:
+//
+//  * incoming bytes are pushed: the transport asks the handler for writable
+//    space (GetReadBuffer) and commits bytes into it (OnData). The handler
+//    parses during OnData; views into its own buffer stay valid. Returning
+//    false from GetReadBuffer pauses reading (backpressure) until
+//    ResumeRead().
+//
+//  * outgoing bytes are owned by the transport: Send() swaps the caller's
+//    buffer into the transport's per-connection send queue (no copy, and the
+//    bytes stay stable while the kernel may still be reading them — an
+//    io_uring send SQE references them asynchronously). OnWritable fires
+//    when the queue fully drains.
+//
+// Threading: a Transport instance belongs to one thread. Only Wake() may be
+// called from other threads.
+#ifndef SRC_SERVER_TRANSPORT_H_
+#define SRC_SERVER_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace s3fifo {
+
+enum class TransportKind : uint8_t { kAuto, kEpoll, kUring };
+
+// "auto" | "epoll" | "uring" (also accepts "io_uring").
+bool ParseTransportKind(std::string_view name, TransportKind* out);
+const char* TransportKindName(TransportKind kind);
+
+// Data-plane efficiency counters, maintained by the owning thread (plain
+// fields — publish through atomics to read them from elsewhere). Together
+// they make syscalls/op and batching observable without perf(1).
+struct TransportCounters {
+  uint64_t syscalls = 0;     // every kernel crossing made by the data plane
+  uint64_t waits = 0;        // blocking waits (epoll_wait / enter+GETEVENTS)
+  uint64_t events = 0;       // readiness events or CQEs dispatched
+  uint64_t sqes = 0;         // io_uring: SQEs submitted
+  uint64_t sqe_batches = 0;  // io_uring: enter calls that submitted >=1 SQE
+  uint64_t recv_merges = 0;  // io_uring: multishot recv CQEs that kept the
+                             // recv armed (no re-arm SQE needed)
+  uint64_t accepts = 0;      // connections accepted by the transport
+
+  void Merge(const TransportCounters& o) {
+    syscalls += o.syscalls;
+    waits += o.waits;
+    events += o.events;
+    sqes += o.sqes;
+    sqe_batches += o.sqe_batches;
+    recv_merges += o.recv_merges;
+    accepts += o.accepts;
+  }
+};
+
+class Transport {
+ public:
+  // Opaque per-connection handle owned by the transport.
+  struct Conn;
+
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    // A connection was accepted. Returns the opaque state (`ud`) passed to
+    // every later callback for this connection; may not be null.
+    virtual void* OnAccept(Conn* conn) = 0;
+    // The transport has incoming bytes. Return >=1 byte of writable space,
+    // or false to pause reading until ResumeRead() (the transport buffers or
+    // defers the data; TCP flow control eventually takes over).
+    virtual bool GetReadBuffer(Conn* conn, void* ud, char** buf,
+                               size_t* cap) = 0;
+    // `n` bytes were written into the space returned by the immediately
+    // preceding GetReadBuffer call. Parse and execute here; calling Send()
+    // and Close() on any conn of this transport is allowed.
+    virtual void OnData(Conn* conn, void* ud, size_t n) = 0;
+    // The send queue drained to empty (all queued output reached the
+    // kernel). Check close-after-flush and backpressure watermarks here.
+    virtual void OnWritable(Conn* conn, void* ud) = 0;
+    // Peer closed or the connection errored; the transport already closed
+    // the fd and will free its Conn. Release `ud`.
+    virtual void OnClose(Conn* conn, void* ud) = 0;
+  };
+
+  virtual ~Transport() = default;
+
+  // `listen_fd`: a bound, listening, nonblocking socket (caller keeps
+  // ownership), or -1 for a client-only transport. Creates the wake eventfd
+  // and (io_uring) the ring + provided-buffer pool. False on failure with
+  // *error set; an io_uring transport failing here is the cue to fall back
+  // to epoll.
+  virtual bool Init(Handler* handler, int listen_fd, std::string* error) = 0;
+
+  // One event-loop iteration: waits up to `timeout_ms` (-1 = forever) for
+  // work if none is pending, dispatches a batch of events through the
+  // handler. Returns false only on unrecoverable transport failure.
+  virtual bool Poll(int timeout_ms) = 0;
+
+  // Thread-safe: interrupts a concurrent (or the next) Poll().
+  virtual void Wake() = 0;
+
+  // Adopts a connected nonblocking fd (load-generator client connections).
+  // The transport owns the fd from here on.
+  virtual Conn* Adopt(int fd, void* ud) = 0;
+
+  // Queues `*data` for sending, swapping it into the transport (it comes
+  // back empty, possibly with recycled capacity). The transport flushes as
+  // the socket allows; OnWritable fires when everything queued has drained.
+  virtual void Send(Conn* conn, std::vector<char>* data) = 0;
+
+  // Bytes queued but not yet accepted by the kernel (watermark checks).
+  virtual size_t SendQueueBytes(const Conn* conn) const = 0;
+
+  // Re-enables reading after GetReadBuffer returned false.
+  virtual void ResumeRead(Conn* conn) = 0;
+
+  // Closes the connection now (pending unsent output is dropped — callers
+  // drain via OnWritable first if they care). Does NOT call OnClose: the
+  // caller initiated it and cleans up its own state.
+  virtual void Close(Conn* conn) = 0;
+
+  virtual const TransportCounters& counters() const = 0;
+  virtual const char* name() const = 0;
+};
+
+std::unique_ptr<Transport> MakeEpollTransport();
+// Null when io_uring support is compiled out (non-Linux).
+std::unique_ptr<Transport> MakeUringTransport();
+
+// Runtime probe: io_uring_setup + provided-buffer-ring registration. False
+// with *why naming the errno (e.g. "io_uring_setup: EPERM (Operation not
+// permitted)") when the kernel or a seccomp sandbox denies it.
+bool IoUringAvailable(std::string* why);
+
+// Resolves kAuto to uring-if-available (else epoll). On fallback, appends a
+// human-readable note to *note (one line, already newline-free). Returns
+// null only for kUring when io_uring is unavailable, with *note set.
+std::unique_ptr<Transport> MakeTransport(TransportKind kind, std::string* note);
+
+}  // namespace s3fifo
+
+#endif  // SRC_SERVER_TRANSPORT_H_

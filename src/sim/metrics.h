@@ -56,6 +56,10 @@ class LatencyHistogram {
   std::string FormatLatencyUs(const std::string& label) const;
 
   const std::vector<uint64_t>& buckets() const { return buckets_; }
+  // Inclusive upper edge of buckets()[index], in recorded units. With
+  // buckets() this is enough to dump the histogram for offline plotting
+  // (e.g. the load generator's --latency-csv).
+  static uint64_t BucketEdge(int index) { return BucketUpperEdge(index); }
 
  private:
   static int BucketIndex(uint64_t value);

@@ -65,5 +65,76 @@ TEST(RingBufferTest, ResetsCursorsWhenFullyConsumed) {
   EXPECT_TRUE(rb.EnsureWritable(8));
 }
 
+TEST(RingBufferTest, FillToCapacityThenRecycleAcrossTheSeam) {
+  // Fill the buffer to its hard capacity, drain partially, and keep cycling
+  // so every write lands across the compaction seam. The readable view must
+  // stay byte-exact throughout — this is the pattern a pipelining client
+  // puts the parser buffer through at saturation.
+  RingBuffer rb(16, 16);
+  std::string expect;
+  Write(rb, "0123456789abcdef");  // exactly full
+  expect = "0123456789abcdef";
+  EXPECT_EQ(rb.WriteCapacity(), 0u);
+  for (int round = 0; round < 64; ++round) {
+    rb.Consume(4);
+    expect.erase(0, 4);
+    const std::string chunk(4, static_cast<char>('A' + (round % 26)));
+    Write(rb, chunk);  // forces the memmove: tail space is gone
+    expect += chunk;
+    ASSERT_EQ(rb.view(), expect) << "round " << round;
+    ASSERT_EQ(rb.size(), 16u);
+  }
+}
+
+TEST(RingBufferTest, TornFrameSurvivesCompaction) {
+  // A frame torn across the compaction boundary: the first fragment sits at
+  // the end of the storage, the buffer compacts to admit the rest, and the
+  // reassembled frame must read back contiguously — the exact situation an
+  // incremental parser leaves behind when a command straddles two reads.
+  RingBuffer rb(16, 16);
+  // 11 bytes of parsed traffic followed by the torn prefix "set " ending
+  // flush against the end of storage (a full consume would reset the
+  // cursors; a partial one leaves the fragment stranded at the seam).
+  Write(rb, "0123456789ab");
+  rb.Consume(11);
+  Write(rb, "set ");  // lands at offsets 12..15: storage is now brim-full
+  EXPECT_EQ(rb.WriteCapacity(), 0u);
+  EXPECT_EQ(rb.view(), "bset ");
+  rb.Consume(1);  // "b" parsed; only the torn fragment remains, mid-buffer
+  // The remainder arrives; admitting it must compact (slide "set " to the
+  // front), not drop or reorder the torn prefix.
+  Write(rb, "k 0 0 1\r\nZ");
+  EXPECT_EQ(rb.view(), "set k 0 0 1\r\nZ");
+  // Views taken before the compaction are invalid by contract, but the data
+  // itself is contiguous: one more cycle proves the seam is gone.
+  rb.Consume(rb.size());
+  Write(rb, "get k\r\n");
+  EXPECT_EQ(rb.view(), "get k\r\n");
+}
+
+TEST(RingBufferTest, ReserveCommitAtExactlyFull) {
+  // Reserve exactly the remaining capacity, commit every byte of it, and
+  // verify the buffer reports full-by-one-byte precisely: EnsureWritable(1)
+  // must fail while any unread byte remains, then succeed after a 1-byte
+  // consume frees exactly one slot.
+  RingBuffer rb(8, 8);
+  Write(rb, "abc");
+  ASSERT_TRUE(rb.EnsureWritable(5));  // exact remaining space
+  EXPECT_EQ(rb.WriteCapacity(), 5u);
+  std::memcpy(rb.WritePtr(), "defgh", 5);
+  rb.CommitWrite(5);
+  EXPECT_EQ(rb.size(), 8u);
+  EXPECT_EQ(rb.WriteCapacity(), 0u);
+  EXPECT_FALSE(rb.EnsureWritable(1));  // full: nothing consumable to reclaim
+  EXPECT_EQ(rb.view(), "abcdefgh");    // the failed reserve didn't disturb data
+  rb.Consume(1);
+  ASSERT_TRUE(rb.EnsureWritable(1));  // one byte freed -> exactly one admitted
+  EXPECT_EQ(rb.WriteCapacity(), 1u);
+  std::memcpy(rb.WritePtr(), "i", 1);
+  rb.CommitWrite(1);
+  EXPECT_EQ(rb.view(), "bcdefghi");
+  EXPECT_FALSE(rb.EnsureWritable(1));  // full again at the exact boundary
+}
+
 }  // namespace
 }  // namespace s3fifo

@@ -1,4 +1,6 @@
-// End-to-end tests for the epoll cache server over loopback TCP:
+// End-to-end tests for the cache server over loopback TCP, parameterized
+// over both transport backends (epoll and io_uring — the uring leg skips,
+// not fails, where the kernel denies io_uring_setup):
 //  * protocol smoke (set/get/delete/stats, pipelining, noreply, fragmented
 //    writes, protocol errors, quit);
 //  * the §5.3 consistency check taken all the way through the network
@@ -6,6 +8,7 @@
 //    produce hit/miss counts IDENTICAL to the simulator's s3fifo policy —
 //    the server's parsing, batching, and GetBatch pipeline may not change a
 //    single eviction decision.
+#include <errno.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -22,6 +25,7 @@
 #include "src/core/cache_factory.h"
 #include "src/server/cache_server.h"
 #include "src/server/loadgen.h"
+#include "src/server/transport.h"
 #include "src/sim/simulator.h"
 #include "src/util/rng.h"
 #include "src/util/zipf.h"
@@ -67,6 +71,11 @@ class TestClient {
     while (buf.size() < suffix.size() ||
            buf.compare(buf.size() - suffix.size(), suffix.size(), suffix) != 0) {
       const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) {
+        // With an in-process io_uring server, task-work notifications can
+        // interrupt this thread's syscalls; a timed recv is not restartable.
+        continue;
+      }
       if (n <= 0) {
         ADD_FAILURE() << "short read; got so far: " << buf;
         break;
@@ -81,7 +90,11 @@ class TestClient {
     timeval tv{2, 0};
     setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
     char ch;
-    return recv(fd_, &ch, 1, 0) == 0;
+    ssize_t n;
+    do {
+      n = recv(fd_, &ch, 1, 0);
+    } while (n < 0 && errno == EINTR);
+    return n == 0;
   }
 
  private:
@@ -89,17 +102,50 @@ class TestClient {
   bool connected_ = false;
 };
 
-ServerConfig SmallServerConfig() {
+ServerConfig SmallServerConfig(TransportKind transport) {
   ServerConfig config;
   config.workers = 1;
   config.cache.capacity_objects = 1000;
   config.cache.value_size = 8;
   config.cache.cache_shards = 1;
+  config.transport = transport;
   return config;
 }
 
-TEST(CacheServerTest, SetGetDeleteRoundTrip) {
-  CacheServer server(SmallServerConfig());
+// Every test in this file runs once per transport backend. A request for
+// io_uring where the kernel (or a seccomp sandbox) denies it is a SKIP, not
+// a failure — availability is probed, never assumed.
+class TransportParamTest : public ::testing::TestWithParam<TransportKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == TransportKind::kUring) {
+      std::string why;
+      if (!IoUringAvailable(&why)) {
+        GTEST_SKIP() << "io_uring unavailable: " << why;
+      }
+    }
+  }
+};
+
+class CacheServerTest : public TransportParamTest {};
+class ServerSimulatorParityTest : public TransportParamTest {};
+
+std::string TransportParamName(
+    const ::testing::TestParamInfo<TransportKind>& info) {
+  return TransportKindName(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, CacheServerTest,
+                         ::testing::Values(TransportKind::kEpoll,
+                                           TransportKind::kUring),
+                         TransportParamName);
+INSTANTIATE_TEST_SUITE_P(Transports, ServerSimulatorParityTest,
+                         ::testing::Values(TransportKind::kEpoll,
+                                           TransportKind::kUring),
+                         TransportParamName);
+
+TEST_P(CacheServerTest, SetGetDeleteRoundTrip) {
+  CacheServer server(SmallServerConfig(GetParam()));
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
   TestClient client(server.port());
@@ -129,8 +175,8 @@ TEST(CacheServerTest, SetGetDeleteRoundTrip) {
   server.Stop();
 }
 
-TEST(CacheServerTest, PipelinedCommandsAnswerInOrder) {
-  CacheServer server(SmallServerConfig());
+TEST_P(CacheServerTest, PipelinedCommandsAnswerInOrder) {
+  CacheServer server(SmallServerConfig(GetParam()));
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
   TestClient client(server.port());
@@ -156,8 +202,8 @@ TEST(CacheServerTest, PipelinedCommandsAnswerInOrder) {
   server.Stop();
 }
 
-TEST(CacheServerTest, FragmentedWritesReassemble) {
-  CacheServer server(SmallServerConfig());
+TEST_P(CacheServerTest, FragmentedWritesReassemble) {
+  CacheServer server(SmallServerConfig(GetParam()));
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
   TestClient client(server.port());
@@ -174,8 +220,8 @@ TEST(CacheServerTest, FragmentedWritesReassemble) {
   server.Stop();
 }
 
-TEST(CacheServerTest, ProtocolErrorsDoNotDesynchronize) {
-  CacheServer server(SmallServerConfig());
+TEST_P(CacheServerTest, ProtocolErrorsDoNotDesynchronize) {
+  CacheServer server(SmallServerConfig(GetParam()));
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
   TestClient client(server.port());
@@ -188,8 +234,8 @@ TEST(CacheServerTest, ProtocolErrorsDoNotDesynchronize) {
   server.Stop();
 }
 
-TEST(CacheServerTest, NoreplySuppressesResponses) {
-  CacheServer server(SmallServerConfig());
+TEST_P(CacheServerTest, NoreplySuppressesResponses) {
+  CacheServer server(SmallServerConfig(GetParam()));
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
   TestClient client(server.port());
@@ -202,8 +248,8 @@ TEST(CacheServerTest, NoreplySuppressesResponses) {
   server.Stop();
 }
 
-TEST(CacheServerTest, StatsReportServerCounters) {
-  CacheServer server(SmallServerConfig());
+TEST_P(CacheServerTest, StatsReportServerCounters) {
+  CacheServer server(SmallServerConfig(GetParam()));
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
   TestClient client(server.port());
@@ -223,8 +269,8 @@ TEST(CacheServerTest, StatsReportServerCounters) {
   server.Stop();
 }
 
-TEST(CacheServerTest, QuitClosesTheConnection) {
-  CacheServer server(SmallServerConfig());
+TEST_P(CacheServerTest, QuitClosesTheConnection) {
+  CacheServer server(SmallServerConfig(GetParam()));
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
   TestClient client(server.port());
@@ -245,7 +291,7 @@ TEST(CacheServerTest, QuitClosesTheConnection) {
 // a single connection preserves request order, and capacity is divisible by
 // 10 so the prototype's ghost capacity (capacity - small) equals the
 // simulator's (0.9 * capacity).
-TEST(ServerSimulatorParityTest, HitCountsMatchSimulateBitExactly) {
+TEST_P(ServerSimulatorParityTest, HitCountsMatchSimulateBitExactly) {
   constexpr uint64_t kObjects = 20000;
   constexpr uint64_t kRequests = 60000;
   constexpr uint64_t kCapacity = 2000;
@@ -276,6 +322,7 @@ TEST(ServerSimulatorParityTest, HitCountsMatchSimulateBitExactly) {
   config.cache.capacity_objects = kCapacity;
   config.cache.value_size = 8;
   config.cache.cache_shards = 1;
+  config.transport = GetParam();
   ConcurrentS3Fifo cache(config.cache);
   CacheServer server(config, &cache);
   std::string error;
@@ -286,6 +333,7 @@ TEST(ServerSimulatorParityTest, HitCountsMatchSimulateBitExactly) {
   lg.threads = 1;
   lg.connections = 1;
   lg.pipeline_depth = 32;
+  lg.transport = GetParam();
   const LoadGenResult r = RunLoadGen(lg, trace);
   ASSERT_TRUE(r.ok) << r.error;
 
@@ -305,7 +353,7 @@ TEST(ServerSimulatorParityTest, HitCountsMatchSimulateBitExactly) {
 // The same parity must hold when requests flow through mget multi-key
 // batches of varying size — key grouping changes GetBatch call shapes but
 // may not change outcomes.
-TEST(ServerSimulatorParityTest, MultiGetGroupingPreservesOutcomes) {
+TEST_P(ServerSimulatorParityTest, MultiGetGroupingPreservesOutcomes) {
   constexpr uint64_t kObjects = 5000;
   constexpr uint64_t kRequests = 20000;
   constexpr uint64_t kCapacity = 500;
@@ -334,6 +382,7 @@ TEST(ServerSimulatorParityTest, MultiGetGroupingPreservesOutcomes) {
   config.cache.capacity_objects = kCapacity;
   config.cache.value_size = 8;
   config.cache.cache_shards = 1;
+  config.transport = GetParam();
   CacheServer server(config);
   std::string error;
   ASSERT_TRUE(server.Start(&error)) << error;
